@@ -1,0 +1,47 @@
+"""Figure 2 reproduction: the structure behind the broadcast algorithm.
+
+Figure 2 of the paper illustrates Theorem 1's machinery: the graph is
+partitioned into clusters of weak diameter eO(NQ_k) and size Theta(k / NQ_k),
+the clusters are arranged in a logarithmic-depth cluster tree, and the k tokens
+are converge-cast up and down that tree.
+
+The benchmark measures the actual cluster statistics produced by our Lemma 3.5
+implementation on every benchmark graph — cluster count, size range, weak
+diameters — and asserts each of the lemma's guarantees, which are exactly the
+invariants the figure depicts.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.experiments import default_benchmark_specs, run_fig2_broadcast_structure
+from repro.graphs.generators import GraphSpec
+
+SPECS = default_benchmark_specs("small") + [GraphSpec.of("star", n=96)]
+K_VALUES = [32, 96]
+
+
+def _structure_rows():
+    rows = []
+    for spec in SPECS:
+        for k in K_VALUES:
+            rows.append(run_fig2_broadcast_structure(spec, k, seed=0))
+    return rows
+
+
+def test_fig2_broadcast_structure(benchmark, save_table):
+    rows = benchmark.pedantic(_structure_rows, rounds=1, iterations=1)
+    save_table("fig2_broadcast_structure", rows, "Figure 2 - Lemma 3.5 cluster structure")
+    for row in rows:
+        nq = row["NQ_k"]
+        k = row["k"]
+        n = row["n"]
+        assert row["max weak diameter"] <= row["weak diameter bound"]
+        lower = min(n, k / nq)
+        assert row["min size"] >= math.floor(lower)
+        assert row["max size"] <= math.ceil(2 * lower)
+        # At most n * NQ_k / k clusters (each has >= k/NQ_k members).
+        assert row["clusters"] <= math.ceil(n * nq / min(k, n))

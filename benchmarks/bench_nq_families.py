@@ -1,0 +1,66 @@
+"""Theorems 15-17 / Appendix B reproduction: NQ_k on special graph families.
+
+Paper claims:
+
+* Theorem 15: on paths and cycles, NQ_k = Theta(min(sqrt k, D)).
+* Theorem 16: on d-dimensional grids, NQ_k = Theta(min(k^{1/(d+1)}, D)).
+* Lemma 3.6: on every graph, sqrt(Dk/3n) < NQ_k <= min(D, sqrt k).
+* Lemma 3.7: NQ_{alpha k} <= 6 sqrt(alpha) NQ_k.
+
+The benchmark measures NQ_k across the families and k sweeps, prints measured
+vs. predicted, fits the growth exponent of NQ_k in k on each family, and
+asserts the exponents land near the predicted 1/2 (paths/cycles), 1/3 (2-d
+grids) and 1/4 (3-d grids/tori).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.comparison import fit_power_law_exponent
+from repro.analysis.experiments import run_nq_family_point
+from repro.graphs.generators import GraphSpec
+
+K_VALUES = [16, 64, 256, 1024]
+
+FAMILIES = {
+    "path": (GraphSpec.of("path", n=400), 0.5),
+    "cycle": (GraphSpec.of("cycle", n=400), 0.5),
+    "grid-2d": (GraphSpec.of("grid", side=20, dim=2), 1.0 / 3.0),
+    "torus-3d": (GraphSpec.of("torus", side=8, dim=3), 0.25),
+}
+
+
+def _family_rows():
+    rows = []
+    for name, (spec, _) in FAMILIES.items():
+        for k in K_VALUES:
+            row = run_nq_family_point(spec, k)
+            row["family"] = name
+            rows.append(row)
+    return rows
+
+
+def test_nq_special_families(benchmark, save_table):
+    rows = benchmark.pedantic(_family_rows, rounds=1, iterations=1)
+    save_table("nq_families", rows, "Theorems 15/16 - NQ_k on special families")
+    # Lemma 3.6 bounds hold on every row.
+    for row in rows:
+        assert row["NQ_k measured"] <= row["upper bound min(D, sqrt k)"] + 1
+        assert row["NQ_k measured"] > row["lower bound sqrt(Dk/3n)"] - 1
+    # Growth exponents match the predictions (within a generous band that still
+    # separates 1/2 from 1/3 from 1/4).
+    for name, (spec, predicted_exponent) in FAMILIES.items():
+        subset = [row for row in rows if row["family"] == name]
+        # Only fit over the k range where the diameter cap is not active.
+        active = [row for row in subset if row["NQ_k measured"] < row["D"]]
+        if len(active) < 2:
+            continue
+        exponent, _ = fit_power_law_exponent(
+            [row["k"] for row in active], [row["NQ_k measured"] for row in active]
+        )
+        assert abs(exponent - predicted_exponent) < 0.15, (
+            f"{name}: fitted {exponent:.3f}, predicted {predicted_exponent:.3f}"
+        )

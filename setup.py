@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` and ``python setup.py develop`` work on environments whose
+setuptools/pip combination predates full PEP 660 editable-install support
+(such as offline machines without the ``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,79 @@
+"""Reproduction of *Universally Optimal Information Dissemination and Shortest
+Paths in the HYBRID Distributed Model* (Chang, Hecht, Leitersdorf, Schneider;
+PODC 2024, arXiv:2311.09548).
+
+The package is organised as follows:
+
+``repro.graphs``
+    Graph substrate: weighted graph generators for the families studied in the
+    paper (paths, cycles, d-dimensional grids, trees, expanders, ...) and
+    structural helpers (balls, hop distances, power graphs, diameters).
+
+``repro.simulator``
+    A synchronous, round-based simulator of the HYBRID(lambda, gamma) model and
+    its marginal cases (LOCAL, CONGEST, NCC, NCC_0, Congested Clique), with
+    per-node global-capacity enforcement and HYBRID_0 identifier-knowledge
+    tracking.
+
+``repro.core``
+    The paper's contributions: the neighborhood-quality parameter ``NQ_k``,
+    NQ_k-clustering, virtual-tree overlays, universally optimal
+    k-dissemination / k-aggregation / (k,l)-routing, skeleton graphs, spanners,
+    existentially optimal SSSP and k-SSP, universally optimal (k,l)-SP and APSP
+    variants, cut approximation, the Minor-Aggregation model and the
+    Eulerian-orientation oracle.
+
+``repro.baselines``
+    The existentially optimal prior algorithms the paper compares against and
+    centralized reference solvers used for correctness checking.
+
+``repro.lowerbounds``
+    The node-communication problem and the universal Omega(NQ_k) lower bounds.
+
+``repro.analysis``
+    Theoretical predictions (closed forms for NQ_k on special families) and the
+    experiment harness used by the benchmarks to regenerate the paper's tables
+    and figures.
+"""
+
+from repro.graphs import GraphSpec, generate_graph
+from repro.simulator import HybridSimulator, ModelConfig, RoundMetrics
+from repro.core.neighborhood_quality import (
+    neighborhood_quality,
+    neighborhood_quality_per_node,
+    DistributedNQComputation,
+)
+from repro.core.dissemination import KDissemination
+from repro.core.aggregation import KAggregation
+from repro.core.routing import KLRouting
+from repro.core.sssp import ApproxSSSP
+from repro.core.ksp import KSourceShortestPaths
+from repro.core.shortest_paths import (
+    UnweightedApproxAPSP,
+    SpannerAPSP,
+    SkeletonAPSP,
+    KLShortestPaths,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GraphSpec",
+    "generate_graph",
+    "HybridSimulator",
+    "ModelConfig",
+    "RoundMetrics",
+    "neighborhood_quality",
+    "neighborhood_quality_per_node",
+    "DistributedNQComputation",
+    "KDissemination",
+    "KAggregation",
+    "KLRouting",
+    "ApproxSSSP",
+    "KSourceShortestPaths",
+    "UnweightedApproxAPSP",
+    "SpannerAPSP",
+    "SkeletonAPSP",
+    "KLShortestPaths",
+    "__version__",
+]

@@ -1,0 +1,14 @@
+"""Theory predictions, measurement comparison, and the experiment harness."""
+
+from repro.analysis.theory import TheoryPredictions
+from repro.analysis.comparison import fit_power_law_exponent, ratio_series
+from repro.analysis.tables import ExperimentRow, render_table, rows_to_markdown
+
+__all__ = [
+    "TheoryPredictions",
+    "fit_power_law_exponent",
+    "ratio_series",
+    "ExperimentRow",
+    "render_table",
+    "rows_to_markdown",
+]

@@ -1,0 +1,55 @@
+"""Comparison helpers: scaling-exponent fits and measured/predicted ratios.
+
+Figure 1 of the paper plots the round complexity of k-SSP as ``n^delta``
+against the number of sources ``k = n^beta``.  To regenerate the figure we run
+the algorithms over a ``k`` sweep and *fit* the observed exponent with an
+ordinary least-squares fit in log-log space; the benchmark then reports the
+fitted exponent next to the predicted one.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["fit_power_law_exponent", "ratio_series", "geometric_mean"]
+
+
+def fit_power_law_exponent(xs: Sequence[float], ys: Sequence[float]) -> Tuple[float, float]:
+    """Fit ``y ~ c * x^a`` by least squares in log-log space; returns (a, c)."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have the same length")
+    if len(xs) < 2:
+        raise ValueError("need at least two points to fit an exponent")
+    filtered = [(x, y) for x, y in zip(xs, ys) if x > 0 and y > 0]
+    if len(filtered) < 2:
+        raise ValueError("need at least two positive points to fit an exponent")
+    log_x = np.array([math.log(x) for x, _ in filtered])
+    log_y = np.array([math.log(y) for _, y in filtered])
+    slope, intercept = np.polyfit(log_x, log_y, 1)
+    return float(slope), float(math.exp(intercept))
+
+
+def ratio_series(
+    measured: Sequence[float], predicted: Sequence[float]
+) -> List[float]:
+    """Element-wise measured/predicted ratios (inf-safe)."""
+    if len(measured) != len(predicted):
+        raise ValueError("series must have the same length")
+    ratios: List[float] = []
+    for m, p in zip(measured, predicted):
+        if p == 0:
+            ratios.append(math.inf if m > 0 else 1.0)
+        else:
+            ratios.append(m / p)
+    return ratios
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values (ignores non-positive entries)."""
+    logs = [math.log(v) for v in values if v > 0]
+    if not logs:
+        return 0.0
+    return math.exp(sum(logs) / len(logs))

@@ -1,0 +1,79 @@
+"""Assemble a Markdown experiment report from saved benchmark results.
+
+The benchmarks under ``benchmarks/`` persist every regenerated table both as
+aligned ASCII (``*.txt``) and as Markdown (``*.md``) under
+``benchmarks/results/``.  :func:`build_report` stitches those fragments into a
+single document (in the fixed table/figure order of the paper) so that
+EXPERIMENTS.md can be refreshed after a benchmark run with::
+
+    python -c "from repro.analysis.report import write_report; write_report()"
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["RESULT_SECTIONS", "build_report", "write_report"]
+
+#: (result-file stem, section heading) in the paper's presentation order.
+RESULT_SECTIONS: Sequence[Tuple[str, str]] = (
+    ("table1_dissemination", "Table 1 — k-dissemination (Theorem 1)"),
+    ("table1_aggregation", "Table 1 — k-aggregation (Theorem 2)"),
+    ("table1_unicast", "Table 1 — (k,l)-routing (Theorem 3)"),
+    ("table1_scaling", "Table 1 — round scaling with k"),
+    ("table2_apsp", "Table 2 — APSP (Theorems 6, 7, 8)"),
+    ("table2_baseline", "Table 2 — existential baseline"),
+    ("table3_klsp", "Table 3 — (k,l)-SP (Theorem 5)"),
+    ("table4_sssp", "Table 4 — SSSP (Theorem 13)"),
+    ("fig1_ksp_landscape", "Figure 1 — k-SSP complexity landscape (Theorem 14)"),
+    ("fig2_broadcast_structure", "Figure 2 — broadcast cluster structure (Lemma 3.5)"),
+    ("nq_families", "Theorems 15-17 — NQ_k on special graph families"),
+)
+
+
+def _default_results_dir() -> pathlib.Path:
+    return pathlib.Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+
+
+def build_report(results_dir: Optional[pathlib.Path] = None) -> str:
+    """Concatenate the saved Markdown result tables into one report string.
+
+    Sections whose result file is missing (the corresponding benchmark has not
+    been run yet) are listed as such rather than silently dropped.
+    """
+    directory = pathlib.Path(results_dir) if results_dir is not None else _default_results_dir()
+    parts: List[str] = [
+        "# Measured benchmark results",
+        "",
+        "Regenerated from the files under `benchmarks/results/`; see",
+        "EXPERIMENTS.md for the paper-vs-measured interpretation of each section.",
+        "",
+    ]
+    for stem, heading in RESULT_SECTIONS:
+        parts.append(f"## {heading}")
+        parts.append("")
+        path = directory / f"{stem}.md"
+        if path.exists():
+            parts.append(path.read_text().strip())
+        else:
+            parts.append("_not yet generated — run `pytest benchmarks/ --benchmark-only`_")
+        parts.append("")
+    return "\n".join(parts).rstrip() + "\n"
+
+
+def write_report(
+    output_path: Optional[pathlib.Path] = None,
+    results_dir: Optional[pathlib.Path] = None,
+) -> pathlib.Path:
+    """Write the assembled report next to the results (default:
+    ``benchmarks/results/REPORT.md``) and return its path."""
+    directory = pathlib.Path(results_dir) if results_dir is not None else _default_results_dir()
+    target = (
+        pathlib.Path(output_path)
+        if output_path is not None
+        else directory / "REPORT.md"
+    )
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(build_report(directory))
+    return target

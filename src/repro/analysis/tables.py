@@ -1,0 +1,79 @@
+"""Result-table rendering for the benchmark harness.
+
+Every benchmark produces a list of :class:`ExperimentRow`; the helpers here
+render them as aligned ASCII tables (printed by the benches, captured into
+``bench_output.txt``) and as Markdown (pasted into EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+__all__ = ["ExperimentRow", "render_table", "rows_to_markdown"]
+
+
+@dataclasses.dataclass
+class ExperimentRow:
+    """One row of a reproduced table/figure: an ordered mapping of column -> value."""
+
+    values: Dict[str, Any]
+
+    def columns(self) -> List[str]:
+        return list(self.values)
+
+    def formatted(self, column: str) -> str:
+        value = self.values.get(column, "")
+        if isinstance(value, float):
+            if value == int(value) and abs(value) < 1e9:
+                return str(int(value))
+            return f"{value:.3g}"
+        return str(value)
+
+
+def _column_order(rows: Sequence[ExperimentRow]) -> List[str]:
+    order: List[str] = []
+    for row in rows:
+        for column in row.columns():
+            if column not in order:
+                order.append(column)
+    return order
+
+
+def render_table(rows: Sequence[ExperimentRow], title: Optional[str] = None) -> str:
+    """Render rows as an aligned ASCII table."""
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    columns = _column_order(rows)
+    widths = {column: len(column) for column in columns}
+    for row in rows:
+        for column in columns:
+            widths[column] = max(widths[column], len(row.formatted(column)))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = " | ".join(column.ljust(widths[column]) for column in columns)
+    separator = "-+-".join("-" * widths[column] for column in columns)
+    lines.append(header)
+    lines.append(separator)
+    for row in rows:
+        lines.append(
+            " | ".join(row.formatted(column).ljust(widths[column]) for column in columns)
+        )
+    return "\n".join(lines)
+
+
+def rows_to_markdown(rows: Sequence[ExperimentRow], title: Optional[str] = None) -> str:
+    """Render rows as a GitHub-flavoured Markdown table."""
+    if not rows:
+        return (f"### {title}\n\n" if title else "") + "_no rows_"
+    columns = _column_order(rows)
+    lines: List[str] = []
+    if title:
+        lines.append(f"### {title}")
+        lines.append("")
+    lines.append("| " + " | ".join(columns) + " |")
+    lines.append("|" + "|".join("---" for _ in columns) + "|")
+    for row in rows:
+        lines.append("| " + " | ".join(row.formatted(column) for column in columns) + " |")
+    return "\n".join(lines)

@@ -1,0 +1,40 @@
+"""Baselines: prior existentially optimal algorithms and centralized references.
+
+The paper's tables compare the new universally optimal algorithms against the
+existentially optimal state of the art ([AHK+20], [KS20], [AG21a], [CHLP21b]).
+This subpackage provides
+
+* :mod:`repro.baselines.centralized` — exact BFS/Dijkstra/APSP references used
+  as ground truth by the tests and the stretch measurements,
+* :mod:`repro.baselines.existential` — the *analytic* round bounds of the prior
+  algorithms (the quantities appearing in the paper's table rows), and
+* :mod:`repro.baselines.naive` — simulatable baselines (LOCAL flooding, naive
+  global gossip, the sqrt(n)-skeleton APSP of [KS20]) whose measured rounds
+  provide the comparison curves in the benchmark output.
+"""
+
+from repro.baselines.centralized import (
+    exact_apsp,
+    exact_sssp,
+    exact_hop_apsp,
+    measure_stretch,
+    max_stretch_of_table,
+)
+from repro.baselines.existential import ExistentialBounds
+from repro.baselines.naive import (
+    LocalFloodingBroadcast,
+    NaiveGlobalBroadcast,
+    SqrtNSkeletonAPSP,
+)
+
+__all__ = [
+    "exact_apsp",
+    "exact_sssp",
+    "exact_hop_apsp",
+    "measure_stretch",
+    "max_stretch_of_table",
+    "ExistentialBounds",
+    "LocalFloodingBroadcast",
+    "NaiveGlobalBroadcast",
+    "SqrtNSkeletonAPSP",
+]

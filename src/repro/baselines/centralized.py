@@ -1,0 +1,85 @@
+"""Centralized reference solvers (ground truth for tests and stretch measurement)."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, Iterable, Optional, Tuple
+
+import networkx as nx
+
+from repro.graphs.properties import hop_distances_from
+
+Node = Hashable
+
+__all__ = [
+    "exact_sssp",
+    "exact_apsp",
+    "exact_hop_apsp",
+    "measure_stretch",
+    "max_stretch_of_table",
+]
+
+
+def exact_sssp(graph: nx.Graph, source: Node) -> Dict[Node, float]:
+    """Exact weighted single-source distances (Dijkstra)."""
+    return nx.single_source_dijkstra_path_length(graph, source, weight="weight")
+
+
+def exact_apsp(graph: nx.Graph) -> Dict[Node, Dict[Node, float]]:
+    """Exact weighted all-pairs distances."""
+    return {v: exact_sssp(graph, v) for v in graph.nodes}
+
+
+def exact_hop_apsp(graph: nx.Graph) -> Dict[Node, Dict[Node, int]]:
+    """Exact unweighted (hop) all-pairs distances."""
+    return {v: hop_distances_from(graph, v) for v in graph.nodes}
+
+
+def measure_stretch(
+    true_distance: float, estimate: float, *, tolerance: float = 1e-9
+) -> float:
+    """The multiplicative stretch of a single estimate (inf if the estimate is missing)."""
+    if estimate is None:
+        return math.inf
+    if true_distance == 0:
+        return 1.0 if abs(estimate) <= tolerance else math.inf
+    return estimate / true_distance
+
+
+def max_stretch_of_table(
+    ground_truth: Dict[Node, Dict[Node, float]],
+    estimates: Dict[Node, Dict[Node, float]],
+    *,
+    pairs: Optional[Iterable[Tuple[Node, Node]]] = None,
+    require_no_underestimate: bool = True,
+    tolerance: float = 1e-6,
+) -> float:
+    """Maximum stretch of an estimate table against exact distances.
+
+    ``estimates[target][source]`` is compared against
+    ``ground_truth[target][source]`` for the requested pairs (default: every
+    pair present in the estimate table).  Raises ``AssertionError`` if an
+    estimate underestimates the true distance beyond the tolerance (approximate
+    shortest-paths algorithms in this paper never underestimate).
+    """
+    worst = 1.0
+    if pairs is None:
+        pair_iter = (
+            (target, source)
+            for target, row in estimates.items()
+            for source in row
+        )
+    else:
+        pair_iter = iter(pairs)
+    for target, source in pair_iter:
+        true_value = ground_truth.get(target, {}).get(source, math.inf)
+        estimate = estimates.get(target, {}).get(source, math.inf)
+        if math.isinf(true_value):
+            continue
+        if require_no_underestimate and estimate < true_value - tolerance * max(1.0, true_value):
+            raise AssertionError(
+                f"estimate {estimate} underestimates true distance {true_value} "
+                f"for pair ({source!r} -> {target!r})"
+            )
+        worst = max(worst, measure_stretch(true_value, estimate))
+    return worst

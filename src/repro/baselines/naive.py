@@ -1,0 +1,168 @@
+"""Simulatable baseline algorithms.
+
+These are the "obvious" ways to solve the paper's problems using only one of
+the two communication modes, or using the existential sqrt(n)-skeleton recipe
+of prior work.  They are run through the same simulator and metrics pipeline as
+the paper's algorithms so the benchmark tables can show measured-vs-measured
+comparisons in addition to the analytic prior-work bounds of
+:mod:`repro.baselines.existential`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from collections import defaultdict
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Set
+
+import networkx as nx
+
+from repro.core.skeleton import build_skeleton
+from repro.core.transport import GlobalTransfer, throttled_global_exchange
+from repro.graphs.properties import h_hop_limited_distances, hop_distances_from
+from repro.simulator.metrics import RoundMetrics
+from repro.simulator.network import HybridSimulator
+
+Node = Hashable
+
+__all__ = ["LocalFloodingBroadcast", "NaiveGlobalBroadcast", "SqrtNSkeletonAPSP"]
+
+
+@dataclasses.dataclass
+class BroadcastOutcome:
+    """Result of a baseline broadcast."""
+
+    known_tokens: Dict[Node, Set[Any]]
+    tokens: Set[Any]
+    metrics: RoundMetrics
+
+    def all_nodes_know_all_tokens(self) -> bool:
+        return all(known == self.tokens for known in self.known_tokens.values())
+
+
+class LocalFloodingBroadcast:
+    """Broadcast every token by flooding the local network only (LOCAL model).
+
+    Takes exactly ``max_v ecc(v over token holders)`` rounds, i.e. up to the
+    diameter ``D`` — the trivial algorithm against which the paper's global
+    problems are measured ("any problem is solvable in D rounds in LOCAL").
+    """
+
+    def __init__(self, simulator: HybridSimulator, tokens_by_node: Dict[Node, Sequence[Any]]):
+        self.simulator = simulator
+        self.tokens_by_node = {node: list(tokens) for node, tokens in tokens_by_node.items()}
+
+    def run(self) -> BroadcastOutcome:
+        sim = self.simulator
+        all_tokens: Set[Any] = set()
+        known: Dict[Node, Set[Any]] = {v: set() for v in sim.nodes}
+        for node, tokens in self.tokens_by_node.items():
+            known[node].update(tokens)
+            all_tokens.update(tokens)
+        if not all_tokens:
+            return BroadcastOutcome(known_tokens=known, tokens=set(), metrics=sim.metrics)
+
+        while not all(tokens == all_tokens for tokens in known.values()):
+            for v in sim.nodes:
+                if known[v]:
+                    sim.local_broadcast(v, frozenset(known[v]), tag="flood")
+            sim.advance_round()
+            for v in sim.nodes:
+                for message in sim.local_inbox(v):
+                    if message.tag == "flood":
+                        known[v].update(message.payload)
+        return BroadcastOutcome(known_tokens=known, tokens=all_tokens, metrics=sim.metrics)
+
+
+class NaiveGlobalBroadcast:
+    """Broadcast every token to every node individually over the global mode.
+
+    This is the pure-NCC strategy: the token holders unicast each token to each
+    of the ``n`` nodes, throttled to the per-node budget.  It needs
+    ``~ k * n / (n * gamma) = k / gamma`` rounds on the receive side and
+    ``~ k * n / gamma`` rounds per holder on the send side — the benchmarks show
+    how badly it loses to Theorem 1 once ``k`` is large, illustrating the
+    eOmega(n) bound for NCC-only information dissemination quoted in Section 1.5.
+    """
+
+    def __init__(self, simulator: HybridSimulator, tokens_by_node: Dict[Node, Sequence[Any]]):
+        self.simulator = simulator
+        self.tokens_by_node = {node: list(tokens) for node, tokens in tokens_by_node.items()}
+
+    def run(self) -> BroadcastOutcome:
+        sim = self.simulator
+        all_tokens: Set[Any] = set()
+        known: Dict[Node, Set[Any]] = {v: set() for v in sim.nodes}
+        transfers: List[GlobalTransfer] = []
+        for node, tokens in sorted(self.tokens_by_node.items(), key=lambda kv: str(kv[0])):
+            known[node].update(tokens)
+            all_tokens.update(tokens)
+            for token in tokens:
+                for receiver in sim.nodes:
+                    if receiver == node:
+                        continue
+                    transfers.append(
+                        GlobalTransfer(sender=node, receiver=receiver, payload=token, tag="naive")
+                    )
+        if transfers:
+            delivered = throttled_global_exchange(sim, transfers)
+            for receiver, payloads in delivered.items():
+                known[receiver].update(payloads)
+        return BroadcastOutcome(known_tokens=known, tokens=all_tokens, metrics=sim.metrics)
+
+
+class SqrtNSkeletonAPSP:
+    """The [KS20]-style existential APSP recipe: a sqrt(n)-skeleton.
+
+    Build a skeleton with sampling probability ``1/sqrt(n)`` (so ``h ~ sqrt(n)``
+    local rounds), make the skeleton globally known, and let every node combine
+    its ``h``-hop local distances with the skeleton distances.  The output is an
+    exact APSP w.h.p.; the round cost is eTheta(sqrt n) regardless of the graph
+    — which is exactly the existential behaviour the universally optimal
+    algorithms of Theorems 6-8 improve on when ``NQ_n << sqrt(n)``.
+    """
+
+    def __init__(self, simulator: HybridSimulator, *, seed: Optional[int] = None):
+        self.simulator = simulator
+        self.seed = seed
+
+    def run(self) -> Dict[Node, Dict[Node, float]]:
+        sim = self.simulator
+        n = sim.n
+        probability = min(1.0, 1.0 / math.sqrt(max(n, 1)))
+        skeleton = build_skeleton(sim.graph, probability, seed=self.seed)
+        sim.charge_rounds(skeleton.h, "sqrt(n)-skeleton construction", "[KS20]")
+        sim.charge_rounds(
+            int(math.ceil(math.sqrt(n))),
+            "making the skeleton graph globally known",
+            "[KS20] / [AHK+20]",
+        )
+        skeleton_distances = {
+            s: nx.single_source_dijkstra_path_length(skeleton.graph, s, weight="weight")
+            for s in skeleton.skeleton_nodes
+        }
+        h = skeleton.h
+        sim.charge_rounds(h, "h-hop local distance computation", "[KS20]")
+        skeleton_set = set(skeleton.skeleton_nodes)
+        estimates: Dict[Node, Dict[Node, float]] = {}
+        limited = {v: h_hop_limited_distances(sim.graph, v, h) for v in sim.nodes}
+        for v in sim.nodes:
+            row: Dict[Node, float] = {}
+            for w in sim.nodes:
+                best = limited[v].get(w, math.inf)
+                for u in limited[v]:
+                    if u not in skeleton_set:
+                        continue
+                    for z in limited[w]:
+                        if z not in skeleton_set:
+                            continue
+                        candidate = (
+                            limited[v][u]
+                            + skeleton_distances[u].get(z, math.inf)
+                            + limited[w][z]
+                        )
+                        if candidate < best:
+                            best = candidate
+                row[w] = best
+            estimates[v] = row
+        return estimates

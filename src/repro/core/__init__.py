@@ -1,0 +1,15 @@
+"""The paper's algorithmic contributions.
+
+Modules are layered bottom-up:
+
+* parameter / structure: :mod:`neighborhood_quality`, :mod:`ruling_sets`,
+  :mod:`clustering`, :mod:`overlay`, :mod:`load_balancing`
+* information dissemination: :mod:`dissemination` (Theorem 1),
+  :mod:`aggregation` (Theorem 2), :mod:`helper_sets`, :mod:`hashing`,
+  :mod:`routing` (Theorem 3)
+* shortest-path substrates: :mod:`skeleton`, :mod:`spanner`,
+  :mod:`minor_aggregation`, :mod:`euler`, :mod:`sssp` (Theorem 13),
+  :mod:`ksp` (Theorem 14)
+* universally optimal graph problems: :mod:`shortest_paths`
+  (Theorems 5, 6, 7, 8), :mod:`cuts` (Theorem 9)
+"""

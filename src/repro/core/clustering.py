@@ -1,0 +1,206 @@
+"""NQ_k-clustering (Lemma 3.5).
+
+Lemma 3.5 partitions the node set into clusters such that
+
+* the weak diameter of each cluster is at most ``4 * NQ_k * ceil(log n)``,
+* each cluster has between ``k / NQ_k`` and ``2k / NQ_k`` nodes,
+* each cluster has a designated leader known to its members.
+
+The construction: compute a ``(2 NQ_k + 1, 2 NQ_k ceil(log n))``-ruling set,
+let every node join the cluster of its closest ruler (ties by minimum
+identifier), then split oversized clusters locally.  The ball
+``B_{NQ_k}(ruler)`` is contained in the ruler's cluster, which by
+Observation 3.2 guarantees the lower size bound before splitting.
+
+The size guarantee is stated for ``k <= n`` (for ``k > n`` the paper runs the
+same clustering with the cluster-size target capped at ``n``); we cap the
+target size at ``n`` accordingly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from repro.core.neighborhood_quality import neighborhood_quality
+from repro.core.ruling_sets import distributed_ruling_set, greedy_ruling_set
+from repro.graphs.properties import hop_distances_from, weak_diameter
+from repro.simulator.config import log2_ceil
+from repro.simulator.network import HybridSimulator
+
+Node = Hashable
+
+__all__ = ["Cluster", "Clustering", "nq_clustering", "distributed_nq_clustering"]
+
+
+@dataclasses.dataclass
+class Cluster:
+    """One cluster of the Lemma 3.5 partition."""
+
+    leader: Node
+    members: List[Node]
+    index: int
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def __contains__(self, node: Node) -> bool:
+        return node in set(self.members)
+
+
+@dataclasses.dataclass
+class Clustering:
+    """A partition of ``V`` into clusters, plus the parameters it was built for."""
+
+    clusters: List[Cluster]
+    nq: int
+    k: float
+    cluster_of: Dict[Node, int]
+
+    def __len__(self) -> int:
+        return len(self.clusters)
+
+    def cluster_containing(self, node: Node) -> Cluster:
+        return self.clusters[self.cluster_of[node]]
+
+    def leaders(self) -> List[Node]:
+        return [cluster.leader for cluster in self.clusters]
+
+    def max_weak_diameter(self, graph: nx.Graph) -> int:
+        return max(weak_diameter(graph, cluster.members) for cluster in self.clusters)
+
+
+def _split_cluster(members: List[Node], lower: float, upper: float) -> List[List[Node]]:
+    """Split a member list into chunks with sizes in ``[lower, upper]``.
+
+    ``members`` is assumed to have size at least ``lower``; chunks are taken in
+    the given order (BFS order from the leader) so the pieces remain local.
+    """
+    total = len(members)
+    if total <= upper:
+        return [list(members)]
+    # Number of parts: as many as possible while each keeps >= lower members.
+    parts = max(1, int(total // max(lower, 1)))
+    # Cap so that each part has at most upper members.
+    parts = max(parts, int(math.ceil(total / max(upper, 1))))
+    base = total // parts
+    remainder = total % parts
+    chunks: List[List[Node]] = []
+    start = 0
+    for index in range(parts):
+        size = base + (1 if index < remainder else 0)
+        chunks.append(members[start : start + size])
+        start += size
+    return [chunk for chunk in chunks if chunk]
+
+
+def _bfs_order_from(graph: nx.Graph, root: Node, members: Set[Node]) -> List[Node]:
+    """Members of a cluster ordered by BFS (in G) from the leader."""
+    dist = hop_distances_from(graph, root)
+    inside = [m for m in members if m in dist]
+    inside.sort(key=lambda m: (dist[m], str(m)))
+    missing = sorted((m for m in members if m not in dist), key=str)
+    return inside + missing
+
+
+def nq_clustering(
+    graph: nx.Graph,
+    k: float,
+    nq: Optional[int] = None,
+    id_of=None,
+) -> Clustering:
+    """Centralized construction of the Lemma 3.5 clustering.
+
+    Parameters
+    ----------
+    graph: the local communication graph.
+    k: the workload parameter.
+    nq: ``NQ_k(G)`` if already known (avoids recomputation).
+    id_of: optional callable mapping a node to its identifier (used only for
+        deterministic tie-breaking "closest ruler, ties by minimum identifier").
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    n = graph.number_of_nodes()
+    if nq is None:
+        nq = neighborhood_quality(graph, k)
+    nq = max(1, nq)
+    if id_of is None:
+        id_of = lambda node: node  # noqa: E731 - trivial default
+
+    rulers = greedy_ruling_set(graph, alpha=2 * nq + 1)
+
+    # Every node joins the cluster of its closest ruler (ties by min identifier).
+    # Multi-source BFS, processing rulers in identifier order so ties resolve
+    # to the smallest identifier deterministically.
+    assignment: Dict[Node, Node] = {}
+    best_dist: Dict[Node, int] = {}
+    for ruler in sorted(rulers, key=lambda r: (id_of(r), str(r))):
+        dist = hop_distances_from(graph, ruler)
+        for node, d in dist.items():
+            current = best_dist.get(node)
+            if current is None or d < current:
+                best_dist[node] = d
+                assignment[node] = ruler
+    # (Ties keep the earlier, i.e. smaller-identifier, ruler.)
+
+    members_by_ruler: Dict[Node, Set[Node]] = {ruler: set() for ruler in rulers}
+    for node, ruler in assignment.items():
+        members_by_ruler[ruler].add(node)
+
+    lower = min(float(n), k / nq)
+    upper = 2 * lower if lower >= 1 else 2.0
+
+    clusters: List[Cluster] = []
+    cluster_of: Dict[Node, int] = {}
+    for ruler in sorted(rulers, key=lambda r: (id_of(r), str(r))):
+        members = members_by_ruler[ruler]
+        if not members:
+            continue
+        ordered = _bfs_order_from(graph, ruler, members)
+        for chunk in _split_cluster(ordered, lower, upper):
+            leader = ruler if ruler in chunk else chunk[0]
+            index = len(clusters)
+            clusters.append(Cluster(leader=leader, members=list(chunk), index=index))
+            for node in chunk:
+                cluster_of[node] = index
+
+    return Clustering(clusters=clusters, nq=nq, k=k, cluster_of=cluster_of)
+
+
+def distributed_nq_clustering(
+    simulator: HybridSimulator, k: float, nq: Optional[int] = None
+) -> Clustering:
+    """Lemma 3.5 clustering with the paper's round accounting.
+
+    The cluster structure is produced by :func:`nq_clustering`; the rounds the
+    paper's construction needs — the ruling-set computation
+    (``O(NQ_k log n)``), learning the ``2 NQ_k ceil(log n)``-hop neighborhood,
+    and flooding the ruler choice for ``4 NQ_k ceil(log n)`` rounds — are
+    charged on the simulator (DESIGN.md substitution note 1).
+    """
+    graph = simulator.graph
+    if nq is None:
+        nq = neighborhood_quality(graph, k)
+    nq = max(1, nq)
+    log_n = log2_ceil(max(simulator.n, 2))
+    clustering = nq_clustering(graph, k, nq=nq, id_of=simulator.id_of)
+    simulator.charge_rounds(
+        2 * nq * log_n,
+        "ruling-set construction for NQ_k clustering",
+        "[KMW18] via Lemma 3.5",
+    )
+    simulator.charge_rounds(
+        2 * nq * log_n,
+        "learning the 2*NQ_k*ceil(log n)-hop neighborhood",
+        "Lemma 3.5",
+    )
+    simulator.charge_rounds(
+        4 * nq * log_n,
+        "flooding closest-ruler choices within clusters",
+        "Lemma 3.5",
+    )
+    return clustering

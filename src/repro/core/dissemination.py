@@ -1,0 +1,339 @@
+"""Universally optimal multi-message broadcast: ``k-dissemination`` (Theorem 1).
+
+Problem (Definition 1.1): ``k`` tokens of O(log n) bits are initially spread
+arbitrarily over the nodes (a node may hold anywhere between 0 and k of them);
+at the end every node must know all ``k`` tokens.
+
+Theorem 1: the problem is solvable deterministically in ``eO(NQ_k)`` rounds in
+HYBRID_0.  The algorithm (Section 4.2, Figure 2) has five phases:
+
+1. **Parameter computation** — compute ``k`` (basic aggregation, Lemma 4.4) and
+   ``NQ_k`` (Lemma 3.3).
+2. **Clustering** — partition ``V`` into clusters of weak diameter
+   ``<= 4 NQ_k ceil(log n)`` and size ``[k/NQ_k, 2k/NQ_k]`` (Lemma 3.5).
+3. **Cluster chaining** — build a logical cluster tree of depth/degree
+   ``O(log n)`` (Lemma 4.6) and match the nodes of adjacent clusters rank-by-
+   rank so matched nodes can talk over the global mode.
+4. **Load balancing** — within each cluster, spread the held tokens so every
+   node holds at most ``NQ_k`` of them (Lemma 4.1).
+5. **Dissemination** — converge-cast all tokens up the cluster tree to the root
+   cluster (load balancing before each level), then cast them back down; a
+   final intra-cluster flood of ``4 NQ_k ceil(log n)`` local rounds makes every
+   node know every token.
+
+The global-mode token movements of phase 5 are physically simulated (throttled
+to the per-node budget); the local-mode coordination of phases 2-4 and the
+final flood are charged per the paper's analysis (DESIGN.md substitution
+note 1).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import defaultdict
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.clustering import Cluster, Clustering, distributed_nq_clustering
+from repro.core.load_balancing import balance_items, cluster_load_balance
+from repro.core.neighborhood_quality import neighborhood_quality
+from repro.core.overlay import VirtualTree, basic_aggregation, build_virtual_tree
+from repro.core.transport import GlobalTransfer, throttled_global_exchange
+from repro.simulator.config import log2_ceil
+from repro.simulator.metrics import RoundMetrics
+from repro.simulator.network import HybridSimulator
+
+Node = Hashable
+
+__all__ = ["DisseminationResult", "KDissemination", "ClusterTree"]
+
+
+@dataclasses.dataclass
+class ClusterTree:
+    """A rooted logical tree whose vertices are clusters (phase 3)."""
+
+    root: int
+    parent: Dict[int, Optional[int]]
+    children: Dict[int, List[int]]
+    order: List[int]
+
+    def levels(self) -> List[List[int]]:
+        result: List[List[int]] = []
+        current = [self.root]
+        while current:
+            result.append(current)
+            nxt: List[int] = []
+            for index in current:
+                nxt.extend(self.children[index])
+            current = nxt
+        return result
+
+    @property
+    def depth(self) -> int:
+        return len(self.levels()) - 1
+
+
+def build_cluster_tree(clustering: Clustering) -> ClusterTree:
+    """Binary cluster tree over cluster indices (constant degree, O(log) depth)."""
+    order = [cluster.index for cluster in clustering.clusters]
+    parent: Dict[int, Optional[int]] = {}
+    children: Dict[int, List[int]] = {index: [] for index in order}
+    if not order:
+        raise ValueError("clustering has no clusters")
+    parent[order[0]] = None
+    for position, index in enumerate(order):
+        if position == 0:
+            continue
+        parent_index = order[(position - 1) // 2]
+        parent[index] = parent_index
+        children[parent_index].append(index)
+    return ClusterTree(root=order[0], parent=parent, children=children, order=order)
+
+
+def match_cluster_tree_ids(
+    simulator: HybridSimulator, clustering: Clustering, cluster_tree: ClusterTree
+) -> None:
+    """Phase 3 subphase 2 of Theorem 1: rank-match adjacent clusters.
+
+    For every edge of the cluster tree, member ``i`` of one cluster is paired
+    with member ``i mod |other|`` of the other; both learn each other's
+    identifier so they can exchange global messages.  The round cost of the
+    matching (O(log n), one tree level at a time) is charged by the caller.
+    """
+    for child_index, parent_index in cluster_tree.parent.items():
+        if parent_index is None:
+            continue
+        child = clustering.clusters[child_index]
+        parent = clustering.clusters[parent_index]
+        child_members = sorted(child.members, key=simulator.id_of)
+        parent_members = sorted(parent.members, key=simulator.id_of)
+        span = max(len(child_members), len(parent_members))
+        for position in range(span):
+            a = child_members[position % len(child_members)]
+            b = parent_members[position % len(parent_members)]
+            simulator.declare_learned_ids(a, [simulator.id_of(b)])
+            simulator.declare_learned_ids(b, [simulator.id_of(a)])
+
+
+def rank_matched_transfers(
+    simulator: HybridSimulator,
+    source: Cluster,
+    target: Cluster,
+    payloads: Sequence[Any],
+    tag: str,
+) -> List[GlobalTransfer]:
+    """Transfers carrying ``payloads`` from ``source`` to ``target`` cluster.
+
+    Payloads are spread round-robin over the source members (mirroring the
+    load-balanced state) and each source member sends only to its fixed
+    rank-matched counterpart in the target cluster, exactly the pairs taught by
+    :func:`match_cluster_tree_ids`.
+    """
+    if not payloads:
+        return []
+    source_members = sorted(source.members, key=simulator.id_of)
+    target_members = sorted(target.members, key=simulator.id_of)
+    transfers: List[GlobalTransfer] = []
+    for position, payload in enumerate(payloads):
+        sender_rank = position % len(source_members)
+        sender = source_members[sender_rank]
+        receiver = target_members[sender_rank % len(target_members)]
+        transfers.append(
+            GlobalTransfer(sender=sender, receiver=receiver, payload=payload, tag=tag)
+        )
+    return transfers
+
+
+@dataclasses.dataclass
+class DisseminationResult:
+    """Outcome of a k-dissemination run."""
+
+    tokens: Set[Any]
+    known_tokens: Dict[Node, Set[Any]]
+    k: int
+    nq: int
+    clustering: Clustering
+    cluster_tree: ClusterTree
+    metrics: RoundMetrics
+
+    def all_nodes_know_all_tokens(self) -> bool:
+        return all(known == self.tokens for known in self.known_tokens.values())
+
+
+class KDissemination:
+    """Theorem 1: deterministic ``eO(NQ_k)``-round k-dissemination in HYBRID_0."""
+
+    def __init__(
+        self,
+        simulator: HybridSimulator,
+        tokens_by_node: Dict[Node, Sequence[Any]],
+        *,
+        nq: Optional[int] = None,
+        clustering: Optional[Clustering] = None,
+    ) -> None:
+        self.simulator = simulator
+        self.tokens_by_node = {
+            node: list(tokens) for node, tokens in tokens_by_node.items() if tokens
+        }
+        for node in self.tokens_by_node:
+            if node not in set(simulator.nodes):
+                raise KeyError(f"token holder {node!r} is not a node of the network")
+        self._nq_hint = nq
+        self._clustering_hint = clustering
+
+    # ------------------------------------------------------------------
+    def run(self) -> DisseminationResult:
+        sim = self.simulator
+        log_n = log2_ceil(max(sim.n, 2))
+
+        all_tokens: Set[Any] = set()
+        for tokens in self.tokens_by_node.values():
+            all_tokens.update(tokens)
+        k = len(all_tokens)
+        if k == 0:
+            return DisseminationResult(
+                tokens=set(),
+                known_tokens={v: set() for v in sim.nodes},
+                k=0,
+                nq=0,
+                clustering=Clustering(clusters=[], nq=0, k=0, cluster_of={}),
+                cluster_tree=ClusterTree(root=0, parent={0: None}, children={0: []}, order=[0]),
+                metrics=sim.metrics,
+            )
+
+        # Phase 1: compute k (Lemma 4.4 aggregation, physically simulated) and
+        # NQ_k (Lemma 3.3, charged).
+        counts = {node: len(tokens) for node, tokens in self.tokens_by_node.items()}
+        tree = build_virtual_tree(sim)
+        basic_aggregation(sim, counts, lambda a, b: (a or 0) + (b or 0), tree=tree)
+        nq = self._nq_hint
+        if nq is None:
+            nq = neighborhood_quality(sim.graph, k)
+        nq = max(1, nq)
+        sim.charge_rounds(nq, "distributed computation of NQ_k", "Lemma 3.3")
+
+        # Phase 2: clustering (Lemma 3.5, charged).
+        clustering = self._clustering_hint
+        if clustering is None:
+            clustering = distributed_nq_clustering(sim, k, nq=nq)
+
+        # Phase 3: cluster chaining (Lemma 4.6 + rank matching, charged eO(1)).
+        cluster_tree = build_cluster_tree(clustering)
+        sim.charge_rounds(
+            log_n * log_n,
+            "cluster-tree construction over cluster leaders",
+            "Lemma 4.6",
+        )
+        sim.charge_rounds(
+            log_n,
+            "matching parent/child cluster nodes rank-by-rank",
+            "Theorem 1, cluster chaining subphase 2",
+        )
+        leader_ids = [sim.id_of(c.leader) for c in clustering.clusters]
+        for cluster in clustering.clusters:
+            for member in cluster.members:
+                sim.declare_learned_ids(member, leader_ids)
+        match_cluster_tree_ids(sim, clustering, cluster_tree)
+
+        # Phase 4: initial load balancing inside each cluster (Lemma 4.1, charged).
+        held: Dict[Node, List[Any]] = defaultdict(list)
+        for node, tokens in self.tokens_by_node.items():
+            held[node].extend(tokens)
+        held = self._load_balance_all_clusters(clustering, held, nq, log_n, "initial")
+
+        # Phase 5a: converge-cast all tokens up the cluster tree (measured).
+        cluster_tokens: Dict[int, Set[Any]] = {
+            cluster.index: set() for cluster in clustering.clusters
+        }
+        for node, tokens in held.items():
+            cluster_tokens[clustering.cluster_of[node]].update(tokens)
+
+        levels = cluster_tree.levels()
+        for level in reversed(levels[1:]):
+            transfers: List[GlobalTransfer] = []
+            for cluster_index in level:
+                parent_index = cluster_tree.parent[cluster_index]
+                child = clustering.clusters[cluster_index]
+                parent = clustering.clusters[parent_index]
+                new_tokens = cluster_tokens[cluster_index] - cluster_tokens[parent_index]
+                transfers.extend(
+                    rank_matched_transfers(
+                        sim, child, parent, sorted(new_tokens, key=str), "kdiss"
+                    )
+                )
+                cluster_tokens[parent_index].update(new_tokens)
+            if transfers:
+                throttled_global_exchange(sim, transfers)
+            # Load balancing at the receiving clusters before the next level.
+            sim.charge_rounds(
+                8 * nq * log_n,
+                "intra-cluster load balancing between converge-cast levels",
+                "Lemma 4.1",
+            )
+
+        # Phase 5b: cast every token back down the cluster tree (measured).
+        root_index = cluster_tree.root
+        cluster_tokens[root_index] = set(all_tokens)
+        for level in levels:
+            transfers = []
+            for cluster_index in level:
+                for child_index in cluster_tree.children[cluster_index]:
+                    parent = clustering.clusters[cluster_index]
+                    child = clustering.clusters[child_index]
+                    missing = cluster_tokens[cluster_index] - cluster_tokens[child_index]
+                    transfers.extend(
+                        rank_matched_transfers(
+                            sim, parent, child, sorted(missing, key=str), "kdiss"
+                        )
+                    )
+                    cluster_tokens[child_index].update(missing)
+            if transfers:
+                throttled_global_exchange(sim, transfers)
+            sim.charge_rounds(
+                8 * nq * log_n,
+                "intra-cluster load balancing between down-cast levels",
+                "Lemma 4.1",
+            )
+
+        # Final intra-cluster flood: every node learns its cluster's tokens.
+        sim.charge_rounds(
+            4 * nq * log_n,
+            "final intra-cluster flooding of all tokens",
+            "Theorem 1, dissemination phase",
+        )
+        known_tokens: Dict[Node, Set[Any]] = {}
+        for cluster in clustering.clusters:
+            tokens_here = set(cluster_tokens[cluster.index])
+            for member in cluster.members:
+                known_tokens[member] = set(tokens_here)
+
+        return DisseminationResult(
+            tokens=all_tokens,
+            known_tokens=known_tokens,
+            k=k,
+            nq=nq,
+            clustering=clustering,
+            cluster_tree=cluster_tree,
+            metrics=sim.metrics,
+        )
+
+    # ------------------------------------------------------------------
+    def _load_balance_all_clusters(
+        self,
+        clustering: Clustering,
+        held: Dict[Node, List[Any]],
+        nq: int,
+        log_n: int,
+        label: str,
+    ) -> Dict[Node, List[Any]]:
+        balanced: Dict[Node, List[Any]] = {}
+        weak_diam = 4 * nq * log_n
+        for cluster in clustering.clusters:
+            allocation = balance_items(cluster.members, held)
+            balanced.update(allocation)
+        self.simulator.charge_rounds(
+            2 * weak_diam,
+            f"{label} intra-cluster load balancing",
+            "Lemma 4.1",
+        )
+        return balanced
+

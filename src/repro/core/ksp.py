@@ -1,0 +1,239 @@
+"""Existentially optimal k-source shortest paths (Section 9, Theorem 14).
+
+Theorem 14: in HYBRID(infinity, gamma), k-SSP can be approximated w.h.p.
+
+* with stretch 1+eps in ``eO(sqrt(k) / eps^2)`` rounds when the sources are
+  sampled with probability ``k/n`` (standard HYBRID),
+* with stretch 3+eps in ``eO(sqrt(k / gamma) / eps^2)`` rounds for arbitrary
+  sources,
+* with stretch 1+eps in ``eO(1/eps^2)`` rounds for ``k <= gamma`` arbitrary
+  sources.
+
+The algorithm (Lemmas 9.3, 9.4):
+
+1. build a skeleton graph with sampling probability ``sqrt(gamma / k)``
+   (Definition 6.2); for the random-sources case the sources are added to the
+   skeleton,
+2. compute classic helper sets (Definition 9.1) and schedule one Theorem 13
+   SSSP instance per source on the skeleton, all in parallel, with each helper
+   simulating ``eO(sqrt(k * gamma))`` instances — total
+   ``eO(sqrt(k / gamma) * T_SSSP)`` rounds (Lemma 9.3, charged),
+3. every node learns its ``h``-hop limited distances to nearby skeleton nodes
+   over the local mode (``h`` rounds, charged) and combines them with the
+   skeleton estimates (Lemma 9.4); for arbitrary sources the sources first tag
+   *proxy sources* on the skeleton and broadcast the proxy offsets
+   (k-dissemination, Theorem 1, charged).
+
+The skeleton construction, the per-source skeleton SSSP estimates, the h-hop
+limited local distances, and the combination formulas are all computed for
+real (they produce genuinely approximate distances whose stretch the tests
+check against Dijkstra ground truth); the parallel-scheduling round cost is
+charged per Lemma 9.3.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.core.helper_sets import compute_classic_helper_sets
+from repro.core.skeleton import SkeletonGraph, build_skeleton
+from repro.core.sssp import approx_sssp_distances, sssp_round_cost
+from repro.graphs.properties import h_hop_limited_distances
+from repro.simulator.config import log2_ceil
+from repro.simulator.metrics import RoundMetrics
+from repro.simulator.network import HybridSimulator
+
+Node = Hashable
+
+__all__ = ["KSPResult", "KSourceShortestPaths", "ksp_round_cost"]
+
+
+def ksp_round_cost(n: int, k: int, gamma_words: int, epsilon: float) -> int:
+    """The Lemma 9.3 / Theorem 14 scheduling cost ``eO(sqrt(k/gamma)/eps^2)``."""
+    log_n = log2_ceil(max(n, 2))
+    eps = max(epsilon, 1e-9)
+    if k <= gamma_words:
+        parallel_factor = 1.0
+    else:
+        parallel_factor = math.sqrt(k / max(1, gamma_words))
+    return int(math.ceil(parallel_factor / (eps * eps))) * log_n * log_n
+
+
+@dataclasses.dataclass
+class KSPResult:
+    """Outcome of a k-SSP computation."""
+
+    sources: List[Node]
+    distances: Dict[Node, Dict[Node, float]]
+    stretch_bound: float
+    epsilon: float
+    skeleton: SkeletonGraph
+    proxy_of: Dict[Node, Node]
+    metrics: RoundMetrics
+
+    def estimate(self, node: Node, source: Node) -> float:
+        return self.distances.get(node, {}).get(source, math.inf)
+
+
+class KSourceShortestPaths:
+    """Theorem 14: approximate k-SSP via parallel SSSP scheduling on a skeleton.
+
+    Parameters
+    ----------
+    simulator: the network.
+    sources: the k source nodes.
+    epsilon: approximation parameter of the underlying SSSP instances.
+    sources_in_skeleton: set True for the "random sources" case (the sources are
+        forced into the skeleton, giving stretch 1+eps); False for arbitrary
+        sources routed through proxy sources (stretch 3+eps).
+    gamma_words: the per-node global capacity in words (defaults to the
+        simulator's budget), which controls the skeleton density and the
+        scheduling cost — this is the ``HYBRID(infinity, gamma)`` knob of
+        Theorem 14.
+    seed: randomness for the skeleton sampling and helper sets.
+    """
+
+    def __init__(
+        self,
+        simulator: HybridSimulator,
+        sources: Sequence[Node],
+        *,
+        epsilon: float = 0.25,
+        sources_in_skeleton: bool = True,
+        gamma_words: Optional[int] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        if not sources:
+            raise ValueError("sources must be non-empty")
+        if epsilon <= 0:
+            raise ValueError("epsilon must be positive")
+        node_set = set(simulator.nodes)
+        for source in sources:
+            if source not in node_set:
+                raise KeyError(f"source {source!r} is not a node of the network")
+        self.simulator = simulator
+        self.sources = sorted(set(sources), key=simulator.id_of)
+        self.epsilon = epsilon
+        self.sources_in_skeleton = sources_in_skeleton
+        self.gamma_words = (
+            gamma_words if gamma_words is not None else simulator.global_budget_words()
+        )
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    def run(self) -> KSPResult:
+        sim = self.simulator
+        graph = sim.graph
+        n = sim.n
+        k = len(self.sources)
+        log_n = log2_ceil(max(n, 2))
+
+        # Step 1: skeleton with sampling probability sqrt(gamma / k).
+        probability = min(1.0, math.sqrt(self.gamma_words / max(k, 1)))
+        forced = self.sources if self.sources_in_skeleton else None
+        skeleton = build_skeleton(
+            graph, probability, seed=self.seed, forced_nodes=forced
+        )
+        sim.charge_rounds(
+            skeleton.h,
+            "skeleton construction (h-hop local exploration)",
+            "Definition 6.2 / Lemma 6.3",
+        )
+
+        # Step 2: helper sets + parallel SSSP scheduling on the skeleton.
+        x = max(1, int(round(1.0 / probability)))
+        compute_classic_helper_sets(graph, skeleton.skeleton_nodes, x, seed=self.seed)
+        sim.charge_rounds(
+            2 * x * log_n,
+            "classic helper-set computation for skeleton nodes",
+            "Definition 9.1 / Lemma 9.2",
+        )
+
+        # Proxy sources: for arbitrary sources, each source tags the closest
+        # skeleton node within h hops (Lemma 6.3 guarantees one exists w.h.p.).
+        proxy_of: Dict[Node, Node] = {}
+        proxy_offset: Dict[Node, float] = {}
+        h = skeleton.h
+        skeleton_set = set(skeleton.skeleton_nodes)
+        for source in self.sources:
+            if source in skeleton_set:
+                proxy_of[source] = source
+                proxy_offset[source] = 0.0
+                continue
+            limited = h_hop_limited_distances(graph, source, h)
+            candidates = {
+                node: dist for node, dist in limited.items() if node in skeleton_set
+            }
+            if not candidates:
+                # Fall back to the globally closest skeleton node (can only
+                # happen on tiny or pathological instances).
+                full = nx.single_source_dijkstra_path_length(graph, source, weight="weight")
+                candidates = {
+                    node: dist for node, dist in full.items() if node in skeleton_set
+                }
+            proxy, offset = min(candidates.items(), key=lambda kv: (kv[1], str(kv[0])))
+            proxy_of[source] = proxy
+            proxy_offset[source] = offset
+        if not self.sources_in_skeleton:
+            # The proxy offsets d^h(u_s, s) are made public with Theorem 1.
+            sim.charge_rounds(
+                max(1, int(math.ceil(math.sqrt(k)))) * log_n,
+                "broadcasting proxy-source offsets (k-dissemination)",
+                "Theorem 14 via Theorem 1",
+            )
+
+        # One SSSP per (proxy) source on the skeleton, scheduled in parallel
+        # (Lemma 9.3); the estimates are computed for real, the scheduling
+        # rounds are charged.
+        proxies = sorted({proxy_of[source] for source in self.sources}, key=str)
+        skeleton_estimates: Dict[Node, Dict[Node, float]] = {}
+        for proxy in proxies:
+            skeleton_estimates[proxy] = approx_sssp_distances(
+                skeleton.graph, proxy, self.epsilon
+            )
+        sim.charge_rounds(
+            ksp_round_cost(n, k, self.gamma_words, self.epsilon),
+            f"parallel scheduling of {len(proxies)} SSSP instances on the skeleton",
+            "Lemma 9.3 / Theorem 14",
+        )
+
+        # Step 3: every node combines its h-hop limited distances to nearby
+        # skeleton nodes with the skeleton estimates (Lemma 9.4 / Theorem 14).
+        sim.charge_rounds(
+            h,
+            "h-hop limited distance computation over the local mode",
+            "Lemma 9.4",
+        )
+        distances: Dict[Node, Dict[Node, float]] = {}
+        limited_from_node: Dict[Node, Dict[Node, float]] = {}
+        for node in sim.nodes:
+            limited_from_node[node] = h_hop_limited_distances(graph, node, h)
+        for node in sim.nodes:
+            limited = limited_from_node[node]
+            nearby_skeleton = [u for u in limited if u in skeleton_set]
+            per_source: Dict[Node, float] = {}
+            for source in self.sources:
+                proxy = proxy_of[source]
+                offset = proxy_offset[source]
+                best = limited.get(source, math.inf)
+                for u in nearby_skeleton:
+                    via = limited[u] + skeleton_estimates[proxy].get(u, math.inf) + offset
+                    if via < best:
+                        best = via
+                per_source[source] = best
+            distances[node] = per_source
+
+        stretch_bound = (1.0 + self.epsilon) if self.sources_in_skeleton else (3.0 + 3 * self.epsilon)
+        return KSPResult(
+            sources=list(self.sources),
+            distances=distances,
+            stretch_bound=stretch_bound,
+            epsilon=self.epsilon,
+            skeleton=skeleton,
+            proxy_of=proxy_of,
+            metrics=sim.metrics,
+        )

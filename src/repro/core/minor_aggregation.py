@@ -1,0 +1,152 @@
+"""The Minor-Aggregation model (Section 8, Lemma 8.2).
+
+One round of the Minor-Aggregation model on ``G = (V, E)`` consists of three
+steps (both nodes and edges are computational units):
+
+* **Contraction** — every edge picks ``c_e in {True, False}``; contracting the
+  ``True`` edges partitions ``V`` into supernodes (connected components of the
+  contracted subgraph).
+* **Consensus** — every node picks an eO(1)-bit value ``x_v``; every supernode
+  computes ``y_s = op(x_v : v in s)`` and all its members learn ``y_s``.
+* **Aggregation** — every non-contracted edge (connecting two supernodes) sees
+  the consensus values of both endpoints and proposes values ``z_{e,a}``,
+  ``z_{e,b}``; every supernode learns the aggregate of the values proposed to
+  it by its incident edges, and all members of the supernode learn it.
+
+Lemma 8.2 shows that one such round can be simulated in eO(1) rounds of
+HYBRID_0 (using the overlay trees of Lemma 4.3 per supernode).  We implement
+the round semantics exactly and charge the eO(1) simulation cost; this is the
+component consumed by the SSSP framework of [RGH+22] (Lemma 8.1), see
+:mod:`repro.core.sssp` and DESIGN.md substitution note 2.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Dict, FrozenSet, Hashable, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.simulator.config import log2_ceil
+from repro.simulator.network import HybridSimulator
+
+Node = Hashable
+Edge = Tuple[Node, Node]
+
+__all__ = ["MinorAggregationRound", "MinorAggregation"]
+
+
+def _normalize_edge(u: Node, v: Node) -> Edge:
+    return (u, v) if str(u) <= str(v) else (v, u)
+
+
+@dataclasses.dataclass
+class MinorAggregationRound:
+    """The result of one Minor-Aggregation round."""
+
+    supernode_of: Dict[Node, int]
+    supernodes: List[FrozenSet[Node]]
+    consensus: Dict[int, Any]
+    aggregates: Dict[int, Any]
+
+    def consensus_at(self, node: Node) -> Any:
+        return self.consensus[self.supernode_of[node]]
+
+    def aggregate_at(self, node: Node) -> Any:
+        return self.aggregates.get(self.supernode_of[node])
+
+
+class MinorAggregation:
+    """Executes Minor-Aggregation rounds on top of a HYBRID simulator.
+
+    Every executed round charges the eO(1) HYBRID_0 simulation cost of
+    Lemma 8.2 on the underlying simulator.
+    """
+
+    def __init__(self, simulator: HybridSimulator) -> None:
+        self.simulator = simulator
+        self.graph = simulator.graph
+        self.rounds_executed = 0
+
+    # ------------------------------------------------------------------
+    def run_round(
+        self,
+        contract: Callable[[Node, Node], bool],
+        node_values: Dict[Node, Any],
+        consensus_op: Callable[[Any, Any], Any],
+        edge_proposal: Callable[[Edge, Any, Any], Tuple[Any, Any]],
+        aggregate_op: Callable[[Any, Any], Any],
+    ) -> MinorAggregationRound:
+        """Execute one round.
+
+        Parameters
+        ----------
+        contract: predicate on edges (u, v): True means the edge is contracted.
+        node_values: the value ``x_v`` chosen by each node.
+        consensus_op: associative/commutative operator combining node values
+            into the supernode consensus ``y_s``.
+        edge_proposal: for a non-contracted edge ``e = (u, v)`` with endpoint
+            consensus values ``y_a`` (u's supernode) and ``y_b`` (v's), returns
+            the pair ``(z_{e,a}, z_{e,b})`` intended for the two supernodes.
+        aggregate_op: associative/commutative operator combining the proposals
+            a supernode receives.
+        """
+        graph = self.graph
+
+        # Contraction: connected components of the contracted subgraph.
+        contracted = nx.Graph()
+        contracted.add_nodes_from(graph.nodes)
+        for u, v in graph.edges:
+            if contract(u, v):
+                contracted.add_edge(u, v)
+        supernodes: List[FrozenSet[Node]] = [
+            frozenset(component) for component in nx.connected_components(contracted)
+        ]
+        supernodes.sort(key=lambda component: str(min(component, key=str)))
+        supernode_of: Dict[Node, int] = {}
+        for index, component in enumerate(supernodes):
+            for node in component:
+                supernode_of[node] = index
+
+        # Consensus.
+        consensus: Dict[int, Any] = {}
+        for index, component in enumerate(supernodes):
+            value: Any = None
+            for node in sorted(component, key=str):
+                x = node_values.get(node)
+                if x is None:
+                    continue
+                value = x if value is None else consensus_op(value, x)
+            consensus[index] = value
+
+        # Aggregation over non-contracted edges (parallel edges are kept,
+        # self-loops within a supernode are dropped).
+        aggregates: Dict[int, Any] = {}
+        for u, v in graph.edges:
+            a = supernode_of[u]
+            b = supernode_of[v]
+            if a == b:
+                continue
+            edge = _normalize_edge(u, v)
+            z_a, z_b = edge_proposal(edge, consensus[a], consensus[b])
+            for supernode, proposal in ((a, z_a), (b, z_b)):
+                if proposal is None:
+                    continue
+                if supernode not in aggregates or aggregates[supernode] is None:
+                    aggregates[supernode] = proposal
+                else:
+                    aggregates[supernode] = aggregate_op(aggregates[supernode], proposal)
+
+        log_n = log2_ceil(max(self.simulator.n, 2))
+        self.simulator.charge_rounds(
+            3 * log_n,
+            "simulation of one Minor-Aggregation round",
+            "Lemma 8.2",
+        )
+        self.rounds_executed += 1
+        return MinorAggregationRound(
+            supernode_of=supernode_of,
+            supernodes=supernodes,
+            consensus=consensus,
+            aggregates=aggregates,
+        )

@@ -1,0 +1,201 @@
+"""The neighborhood-quality parameter ``NQ_k`` (Section 3).
+
+Definition 3.1: for a graph ``G``, a workload ``k > 0`` and a node ``v``,
+
+    ``NQ_k(v) = min({t : |B_t(v)| >= k / t} U {D})``    and
+    ``NQ_k(G) = max_v NQ_k(v)``,
+
+where ``B_t(v)`` is the hop-ball of radius ``t`` around ``v`` and ``D`` is the
+hop diameter.  Intuitively ``NQ_k(v)`` is the smallest radius at which ``v``'s
+neighborhood is large enough to pull in ``~k`` words of information through the
+global network within ``O(t)`` rounds.
+
+This module provides
+
+* a centralized reference computation (used by theory predictions, tests and as
+  ground truth for the distributed algorithm), and
+* :class:`DistributedNQComputation`, the distributed computation of Lemma 3.3
+  that runs on the :class:`~repro.simulator.network.HybridSimulator`:
+  every node explores its neighborhood to increasing depth ``t`` (one local
+  round per depth step) and after each step the global minimum ball size
+  ``N_t = min_v |B_t(v)|`` is computed with the eO(1)-round aggregation of
+  Lemma 4.4; the exploration stops at the first ``t`` with ``N_t >= k / t``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, Hashable, Optional
+
+import networkx as nx
+
+from repro.graphs.properties import ball_sizes_all_radii, diameter, hop_distances_from
+from repro.simulator.config import log2_ceil
+from repro.simulator.metrics import RoundMetrics
+from repro.simulator.network import HybridSimulator
+
+Node = Hashable
+
+__all__ = [
+    "neighborhood_quality_of_node",
+    "neighborhood_quality_per_node",
+    "neighborhood_quality",
+    "nq_profile",
+    "DistributedNQComputation",
+    "NQResult",
+]
+
+
+def _nq_from_ball_sizes(ball_sizes: list, k: float, graph_diameter: int) -> int:
+    """Evaluate Definition 3.1 given ``[|B_0(v)|, |B_1(v)|, ...]``."""
+    if k <= 0:
+        raise ValueError("k must be positive")
+    # t ranges over positive integers; the list index is the radius.
+    max_radius = len(ball_sizes) - 1
+    for t in range(1, graph_diameter + 1):
+        size = ball_sizes[t] if t <= max_radius else ball_sizes[max_radius]
+        if size >= k / t:
+            return t
+    return graph_diameter
+
+
+def neighborhood_quality_of_node(
+    graph: nx.Graph, k: float, node: Node, graph_diameter: Optional[int] = None
+) -> int:
+    """``NQ_k(v)`` for a single node (centralized reference)."""
+    if graph_diameter is None:
+        graph_diameter = diameter(graph)
+    if graph_diameter == 0:
+        # Single-node graph: the ball of radius "D" is the node itself.
+        return 0
+    sizes = ball_sizes_all_radii(graph, node)
+    return _nq_from_ball_sizes(sizes, k, graph_diameter)
+
+
+def neighborhood_quality_per_node(graph: nx.Graph, k: float) -> Dict[Node, int]:
+    """``NQ_k(v)`` for every node (centralized reference)."""
+    graph_diameter = diameter(graph)
+    result: Dict[Node, int] = {}
+    for node in graph.nodes:
+        if graph_diameter == 0:
+            result[node] = 0
+            continue
+        sizes = ball_sizes_all_radii(graph, node)
+        result[node] = _nq_from_ball_sizes(sizes, k, graph_diameter)
+    return result
+
+
+def neighborhood_quality(graph: nx.Graph, k: float) -> int:
+    """``NQ_k(G) = max_v NQ_k(v)`` (centralized reference)."""
+    per_node = neighborhood_quality_per_node(graph, k)
+    return max(per_node.values())
+
+
+def nq_profile(graph: nx.Graph, ks: list) -> Dict[float, int]:
+    """``NQ_k(G)`` for several workloads ``k`` (shares the diameter computation)."""
+    graph_diameter = diameter(graph)
+    sizes_per_node = {node: ball_sizes_all_radii(graph, node) for node in graph.nodes}
+    profile: Dict[float, int] = {}
+    for k in ks:
+        if graph_diameter == 0:
+            profile[k] = 0
+            continue
+        profile[k] = max(
+            _nq_from_ball_sizes(sizes, k, graph_diameter)
+            for sizes in sizes_per_node.values()
+        )
+    return profile
+
+
+@dataclasses.dataclass
+class NQResult:
+    """Result of the distributed NQ_k computation (Lemma 3.3)."""
+
+    nq: int
+    per_node: Dict[Node, int]
+    metrics: RoundMetrics
+
+
+class DistributedNQComputation:
+    """Distributed computation of ``NQ_k`` and ``NQ_k(v)`` (Lemma 3.3).
+
+    The algorithm explores neighborhoods to increasing depth.  Depth step ``t``
+    costs one round of local flooding (simulated: every node broadcasts its
+    currently known ball to its neighbors), after which the global minimum
+    ``N_t = min_v |B_t(v)|`` is obtained via the virtual-tree aggregation of
+    Lemma 4.4, charged as ``O(log^2 n)`` rounds per step (the tree construction
+    of [GHSS17] is charged once; see DESIGN.md substitution note 1).
+    Exploration stops at the first ``t`` with ``N_t >= k / t``; if the entire
+    graph is explored first, ``NQ_k = D``.
+    """
+
+    def __init__(self, simulator: HybridSimulator, k: float) -> None:
+        if k <= 0:
+            raise ValueError("k must be positive")
+        self.simulator = simulator
+        self.k = k
+
+    def run(self) -> NQResult:
+        sim = self.simulator
+        n = sim.n
+        log_n = log2_ceil(max(n, 2))
+
+        # Each node's current knowledge of its ball (starts with itself).
+        known_balls: Dict[Node, set] = {v: {v} for v in sim.nodes}
+        per_node_nq: Dict[Node, int] = {}
+        aggregation_charge_per_step = 2 * log_n
+
+        # One-time overlay construction used by the Lemma 4.4 aggregations.
+        sim.charge_rounds(
+            log_n * log_n,
+            "virtual-tree overlay construction for basic aggregation",
+            "Lemma 4.3 [GHSS17]",
+        )
+
+        t = 0
+        nq_value: Optional[int] = None
+        max_steps = n  # exploration can never exceed n-1 depth
+        while t < max_steps:
+            t += 1
+            # One local round: every node tells its neighbors its known ball.
+            for v in sim.nodes:
+                sim.local_broadcast(v, frozenset(known_balls[v]), tag="nq-explore")
+            sim.advance_round()
+            new_balls: Dict[Node, set] = {}
+            for v in sim.nodes:
+                merged = set(known_balls[v])
+                for message in sim.local_inbox(v):
+                    if message.tag == "nq-explore":
+                        merged.update(message.payload)
+                new_balls[v] = merged
+            known_balls = new_balls
+
+            # Record per-node NQ_k(v) the first time the node's own ball passes
+            # the threshold.
+            for v in sim.nodes:
+                if v not in per_node_nq and len(known_balls[v]) >= self.k / t:
+                    per_node_nq[v] = t
+
+            # Global min-aggregation of |B_t(v)| (Lemma 4.4), charged.
+            sim.charge_rounds(
+                aggregation_charge_per_step,
+                f"min-aggregation of ball sizes at depth {t}",
+                "Lemma 4.4",
+            )
+            min_ball = min(len(known_balls[v]) for v in sim.nodes)
+            if min_ball >= self.k / t:
+                nq_value = t
+                break
+            if all(len(known_balls[v]) == n for v in sim.nodes):
+                # Entire graph explored: NQ_k = D and t is now >= D.
+                nq_value = t
+                break
+
+        if nq_value is None:
+            nq_value = t
+        # Nodes whose threshold was never reached have NQ_k(v) = D; at this
+        # point t equals (an upper bound on) the relevant exploration depth.
+        for v in sim.nodes:
+            per_node_nq.setdefault(v, nq_value)
+        return NQResult(nq=nq_value, per_node=per_node_nq, metrics=sim.metrics)

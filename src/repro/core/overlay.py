@@ -1,0 +1,255 @@
+"""Virtual-tree overlay networks (Lemmas 4.3 - 4.6).
+
+The broadcast/aggregation algorithms need, even in HYBRID_0, a constant-degree
+virtual rooted tree of depth ``O(log n)`` spanning all nodes (Lemma 4.3) or a
+given subset (Lemma 4.6), such that every tree node knows the identifiers of
+its parent and children and can therefore talk to them over the global mode.
+
+The paper constructs these trees with the deterministic overlay machinery of
+[GHSS17] plus sparse neighborhood covers [RG20]; per the substitution policy
+(DESIGN.md note 1) we build the same *object* — a balanced binary tree over the
+identifier-sorted node list, depth ``ceil(log2 n)``, degree at most 3 — and
+charge the polylogarithmic construction cost.  The tree is then *used* with
+physically simulated global messages: :func:`aggregate_via_tree` and
+:func:`broadcast_via_tree` implement Lemma 4.4 (``1``-aggregation and
+``1``-dissemination in eO(1) rounds) by converge-casting / down-casting along
+tree edges, one tree level per round, which respects the per-node global
+budget because the degree is constant.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.simulator.config import log2_ceil
+from repro.simulator.network import HybridSimulator
+
+Node = Hashable
+
+__all__ = [
+    "VirtualTree",
+    "build_virtual_tree",
+    "build_virtual_tree_on_subset",
+    "aggregate_via_tree",
+    "broadcast_via_tree",
+    "basic_aggregation",
+    "basic_dissemination",
+]
+
+
+@dataclasses.dataclass
+class VirtualTree:
+    """A rooted virtual tree over a subset of the network's nodes.
+
+    ``parent[v]`` is ``None`` for the root; ``children[v]`` lists v's children.
+    ``order`` is the identifier-sorted list of participating nodes (the implicit
+    array backing the binary-heap layout).
+    """
+
+    root: Node
+    parent: Dict[Node, Optional[Node]]
+    children: Dict[Node, List[Node]]
+    order: List[Node]
+
+    @property
+    def nodes(self) -> List[Node]:
+        return list(self.order)
+
+    @property
+    def depth(self) -> int:
+        if len(self.order) <= 1:
+            return 0
+        return int(math.floor(math.log2(len(self.order))))
+
+    def max_degree(self) -> int:
+        best = 0
+        for node in self.order:
+            degree = len(self.children[node]) + (0 if self.parent[node] is None else 1)
+            best = max(best, degree)
+        return best
+
+    def levels(self) -> List[List[Node]]:
+        """Nodes grouped by depth (root first)."""
+        result: List[List[Node]] = []
+        current = [self.root]
+        while current:
+            result.append(current)
+            nxt: List[Node] = []
+            for node in current:
+                nxt.extend(self.children[node])
+            current = nxt
+        return result
+
+
+def _heap_tree(order: Sequence[Node]) -> VirtualTree:
+    """Balanced binary tree in heap layout over ``order``."""
+    order = list(order)
+    if not order:
+        raise ValueError("cannot build a virtual tree over an empty node set")
+    parent: Dict[Node, Optional[Node]] = {}
+    children: Dict[Node, List[Node]] = {node: [] for node in order}
+    parent[order[0]] = None
+    for index, node in enumerate(order):
+        if index == 0:
+            continue
+        parent_index = (index - 1) // 2
+        parent_node = order[parent_index]
+        parent[node] = parent_node
+        children[parent_node].append(node)
+    return VirtualTree(root=order[0], parent=parent, children=children, order=order)
+
+
+def build_virtual_tree(simulator: HybridSimulator) -> VirtualTree:
+    """Lemma 4.3: constant-degree, O(log n)-depth virtual tree over all nodes.
+
+    The construction cost ``O(log^2 n)`` is charged; afterwards every
+    participating node is taught the identifiers of its tree neighbors
+    (``declare_learned_ids``), which is exactly the post-condition of
+    Lemma 4.3.
+    """
+    order = sorted(simulator.nodes, key=simulator.id_of)
+    tree = _heap_tree(order)
+    log_n = log2_ceil(max(simulator.n, 2))
+    simulator.charge_rounds(
+        log_n * log_n,
+        "virtual-tree overlay construction over all nodes",
+        "Lemma 4.3 [GHSS17]",
+    )
+    _teach_tree_ids(simulator, tree)
+    return tree
+
+
+def build_virtual_tree_on_subset(
+    simulator: HybridSimulator, subset: Sequence[Node]
+) -> VirtualTree:
+    """Lemma 4.6: virtual tree with degree/depth O(log n) over a subset ``U``.
+
+    Built by pruning the full tree in the paper; here directly as a balanced
+    tree over the identifier-sorted subset, with the combined construction and
+    pruning cost of Lemmas 4.3 + 4.5 charged.
+    """
+    members = sorted(set(subset), key=simulator.id_of)
+    if not members:
+        raise ValueError("subset must be non-empty")
+    tree = _heap_tree(members)
+    log_n = log2_ceil(max(simulator.n, 2))
+    simulator.charge_rounds(
+        log_n * log_n + log_n * log_n,
+        "virtual tree over a subset (construction + pruning)",
+        "Lemmas 4.3, 4.5, 4.6",
+    )
+    _teach_tree_ids(simulator, tree)
+    return tree
+
+
+def _teach_tree_ids(simulator: HybridSimulator, tree: VirtualTree) -> None:
+    for node in tree.order:
+        relatives = list(tree.children[node])
+        if tree.parent[node] is not None:
+            relatives.append(tree.parent[node])
+        simulator.declare_learned_ids(node, [simulator.id_of(r) for r in relatives])
+
+
+def aggregate_via_tree(
+    simulator: HybridSimulator,
+    tree: VirtualTree,
+    values: Dict[Node, Any],
+    combine: Callable[[Any, Any], Any],
+) -> Any:
+    """Converge-cast ``values`` up the tree, combining with ``combine``.
+
+    One tree level per round (leaf level first); every node sends a single
+    global message to its parent, so the per-node budget is respected.  Returns
+    the aggregate as known by the root.
+    """
+    partial: Dict[Node, Any] = {node: values.get(node) for node in tree.order}
+    levels = tree.levels()
+    for level in reversed(levels[1:]):
+        for node in level:
+            parent = tree.parent[node]
+            simulator.global_send_to_node(node, parent, partial[node], tag="tree-agg")
+        simulator.advance_round()
+        receivers = {tree.parent[node] for node in level}
+        for parent in receivers:
+            acc = partial[parent]
+            for message in simulator.global_inbox(parent):
+                if message.tag != "tree-agg":
+                    continue
+                incoming = message.payload
+                if acc is None:
+                    acc = incoming
+                elif incoming is not None:
+                    acc = combine(acc, incoming)
+            partial[parent] = acc
+    return partial[tree.root]
+
+
+def broadcast_via_tree(
+    simulator: HybridSimulator, tree: VirtualTree, value: Any
+) -> Dict[Node, Any]:
+    """Down-cast ``value`` from the root to every tree node (one level per round)."""
+    received: Dict[Node, Any] = {tree.root: value}
+    for level in tree.levels():
+        send_happened = False
+        for node in level:
+            if node not in received:
+                continue
+            for child in tree.children[node]:
+                simulator.global_send_to_node(node, child, received[node], tag="tree-bcast")
+                send_happened = True
+        if not send_happened:
+            continue
+        simulator.advance_round()
+        for node in level:
+            for child in tree.children[node]:
+                for message in simulator.global_inbox(child):
+                    if message.tag == "tree-bcast":
+                        received[child] = message.payload
+    return received
+
+
+def basic_aggregation(
+    simulator: HybridSimulator,
+    values: Dict[Node, Any],
+    combine: Callable[[Any, Any], Any],
+    tree: Optional[VirtualTree] = None,
+) -> Any:
+    """Lemma 4.4 for ``k = 1``: every node learns ``combine`` over all values.
+
+    Converge-cast to the root, then broadcast the result back down.  Returns the
+    aggregate (which after the broadcast every node knows).
+    """
+    if tree is None:
+        tree = build_virtual_tree(simulator)
+    aggregate = aggregate_via_tree(simulator, tree, values, combine)
+    broadcast_via_tree(simulator, tree, aggregate)
+    return aggregate
+
+
+def basic_dissemination(
+    simulator: HybridSimulator,
+    source: Node,
+    value: Any,
+    tree: Optional[VirtualTree] = None,
+) -> Dict[Node, Any]:
+    """Lemma 4.4 for ``k = 1``: a single value becomes known to every node.
+
+    The source first converge-casts the value to the root (by sending it up its
+    root path), then the root broadcasts it down the tree.
+    """
+    if tree is None:
+        tree = build_virtual_tree(simulator)
+    # Send the value up the path from the source to the root, one hop per round.
+    current = source
+    payload = value
+    while tree.parent[current] is not None:
+        parent = tree.parent[current]
+        simulator.global_send_to_node(current, parent, payload, tag="tree-up")
+        simulator.advance_round()
+        for message in simulator.global_inbox(parent):
+            if message.tag == "tree-up":
+                payload = message.payload
+        current = parent
+    return broadcast_via_tree(simulator, tree, payload)

@@ -1,0 +1,281 @@
+"""Universally optimal multi-message unicast: ``(k, l)-routing`` (Theorem 3).
+
+Problem (Definition 1.3): a set ``S`` of ``k`` source nodes each hold an
+individual message for each of ``l`` target nodes ``T``; every target must end
+up knowing the ``|S|`` messages addressed to it.
+
+Theorem 3 solves the problem w.h.p. in
+
+* ``eO(NQ_k)`` rounds for ``l <= NQ_k`` with arbitrary sources and random targets,
+* ``eO(NQ_l)`` rounds for ``k <= NQ_l`` with random sources and arbitrary targets,
+* ``eO(max(NQ_k, NQ_l))`` rounds for ``k * l <= NQ_k * n`` with random sources
+  and random targets,
+
+using adaptive helper sets (Lemma 5.2) and relaying through pseudo-random
+intermediate nodes chosen by a kappa-wise independent hash (Lemma 5.3), so that
+senders and receivers never need to learn each other's helper sets
+(Algorithm 2).
+
+What is physically simulated: every hop of every message that crosses the
+global network (source-helpers -> intermediates, target-helpers' requests ->
+intermediates, intermediates' replies -> target-helpers), scheduled by
+:func:`~repro.core.transport.throttled_global_exchange` so the per-node budget
+is respected.  What is charged: the helper-set construction (Lemma 5.2), the
+hash-seed broadcast and the broadcast of ``S``'s identifiers (Theorem 1), and
+the local-mode distribution/collection of messages between sources/targets and
+their helpers (bounded by the weak diameter ``eO(NQ_k)``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import math
+from collections import defaultdict
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.clustering import Clustering, distributed_nq_clustering
+from repro.core.hashing import PairwiseHash
+from repro.core.helper_sets import HelperAssignment, compute_adaptive_helper_sets
+from repro.core.neighborhood_quality import neighborhood_quality
+from repro.core.transport import GlobalTransfer, throttled_global_exchange
+from repro.simulator.config import log2_ceil
+from repro.simulator.metrics import RoundMetrics
+from repro.simulator.network import HybridSimulator
+
+Node = Hashable
+
+__all__ = ["RoutingScenario", "RoutingResult", "KLRouting"]
+
+
+class RoutingScenario(enum.Enum):
+    """The four source/target sampling scenarios of Definition 1.3."""
+
+    ARBITRARY_SOURCES_RANDOM_TARGETS = "arbitrary-sources/random-targets"
+    RANDOM_SOURCES_ARBITRARY_TARGETS = "random-sources/arbitrary-targets"
+    RANDOM_SOURCES_RANDOM_TARGETS = "random-sources/random-targets"
+    ARBITRARY_SOURCES_ARBITRARY_TARGETS = "arbitrary-sources/arbitrary-targets"
+
+
+@dataclasses.dataclass
+class RoutingResult:
+    """Outcome of a (k, l)-routing run."""
+
+    delivered: Dict[Node, Dict[Node, Any]]
+    k: int
+    l: int
+    nq: int
+    scenario: RoutingScenario
+    intermediate_load: Dict[Node, int]
+    metrics: RoundMetrics
+
+    def all_delivered(self, messages: Dict[Tuple[Node, Node], Any]) -> bool:
+        """Whether every (source, target) message arrived intact."""
+        for (source, target), payload in messages.items():
+            if self.delivered.get(target, {}).get(source) != payload:
+                return False
+        return True
+
+
+class KLRouting:
+    """Theorem 3: (k, l)-routing in ``eO(NQ_k)`` rounds (scenario-dependent).
+
+    Parameters
+    ----------
+    simulator: the network.
+    messages: mapping ``(source, target) -> payload`` (each payload O(log n) bits).
+    scenario: which of the four Definition 1.3 scenarios the caller set up;
+        determines whether source helpers are the sources themselves
+        (case 1: ``H_s = {s}``) or sampled adaptively (case 3).
+    seed: randomness for helper sampling and the hash family.
+    """
+
+    def __init__(
+        self,
+        simulator: HybridSimulator,
+        messages: Dict[Tuple[Node, Node], Any],
+        *,
+        scenario: RoutingScenario = RoutingScenario.ARBITRARY_SOURCES_RANDOM_TARGETS,
+        seed: Optional[int] = None,
+        nq: Optional[int] = None,
+    ) -> None:
+        if not messages:
+            raise ValueError("messages must be non-empty")
+        self.simulator = simulator
+        self.messages = dict(messages)
+        self.scenario = scenario
+        self.seed = seed
+        self._nq_hint = nq
+        node_set = set(simulator.nodes)
+        for source, target in self.messages:
+            if source not in node_set or target not in node_set:
+                raise KeyError(f"message endpoints ({source!r}, {target!r}) not in the network")
+
+    # ------------------------------------------------------------------
+    def run(self) -> RoutingResult:
+        sim = self.simulator
+        log_n = log2_ceil(max(sim.n, 2))
+
+        sources: List[Node] = sorted({s for s, _ in self.messages}, key=sim.id_of)
+        targets: List[Node] = sorted({t for _, t in self.messages}, key=sim.id_of)
+        k = len(sources)
+        l = len(targets)
+
+        nq = self._nq_hint
+        if nq is None:
+            nq = neighborhood_quality(sim.graph, max(k, 1))
+        nq = max(1, nq)
+        sim.charge_rounds(nq, "distributed computation of NQ_k", "Lemma 3.3")
+
+        clustering = distributed_nq_clustering(sim, max(k, 1), nq=nq)
+
+        # Helper sets for targets (always) and for sources (case 3 only).
+        target_helpers = compute_adaptive_helper_sets(
+            sim, targets, max(k, 1), nq=nq, clustering=clustering, seed=self.seed
+        )
+        if self.scenario is RoutingScenario.RANDOM_SOURCES_RANDOM_TARGETS:
+            source_helpers = compute_adaptive_helper_sets(
+                sim,
+                sources,
+                max(k, 1),
+                nq=nq,
+                clustering=clustering,
+                seed=None if self.seed is None else self.seed + 1,
+            )
+        else:
+            # Case (1)/(2): the sources send their own messages, H_s = {s}.
+            source_helpers = HelperAssignment(
+                helpers={s: [s] for s in sources}, load={v: 0 for v in sim.nodes}
+            )
+
+        # Hash family (Lemma 5.3); the seed (Theta(NQ_k log n) words) is
+        # broadcast with Theorem 1, charged.
+        universe = max(sim.all_ids()) + 1
+        independence = max(2, nq * log_n)
+        pair_hash = PairwiseHash(
+            universe=universe,
+            buckets=sim.n,
+            independence=independence,
+            seed=self.seed,
+        )
+        sim.charge_rounds(
+            nq * log_n,
+            "broadcasting the kappa-wise independent hash seed",
+            "Lemma 5.3 via Theorem 1",
+        )
+        sim.charge_rounds(
+            nq * log_n,
+            "broadcasting the set of source identifiers",
+            "Theorem 3 via Theorem 1",
+        )
+        node_by_position = sim.nodes  # deterministic order for bucket -> node
+
+        # Phase A: sources hand their labelled messages to their helpers over
+        # the local mode (weak diameter eO(NQ_k), charged), balanced.
+        sim.charge_rounds(
+            4 * nq * log_n,
+            "sources distribute messages to their helpers over the local mode",
+            "Theorem 3 / Lemma 5.2 property (2)",
+        )
+        helper_outbox: Dict[Node, List[Tuple[int, int, Any]]] = defaultdict(list)
+        for (source, target), payload in sorted(
+            self.messages.items(), key=lambda item: (sim.id_of(item[0][0]), sim.id_of(item[0][1]))
+        ):
+            helpers = source_helpers.helpers_of(source)
+            index = len(helper_outbox) % max(1, len(helpers))
+            chosen = helpers[hash((sim.id_of(source), sim.id_of(target))) % len(helpers)]
+            helper_outbox[chosen].append((sim.id_of(source), sim.id_of(target), payload))
+
+        # Phase B: helpers push messages to intermediate nodes (global, measured).
+        to_intermediate: List[GlobalTransfer] = []
+        for helper, items in sorted(helper_outbox.items(), key=lambda kv: sim.id_of(kv[0])):
+            for source_id, target_id, payload in items:
+                bucket = pair_hash(source_id, target_id)
+                intermediate = node_by_position[bucket % len(node_by_position)]
+                to_intermediate.append(
+                    GlobalTransfer(
+                        sender=helper,
+                        receiver=intermediate,
+                        payload=(source_id, target_id, payload),
+                        tag="rt-st",
+                    )
+                )
+        throttled_global_exchange(sim, to_intermediate)
+        intermediate_store: Dict[Node, Dict[Tuple[int, int], Any]] = defaultdict(dict)
+        intermediate_load: Dict[Node, int] = defaultdict(int)
+        for transfer in to_intermediate:
+            source_id, target_id, payload = transfer.payload
+            intermediate_store[transfer.receiver][(source_id, target_id)] = payload
+            intermediate_load[transfer.receiver] += 1
+
+        # Phase C: targets hand requests to their helpers (local, charged), the
+        # helpers query the intermediates (global, measured), the intermediates
+        # reply (global, measured).
+        sim.charge_rounds(
+            4 * nq * log_n,
+            "targets distribute requests to their helpers over the local mode",
+            "Theorem 3 / Lemma 5.2 property (2)",
+        )
+        request_transfers: List[GlobalTransfer] = []
+        request_owner: Dict[Tuple[int, int], Node] = {}
+        for target in targets:
+            helpers = target_helpers.helpers_of(target)
+            for position, source in enumerate(sources):
+                if (source, target) not in self.messages:
+                    continue
+                helper = helpers[position % len(helpers)]
+                source_id = sim.id_of(source)
+                target_id = sim.id_of(target)
+                bucket = pair_hash(source_id, target_id)
+                intermediate = node_by_position[bucket % len(node_by_position)]
+                request_transfers.append(
+                    GlobalTransfer(
+                        sender=helper,
+                        receiver=intermediate,
+                        payload=(source_id, target_id, sim.id_of(helper)),
+                        tag="rt-rq",
+                    )
+                )
+                request_owner[(source_id, target_id)] = helper
+        throttled_global_exchange(sim, request_transfers)
+
+        reply_transfers: List[GlobalTransfer] = []
+        for transfer in request_transfers:
+            source_id, target_id, helper_id = transfer.payload
+            intermediate = transfer.receiver
+            payload = intermediate_store[intermediate].get((source_id, target_id))
+            reply_transfers.append(
+                GlobalTransfer(
+                    sender=intermediate,
+                    receiver=sim.node_of_id(helper_id),
+                    payload=(source_id, target_id, payload),
+                    tag="rt-rp",
+                )
+            )
+        throttled_global_exchange(sim, reply_transfers)
+
+        # Phase D: targets collect from their helpers over the local mode (charged).
+        sim.charge_rounds(
+            4 * nq * log_n,
+            "targets collect delivered messages from their helpers",
+            "Theorem 3 / Lemma 5.2 property (2)",
+        )
+        delivered: Dict[Node, Dict[Node, Any]] = {t: {} for t in targets}
+        for transfer in reply_transfers:
+            source_id, target_id, payload = transfer.payload
+            source = sim.node_of_id(source_id)
+            target = sim.node_of_id(target_id)
+            delivered[target][source] = payload
+
+        for node in sim.nodes:
+            intermediate_load.setdefault(node, 0)
+
+        return RoutingResult(
+            delivered=delivered,
+            k=k,
+            l=l,
+            nq=nq,
+            scenario=self.scenario,
+            intermediate_load=dict(intermediate_load),
+            metrics=sim.metrics,
+        )

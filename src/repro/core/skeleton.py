@@ -1,0 +1,134 @@
+"""Skeleton graphs (Definition 6.2, Lemma 6.3).
+
+A skeleton graph ``S = (V_S, E_S, w_S)`` of ``G`` with parameter ``x`` is
+obtained by sampling every node into ``V_S`` independently with probability
+``>= 1/x`` and connecting two skeleton nodes whenever their hop distance in
+``G`` is at most ``h = xi * x * ln n``; the edge weight is the ``h``-hop
+limited distance ``d^h_G``.
+
+Lemma 6.3 (well-known, from [AHK+20]):
+
+1. every shortest path of hop length >= h contains a skeleton node in every
+   ``h``-node subpath (w.h.p.), and
+2. skeleton distances equal the original graph distances between skeleton
+   nodes (w.h.p.).
+
+The construction only uses ``h`` rounds of local-mode communication (each
+sampled node explores its ``h``-hop neighborhood), which is what the
+distributed wrapper charges.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import random
+from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from repro.graphs.properties import h_hop_limited_distances
+from repro.simulator.network import HybridSimulator
+
+Node = Hashable
+
+__all__ = ["SkeletonGraph", "build_skeleton", "distributed_skeleton"]
+
+#: The constant ``xi`` in ``h = xi * x * ln n``.  The paper only needs it to be a
+#: "sufficiently large constant"; 3 keeps the hitting-set property reliable on
+#: the instance sizes used here while keeping h (and thus the charged rounds)
+#: moderate.
+DEFAULT_XI = 3.0
+
+
+@dataclasses.dataclass
+class SkeletonGraph:
+    """A skeleton graph together with its construction parameters."""
+
+    graph: nx.Graph
+    skeleton_nodes: List[Node]
+    sampling_probability: float
+    h: int
+
+    @property
+    def node_count(self) -> int:
+        return len(self.skeleton_nodes)
+
+    def contains(self, node: Node) -> bool:
+        return node in set(self.skeleton_nodes)
+
+
+def build_skeleton(
+    graph: nx.Graph,
+    sampling_probability: float,
+    *,
+    seed: Optional[int] = None,
+    xi: float = DEFAULT_XI,
+    forced_nodes: Optional[Sequence[Node]] = None,
+) -> SkeletonGraph:
+    """Definition 6.2: sample skeleton nodes and connect nearby pairs.
+
+    ``forced_nodes`` are always included in the skeleton (used by the k-SSP
+    algorithm when the sources must be part of the skeleton, Lemma 9.4 /
+    Theorem 14 "random sources" case).
+    """
+    if not 0.0 < sampling_probability <= 1.0:
+        raise ValueError("sampling_probability must lie in (0, 1]")
+    n = graph.number_of_nodes()
+    rng = random.Random(seed)
+    x = 1.0 / sampling_probability
+    h = max(1, int(math.ceil(xi * x * math.log(max(n, 2)))))
+
+    skeleton_nodes: Set[Node] = set(forced_nodes or [])
+    for node in sorted(graph.nodes, key=str):
+        if node in skeleton_nodes:
+            continue
+        if rng.random() < sampling_probability:
+            skeleton_nodes.add(node)
+    if not skeleton_nodes:
+        # Degenerate but possible on tiny graphs: force one node so downstream
+        # algorithms have something to work with.
+        skeleton_nodes.add(sorted(graph.nodes, key=str)[0])
+
+    skeleton = nx.Graph()
+    skeleton.add_nodes_from(skeleton_nodes)
+    ordered = sorted(skeleton_nodes, key=str)
+    for node in ordered:
+        limited = h_hop_limited_distances(graph, node, h)
+        for other, dist in limited.items():
+            if other == node or other not in skeleton_nodes:
+                continue
+            existing = skeleton.get_edge_data(node, other)
+            if existing is None or dist < existing.get("weight", math.inf):
+                skeleton.add_edge(node, other, weight=dist)
+
+    return SkeletonGraph(
+        graph=skeleton,
+        skeleton_nodes=ordered,
+        sampling_probability=sampling_probability,
+        h=h,
+    )
+
+
+def distributed_skeleton(
+    simulator: HybridSimulator,
+    sampling_probability: float,
+    *,
+    seed: Optional[int] = None,
+    xi: float = DEFAULT_XI,
+    forced_nodes: Optional[Sequence[Node]] = None,
+) -> SkeletonGraph:
+    """Skeleton construction with the paper's round accounting (``h`` local rounds)."""
+    skeleton = build_skeleton(
+        simulator.graph,
+        sampling_probability,
+        seed=seed,
+        xi=xi,
+        forced_nodes=forced_nodes,
+    )
+    simulator.charge_rounds(
+        skeleton.h,
+        f"skeleton construction: {skeleton.h}-hop local exploration",
+        "Definition 6.2 / Lemma 6.3",
+    )
+    return skeleton

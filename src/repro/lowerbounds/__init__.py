@@ -1,0 +1,31 @@
+"""Universal lower bounds (Section 7, Appendix C).
+
+The paper's lower bounds are information-theoretic theorems; this subpackage
+reproduces them as *computable bound estimators*: given a concrete graph and
+problem parameters, it constructs the node-communication instance the proofs
+build (Lemma 7.2, Lemma 7.4) and evaluates the resulting round lower bound
+(Lemma 7.1).  The benchmarks check that the measured rounds of the upper-bound
+algorithms are consistent with these lower bounds.
+"""
+
+from repro.lowerbounds.node_communication import (
+    NodeCommunicationInstance,
+    node_communication_lower_bound,
+)
+from repro.lowerbounds.universal import (
+    dissemination_lower_bound,
+    routing_lower_bound,
+    shortest_paths_lower_bound,
+    bcc_simulation_lower_bound,
+    UniversalLowerBound,
+)
+
+__all__ = [
+    "NodeCommunicationInstance",
+    "node_communication_lower_bound",
+    "dissemination_lower_bound",
+    "routing_lower_bound",
+    "shortest_paths_lower_bound",
+    "bcc_simulation_lower_bound",
+    "UniversalLowerBound",
+]

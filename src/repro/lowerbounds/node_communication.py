@@ -1,0 +1,114 @@
+"""The node-communication problem (Appendix C, Lemma 7.1).
+
+An instance consists of two disjoint node sets ``A`` and ``B`` at hop distance
+``h``, and a random variable ``X`` with Shannon entropy ``H(X)`` whose outcome
+the nodes of ``A`` collectively know and the nodes of ``B`` must learn.
+
+Lemma 7.1: any algorithm solving the instance in HYBRID(infinity, gamma) with
+success probability ``p`` needs at least
+
+    ``min( (p * H(X) - 1) / (N * gamma),  h/2 - 1 )``
+
+rounds in expectation, where ``N`` counts the nodes whose global communication
+could carry information across the gap before local communication bridges it.
+In the Lemma 7.2 construction (``B`` is a single node with a small ball) the
+relevant count is ``|B_h(B)|``; we conservatively use the *smaller* of the two
+sides' ``(h-1)``-neighborhoods, which is the bottleneck through which the
+``H(X)`` bits must flow either way.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Hashable, Iterable, Set
+
+import networkx as nx
+
+from repro.graphs.properties import ball, hop_distances_from
+
+Node = Hashable
+
+__all__ = ["NodeCommunicationInstance", "node_communication_lower_bound"]
+
+
+@dataclasses.dataclass(frozen=True)
+class NodeCommunicationInstance:
+    """A concrete node-communication instance on a given graph."""
+
+    set_a: frozenset
+    set_b: frozenset
+    hop_distance: int
+    reachable_count: int  # N = |B_{h-1}(A)|
+    entropy_bits: float
+
+    @staticmethod
+    def build(
+        graph: nx.Graph,
+        set_a: Iterable[Node],
+        set_b: Iterable[Node],
+        entropy_bits: float,
+    ) -> "NodeCommunicationInstance":
+        a = frozenset(set_a)
+        b = frozenset(set_b)
+        if not a or not b:
+            raise ValueError("both node sets must be non-empty")
+        if a & b:
+            raise ValueError("the node sets must be disjoint")
+        if entropy_bits <= 0:
+            raise ValueError("entropy must be positive")
+        # hop(A, B) = min over pairs.
+        h = math.inf
+        for u in a:
+            dist = hop_distances_from(graph, u)
+            for v in b:
+                h = min(h, dist.get(v, math.inf))
+        if math.isinf(h):
+            raise ValueError("the node sets are disconnected")
+        h = int(h)
+        # N = min(|B_{h-1}(A)|, |B_{h-1}(B)|): the tighter of the two global
+        # communication bottlenecks (see module docstring).
+        radius = max(0, h - 1)
+        reachable_a: Set[Node] = set()
+        for u in a:
+            reachable_a |= ball(graph, u, radius)
+        reachable_b: Set[Node] = set()
+        for u in b:
+            reachable_b |= ball(graph, u, radius)
+        reachable = reachable_a if len(reachable_a) <= len(reachable_b) else reachable_b
+        return NodeCommunicationInstance(
+            set_a=a,
+            set_b=b,
+            hop_distance=h,
+            reachable_count=len(reachable),
+            entropy_bits=entropy_bits,
+        )
+
+    def lower_bound_rounds(self, gamma_bits: float, success_probability: float) -> float:
+        return node_communication_lower_bound(
+            entropy_bits=self.entropy_bits,
+            reachable_count=self.reachable_count,
+            hop_distance=self.hop_distance,
+            gamma_bits=gamma_bits,
+            success_probability=success_probability,
+        )
+
+
+def node_communication_lower_bound(
+    *,
+    entropy_bits: float,
+    reachable_count: int,
+    hop_distance: int,
+    gamma_bits: float,
+    success_probability: float,
+) -> float:
+    """Lemma 7.1: ``min((p H(X) - 1) / (N gamma), h/2 - 1)`` (never negative)."""
+    if not 0 < success_probability <= 1:
+        raise ValueError("success_probability must lie in (0, 1]")
+    if gamma_bits <= 0 or reachable_count <= 0:
+        raise ValueError("gamma and N must be positive")
+    information_term = (success_probability * entropy_bits - 1.0) / (
+        reachable_count * gamma_bits
+    )
+    locality_term = hop_distance / 2.0 - 1.0
+    return max(0.0, min(information_term, locality_term))

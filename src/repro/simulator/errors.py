@@ -1,0 +1,51 @@
+"""Exception hierarchy for the HYBRID simulator.
+
+Every violation of the model's communication constraints (Section 1.3) raises a
+dedicated exception so algorithms that accidentally overstep the model are
+caught during testing rather than silently producing results the model could
+not achieve.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "SimulatorError",
+    "NotANeighborError",
+    "UnknownIdentifierError",
+    "CapacityExceededError",
+    "LocalBandwidthExceededError",
+    "RoundLifecycleError",
+    "UnknownNodeError",
+]
+
+
+class SimulatorError(Exception):
+    """Base class for all simulator errors."""
+
+
+class UnknownNodeError(SimulatorError, KeyError):
+    """A node or identifier that does not exist in the network was referenced."""
+
+
+class NotANeighborError(SimulatorError):
+    """A local-mode message was addressed to a node that is not a graph neighbor."""
+
+
+class UnknownIdentifierError(SimulatorError):
+    """In HYBRID_0, a global-mode message was addressed to an identifier the
+    sender does not (yet) know."""
+
+
+class CapacityExceededError(SimulatorError):
+    """A node exceeded its per-round global-communication capacity (gamma bits),
+    either as a sender or as a receiver."""
+
+
+class LocalBandwidthExceededError(SimulatorError):
+    """A local-mode message exceeded the per-edge bandwidth lambda (only possible
+    in CONGEST-like configurations where lambda is finite)."""
+
+
+class RoundLifecycleError(SimulatorError):
+    """The simulator API was used out of order (e.g. reading an inbox for a round
+    that has not been delivered yet)."""

@@ -1,0 +1,71 @@
+"""Identifier-knowledge tracking for HYBRID_0.
+
+In HYBRID_0 (Section 1.3) a node may only address global messages to nodes whose
+identifiers it *knows*; initially it knows its own identifier and those of its
+graph neighbors.  Knowledge grows when a node receives a message whose payload
+contains identifiers (the application must declare them) or simply by having
+exchanged a message with a node (sender identifiers are always learned).
+
+The tracker is deliberately explicit: algorithms call
+``simulator.declare_learned_ids(node, ids)`` when a received payload taught the
+node new identifiers (e.g. the broadcast of all identifiers used as a
+preprocessing step in Theorem 1's corollary).  Sending to an unknown identifier
+raises :class:`~repro.simulator.errors.UnknownIdentifierError`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Set
+
+from repro.simulator.errors import UnknownNodeError
+
+__all__ = ["KnowledgeTracker"]
+
+
+class KnowledgeTracker:
+    """Tracks, per node, the set of identifiers the node currently knows."""
+
+    def __init__(self, all_ids: Iterable[Hashable]) -> None:
+        self._all_ids: Set[Hashable] = set(all_ids)
+        self._known: Dict[Hashable, Set[Hashable]] = {}
+
+    def initialize_node(self, node_id: Hashable, neighbor_ids: Iterable[Hashable]) -> None:
+        """A node starts knowing its own identifier and its neighbors' (Section 1.3)."""
+        self._validate(node_id)
+        known = {node_id}
+        known.update(neighbor_ids)
+        self._known[node_id] = known
+
+    def initialize_all_known(self) -> None:
+        """HYBRID (dense regime): every node knows every identifier from the start."""
+        for node_id in self._all_ids:
+            self._known[node_id] = set(self._all_ids)
+
+    def knows(self, node_id: Hashable, target_id: Hashable) -> bool:
+        self._validate(node_id)
+        return target_id in self._known.get(node_id, set())
+
+    def known_ids(self, node_id: Hashable) -> Set[Hashable]:
+        self._validate(node_id)
+        return set(self._known.get(node_id, set()))
+
+    def learn(self, node_id: Hashable, new_ids: Iterable[Hashable]) -> None:
+        """Record that ``node_id`` learned the identifiers in ``new_ids``.
+
+        Identifiers that do not exist in the network are ignored (a node may be
+        told about identifiers that turn out to be bogus; it simply cannot reach
+        anyone with them).
+        """
+        self._validate(node_id)
+        bucket = self._known.setdefault(node_id, {node_id})
+        for identifier in new_ids:
+            if identifier in self._all_ids:
+                bucket.add(identifier)
+
+    def knowledge_count(self, node_id: Hashable) -> int:
+        self._validate(node_id)
+        return len(self._known.get(node_id, set()))
+
+    def _validate(self, node_id: Hashable) -> None:
+        if node_id not in self._all_ids:
+            raise UnknownNodeError(node_id)

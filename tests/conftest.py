@@ -1,0 +1,70 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.graphs.generators import (
+    GraphSpec,
+    barbell_graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+)
+from repro.graphs.weighted import assign_random_weights, unit_weights
+from repro.simulator.config import ModelConfig
+from repro.simulator.network import HybridSimulator
+
+
+@pytest.fixture
+def small_path():
+    """A 20-node path (the canonical high-NQ_k family)."""
+    return path_graph(20)
+
+
+@pytest.fixture
+def small_cycle():
+    return cycle_graph(20)
+
+
+@pytest.fixture
+def small_grid():
+    """A 5x5 grid."""
+    return grid_graph(5, 2)
+
+
+@pytest.fixture
+def medium_grid():
+    """An 8x8 grid, large enough for clustering to be non-trivial."""
+    return grid_graph(8, 2)
+
+
+@pytest.fixture
+def small_barbell():
+    return barbell_graph(5, 6)
+
+
+@pytest.fixture
+def weighted_grid():
+    graph = grid_graph(5, 2)
+    return assign_random_weights(graph, max_weight=9, seed=3)
+
+
+@pytest.fixture
+def hybrid_sim(small_grid):
+    """HYBRID simulator (dense identifiers) over the 5x5 grid."""
+    return HybridSimulator(small_grid, ModelConfig.hybrid(), seed=0)
+
+
+@pytest.fixture
+def hybrid0_sim(small_grid):
+    """HYBRID_0 simulator (sparse identifiers) over the 5x5 grid."""
+    return HybridSimulator(small_grid, ModelConfig.hybrid0(), seed=0)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(1234)

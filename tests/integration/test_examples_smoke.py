@@ -1,0 +1,69 @@
+"""Smoke tests: the runnable examples must keep working.
+
+These import each example module from ``examples/`` and run its ``main``; the
+examples themselves contain assertions (delivery completeness, stretch bounds),
+so a passing run means the documented user journey still works.  The heavier
+WAN example is exercised through its component functions on a reduced instance
+to keep the suite fast.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def load_example(name: str):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"examples_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_quickstart_example_runs(capsys):
+    module = load_example("quickstart")
+    module.main()
+    output = capsys.readouterr().out
+    assert "k-dissemination" in output
+    assert "APSP" in output
+
+
+def test_nq_landscape_example_runs(capsys):
+    module = load_example("nq_landscape")
+    module.main()
+    output = capsys.readouterr().out
+    assert "NQ_k" in output
+    assert "path(n=144)" in output
+
+
+def test_datacenter_example_components(capsys):
+    module = load_example("datacenter_control_plane")
+    _, graph = module.build_fabric()
+    module.disseminate_config_changes(graph, k=20, concentrated=True, seed=3)
+    module.aggregate_health_metrics(graph, seed=3)
+    output = capsys.readouterr().out
+    assert "config changes" in output
+    assert "health aggregation" in output
+
+
+def test_routing_tables_example_components(capsys):
+    module = load_example("routing_tables")
+    # Reduced WAN so the smoke test stays fast.
+    from repro.graphs import GraphSpec, generate_graph
+    from repro.graphs.weighted import assign_random_weights
+
+    graph = assign_random_weights(
+        generate_graph(GraphSpec.of("geometric", n=40, radius=0.3, seed=5)),
+        max_weight=10,
+        seed=5,
+    )
+    module.gateway_tables(graph, seed=5)
+    module.full_tables_via_spanner(graph, seed=5)
+    output = capsys.readouterr().out
+    assert "gateway tables" in output
+    assert "spanner" in output

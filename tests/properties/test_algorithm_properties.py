@@ -1,0 +1,153 @@
+"""Property-based tests for the end-to-end algorithm guarantees: dissemination
+completeness (Theorem 1), routing delivery (Theorem 3), SSSP / k-SSP / APSP
+stretch (Theorems 5, 6, 13, 14) and hashing balance (Lemma 5.3)."""
+
+import math
+import random
+from collections import Counter
+
+import networkx as nx
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.centralized import exact_hop_apsp, max_stretch_of_table
+from repro.core.dissemination import KDissemination
+from repro.core.hashing import PairwiseHash
+from repro.core.ksp import KSourceShortestPaths
+from repro.core.routing import KLRouting, RoutingScenario
+from repro.core.shortest_paths import UnweightedApproxAPSP
+from repro.core.sssp import approx_sssp_distances, exact_sssp_distances
+from repro.simulator.config import ModelConfig
+from repro.simulator.network import HybridSimulator
+
+
+@st.composite
+def connected_graphs(draw, min_nodes=6, max_nodes=28):
+    n = draw(st.integers(min_value=min_nodes, max_value=max_nodes))
+    parents = [draw(st.integers(min_value=0, max_value=i - 1)) for i in range(1, n)]
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+    for child, parent in enumerate(parents, start=1):
+        graph.add_edge(child, parent)
+    extra_edges = draw(st.integers(min_value=0, max_value=n // 2))
+    for _ in range(extra_edges):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(st.integers(min_value=0, max_value=n - 1))
+        if u != v:
+            graph.add_edge(u, v)
+    return graph
+
+
+@st.composite
+def weighted_connected_graphs(draw, min_nodes=6, max_nodes=24, max_weight=10):
+    graph = draw(connected_graphs(min_nodes=min_nodes, max_nodes=max_nodes))
+    for u, v in graph.edges:
+        graph[u][v]["weight"] = draw(st.integers(min_value=1, max_value=max_weight))
+    return graph
+
+
+# ----------------------------------------------------------------------
+# Theorem 1: dissemination completeness
+# ----------------------------------------------------------------------
+@settings(max_examples=15, deadline=None)
+@given(connected_graphs(), st.integers(min_value=1, max_value=20), st.integers(min_value=0, max_value=10**6))
+def test_dissemination_delivers_every_token(graph, k, seed):
+    rng = random.Random(seed)
+    nodes = sorted(graph.nodes)
+    tokens = {}
+    for index in range(k):
+        tokens.setdefault(rng.choice(nodes), []).append(("tok", index))
+    sim = HybridSimulator(graph, ModelConfig.hybrid0(), seed=seed)
+    result = KDissemination(sim, tokens).run()
+    assert result.all_nodes_know_all_tokens()
+    assert sim.metrics.capacity_violations == 0
+
+
+# ----------------------------------------------------------------------
+# Theorem 3: routing delivery
+# ----------------------------------------------------------------------
+@settings(max_examples=10, deadline=None)
+@given(
+    connected_graphs(min_nodes=10, max_nodes=28),
+    st.integers(min_value=1, max_value=6),
+    st.integers(min_value=1, max_value=3),
+    st.integers(min_value=0, max_value=10**6),
+)
+def test_routing_delivers_every_message(graph, k, l, seed):
+    rng = random.Random(seed)
+    nodes = sorted(graph.nodes)
+    sources = rng.sample(nodes, min(k, len(nodes)))
+    targets = rng.sample(nodes, min(l, len(nodes)))
+    messages = {(s, t): (si, ti) for si, s in enumerate(sources) for ti, t in enumerate(targets)}
+    sim = HybridSimulator(graph, ModelConfig.hybrid(), seed=seed)
+    result = KLRouting(
+        sim, messages, scenario=RoutingScenario.ARBITRARY_SOURCES_RANDOM_TARGETS, seed=seed
+    ).run()
+    assert result.all_delivered(messages)
+
+
+# ----------------------------------------------------------------------
+# Theorem 13: SSSP stretch
+# ----------------------------------------------------------------------
+@settings(max_examples=25, deadline=None)
+@given(weighted_connected_graphs(), st.sampled_from([0.1, 0.25, 0.5, 1.0]))
+def test_sssp_stretch_never_violated(graph, epsilon):
+    source = 0
+    truth = exact_sssp_distances(graph, source)
+    approx = approx_sssp_distances(graph, source, epsilon)
+    for node, true_distance in truth.items():
+        assert approx[node] >= true_distance - 1e-9
+        assert approx[node] <= (1 + epsilon) * true_distance + 1e-9
+
+
+# ----------------------------------------------------------------------
+# Theorem 14: k-SSP stretch (sources in skeleton)
+# ----------------------------------------------------------------------
+@settings(max_examples=8, deadline=None)
+@given(weighted_connected_graphs(min_nodes=8, max_nodes=20), st.integers(min_value=0, max_value=10**6))
+def test_ksp_stretch_never_violated(graph, seed):
+    rng = random.Random(seed)
+    nodes = sorted(graph.nodes)
+    sources = rng.sample(nodes, min(3, len(nodes)))
+    sim = HybridSimulator(graph, ModelConfig.hybrid(), seed=seed)
+    result = KSourceShortestPaths(
+        sim, sources, epsilon=0.25, sources_in_skeleton=True, seed=seed
+    ).run()
+    for source in sources:
+        truth = nx.single_source_dijkstra_path_length(graph, source, weight="weight")
+        for node in nodes:
+            estimate = result.estimate(node, source)
+            assert estimate >= truth[node] - 1e-6
+            assert estimate <= (1 + 0.25) * truth[node] + 1e-6
+
+
+# ----------------------------------------------------------------------
+# Theorem 6: unweighted APSP stretch
+# ----------------------------------------------------------------------
+@settings(max_examples=8, deadline=None)
+@given(connected_graphs(min_nodes=8, max_nodes=22), st.sampled_from([0.25, 0.5, 0.9]))
+def test_unweighted_apsp_stretch_never_violated(graph, epsilon):
+    sim = HybridSimulator(graph, ModelConfig.hybrid0(), seed=0)
+    table = UnweightedApproxAPSP(sim, epsilon=epsilon).run()
+    truth = {
+        v: {w: float(d) for w, d in row.items()} for v, row in exact_hop_apsp(graph).items()
+    }
+    stretch = max_stretch_of_table(truth, table.estimates)
+    assert stretch <= table.stretch_bound + 1e-6
+
+
+# ----------------------------------------------------------------------
+# Lemma 5.3: hash balance
+# ----------------------------------------------------------------------
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(min_value=8, max_value=64),
+    st.integers(min_value=2, max_value=16),
+    st.integers(min_value=0, max_value=10**6),
+)
+def test_pairwise_hash_stays_in_range_and_covers_buckets(universe, independence, seed):
+    buckets = max(2, universe // 2)
+    h = PairwiseHash(universe, buckets, independence, seed=seed)
+    values = [h(i, j) for i in range(universe) for j in range(0, universe, 3)]
+    assert all(0 <= value < buckets for value in values)
+    # With many pairs the hash should hit a reasonable fraction of buckets.
+    assert len(set(values)) >= min(buckets, len(values)) // 4

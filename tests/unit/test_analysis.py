@@ -1,0 +1,166 @@
+"""Unit tests for the analysis layer: theory predictions, exponent fitting,
+table rendering, and the experiment harness functions."""
+
+import math
+
+import pytest
+
+from repro.analysis.comparison import fit_power_law_exponent, geometric_mean, ratio_series
+from repro.analysis.tables import ExperimentRow, render_table, rows_to_markdown
+from repro.analysis.theory import TheoryPredictions
+from repro.analysis.experiments import (
+    default_benchmark_specs,
+    fit_fig1_exponent,
+    run_fig1_ksp_point,
+    run_fig2_broadcast_structure,
+    run_nq_family_point,
+    run_table1_dissemination,
+    run_table1_unicast,
+    run_table3_klsp,
+    run_table4_sssp,
+    scatter_tokens,
+)
+from repro.graphs.generators import GraphSpec, generate_graph
+
+
+class TestTheoryPredictions:
+    def test_upper_bound(self):
+        assert TheoryPredictions.nq_upper_bound(100, 5) == 5
+        assert TheoryPredictions.nq_upper_bound(16, 100) == 4
+
+    def test_lower_bound(self):
+        assert TheoryPredictions.nq_lower_bound(100, 30, 100) == pytest.approx(
+            math.sqrt(30 * 100 / 300)
+        )
+        with pytest.raises(ValueError):
+            TheoryPredictions.nq_lower_bound(10, 5, 0)
+
+    def test_growth_bound(self):
+        assert TheoryPredictions.nq_growth_bound(3, 4) == pytest.approx(36.0)
+        with pytest.raises(ValueError):
+            TheoryPredictions.nq_growth_bound(3, 0.5)
+
+    def test_family_formulas(self):
+        assert TheoryPredictions.nq_path_or_cycle(49, 1000) == pytest.approx(7.0)
+        assert TheoryPredictions.nq_grid(1000, 2, 10**6) == pytest.approx(10.0)
+        assert TheoryPredictions.nq_grid(10**6, 3, 10**6) == pytest.approx(
+            (10**6) ** 0.25
+        )
+        with pytest.raises(ValueError):
+            TheoryPredictions.nq_grid(10, 0, 10)
+
+    def test_fig1_exponents(self):
+        assert TheoryPredictions.fig1_expected_exponent_const_approx(1.0) == 0.5
+        assert TheoryPredictions.fig1_expected_exponent_exact_prior(0.2) == pytest.approx(1 / 3)
+        assert TheoryPredictions.fig1_expected_exponent_exact_prior(1.0) == 0.5
+
+    def test_polylog_ratio_check(self):
+        assert TheoryPredictions.ratio_is_within_polylog(100, 90, 1000)
+        assert not TheoryPredictions.ratio_is_within_polylog(10**9, 1, 10)
+
+
+class TestComparison:
+    def test_fit_recovers_known_exponent(self):
+        xs = [10, 100, 1000, 10000]
+        ys = [3 * x**0.5 for x in xs]
+        exponent, constant = fit_power_law_exponent(xs, ys)
+        assert exponent == pytest.approx(0.5, abs=1e-6)
+        assert constant == pytest.approx(3.0, rel=1e-6)
+
+    def test_fit_requires_two_points(self):
+        with pytest.raises(ValueError):
+            fit_power_law_exponent([1], [1])
+
+    def test_fit_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            fit_power_law_exponent([1, 2], [1])
+
+    def test_ratio_series(self):
+        assert ratio_series([2, 4], [1, 2]) == [2.0, 2.0]
+        assert ratio_series([1], [0]) == [math.inf]
+        with pytest.raises(ValueError):
+            ratio_series([1], [1, 2])
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1, 100]) == pytest.approx(10.0)
+        assert geometric_mean([]) == 0.0
+
+
+class TestTables:
+    def test_render_table_alignment(self):
+        rows = [
+            ExperimentRow({"graph": "path", "rounds": 12}),
+            ExperimentRow({"graph": "grid(8x8)", "rounds": 3.5}),
+        ]
+        text = render_table(rows, title="Table X")
+        assert "Table X" in text
+        assert "graph" in text and "rounds" in text
+        assert "path" in text and "grid(8x8)" in text
+
+    def test_render_empty(self):
+        assert "(no rows)" in render_table([], title="Empty")
+
+    def test_markdown_output(self):
+        rows = [ExperimentRow({"a": 1, "b": "x"})]
+        md = rows_to_markdown(rows, title="T")
+        assert md.splitlines()[0] == "### T"
+        assert "| a | b |" in md
+
+    def test_union_of_columns(self):
+        rows = [ExperimentRow({"a": 1}), ExperimentRow({"b": 2})]
+        text = render_table(rows)
+        assert "a" in text and "b" in text
+
+
+class TestExperimentHarness:
+    def test_default_specs(self):
+        small = default_benchmark_specs("small")
+        assert len(small) >= 4
+        medium = default_benchmark_specs("medium")
+        assert len(medium) >= len(small)
+        with pytest.raises(ValueError):
+            default_benchmark_specs("huge")
+
+    def test_scatter_tokens(self):
+        g = generate_graph(GraphSpec.of("path", n=20))
+        tokens = scatter_tokens(g, 10, seed=0)
+        assert sum(len(v) for v in tokens.values()) == 10
+        concentrated = scatter_tokens(g, 10, concentrated=True)
+        assert len(concentrated) == 1
+
+    def test_table1_row_contains_required_columns(self):
+        row = run_table1_dissemination(GraphSpec.of("path", n=36), 18, seed=0)
+        assert row["k"] == 18
+        assert row["NQ_k"] >= 1
+        assert row["rounds (Thm 1, total)"] > 0
+        assert row["capacity violations"] == 0
+
+    def test_table1_unicast_row(self):
+        row = run_table1_unicast(GraphSpec.of("grid", side=6, dim=2), 5, 2, seed=0)
+        assert row["k"] == 5 and row["l"] == 2
+        assert row["rounds (Thm 3, total)"] > 0
+
+    def test_table3_row_stretch_within_bound(self):
+        row = run_table3_klsp(GraphSpec.of("grid", side=5, dim=2), 4, 2, seed=0)
+        assert row["stretch measured"] <= row["stretch bound"] + 1e-6
+
+    def test_table4_row_stretch_within_bound(self):
+        row = run_table4_sssp(GraphSpec.of("path", n=30), seed=0)
+        assert row["stretch measured"] <= row["stretch bound"] + 1e-6
+
+    def test_fig1_point_and_exponent_fit(self):
+        spec = GraphSpec.of("grid", side=6, dim=2)
+        points = [run_fig1_ksp_point(spec, beta, seed=1) for beta in (0.3, 0.6, 0.9)]
+        assert all(point["rounds (Thm 14, total)"] > 0 for point in points)
+        exponent = fit_fig1_exponent(points)
+        assert -0.5 <= exponent <= 1.5
+
+    def test_fig2_structure_row_obeys_lemma_3_5(self):
+        row = run_fig2_broadcast_structure(GraphSpec.of("grid", side=6, dim=2), 36)
+        assert row["max weak diameter"] <= row["weak diameter bound"]
+        assert row["clusters"] >= 1
+
+    def test_nq_family_point_matches_theory_within_constant(self):
+        row = run_nq_family_point(GraphSpec.of("path", n=80), 40)
+        assert row["NQ_k measured"] <= 2 * row["NQ_k predicted"] + 1
+        assert row["NQ_k measured"] >= 0.25 * row["NQ_k predicted"]

@@ -1,0 +1,61 @@
+"""Unit tests for the BCC-round simulation (Corollary 2.1)."""
+
+import pytest
+
+from repro.core.bcc import BCCSimulator
+from repro.core.neighborhood_quality import neighborhood_quality
+from repro.graphs.generators import grid_graph, path_graph, star_graph
+from repro.simulator.config import ModelConfig
+from repro.simulator.network import HybridSimulator
+
+
+class TestBCCSimulator:
+    def _make(self, graph, seed=0):
+        sim = HybridSimulator(graph, ModelConfig.hybrid0(), seed=seed)
+        return BCCSimulator(sim), sim
+
+    def test_single_round_delivers_every_broadcast(self):
+        graph = grid_graph(5, 2)
+        bcc, sim = self._make(graph)
+        broadcasts = {v: ("value", v) for v in graph.nodes}
+        result = bcc.simulate_round(broadcasts)
+        assert result.all_nodes_received_everything()
+        assert result.rounds_used > 0
+        assert sim.metrics.capacity_violations == 0
+
+    def test_received_view_maps_back_to_origin_nodes(self):
+        graph = path_graph(16)
+        bcc, _ = self._make(graph)
+        broadcasts = {v: v * 10 for v in graph.nodes}
+        result = bcc.simulate_round(broadcasts)
+        for view in result.received.values():
+            assert view == broadcasts
+
+    def test_multiple_rounds_accumulate_cost(self):
+        graph = star_graph(20)
+        bcc, sim = self._make(graph)
+        first = bcc.simulate_round({v: 1 for v in graph.nodes})
+        total_after_first = sim.metrics.total_rounds
+        second = bcc.simulate_round({v: 2 for v in graph.nodes})
+        assert bcc.rounds_simulated == 2
+        assert sim.metrics.total_rounds > total_after_first
+        assert second.all_nodes_received_everything()
+
+    def test_requires_one_value_per_node(self):
+        graph = path_graph(6)
+        bcc, _ = self._make(graph)
+        with pytest.raises(ValueError):
+            bcc.simulate_round({0: "only one"})
+
+    def test_uses_nq_n(self):
+        graph = path_graph(30)
+        bcc, _ = self._make(graph)
+        assert bcc.nq == neighborhood_quality(graph, 30)
+
+    def test_lower_bound_consistent_with_cost(self):
+        graph = path_graph(60)
+        bcc, sim = self._make(graph)
+        result = bcc.simulate_round({v: v for v in graph.nodes})
+        lower = bcc.lower_bound()
+        assert lower.k == 60
+        assert result.rounds_used >= lower.rounds

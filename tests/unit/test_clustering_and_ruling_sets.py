@@ -1,0 +1,173 @@
+"""Unit tests for ruling sets (Definition 3.4) and the NQ_k-clustering (Lemma 3.5)."""
+
+import math
+
+import pytest
+
+from repro.core.clustering import Cluster, distributed_nq_clustering, nq_clustering
+from repro.core.neighborhood_quality import neighborhood_quality
+from repro.core.ruling_sets import (
+    distributed_ruling_set,
+    greedy_ruling_set,
+    verify_ruling_set,
+)
+from repro.graphs.generators import cycle_graph, grid_graph, path_graph, star_graph
+from repro.graphs.properties import hop_distances_from, weak_diameter
+from repro.simulator.config import ModelConfig, log2_ceil
+from repro.simulator.network import HybridSimulator
+
+
+class TestRulingSets:
+    @pytest.mark.parametrize("alpha", [1, 2, 3, 5])
+    def test_greedy_separation(self, alpha):
+        g = grid_graph(6, 2)
+        ruling = greedy_ruling_set(g, alpha)
+        for w in ruling:
+            dist = hop_distances_from(g, w)
+            for other in ruling:
+                if other != w:
+                    assert dist[other] >= alpha
+
+    @pytest.mark.parametrize("alpha", [1, 2, 3, 5])
+    def test_greedy_domination(self, alpha):
+        g = grid_graph(6, 2)
+        ruling = greedy_ruling_set(g, alpha)
+        assert verify_ruling_set(g, ruling, alpha, max(0, alpha - 1))
+
+    def test_alpha_one_is_all_nodes(self):
+        g = path_graph(6)
+        assert greedy_ruling_set(g, 1) == set(g.nodes)
+
+    def test_large_alpha_gives_single_ruler(self):
+        g = path_graph(10)
+        ruling = greedy_ruling_set(g, 100)
+        assert len(ruling) == 1
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            greedy_ruling_set(path_graph(3), 0)
+
+    def test_verify_rejects_bad_separation(self):
+        g = path_graph(10)
+        assert not verify_ruling_set(g, {0, 1}, alpha=3, beta=9)
+
+    def test_verify_rejects_bad_domination(self):
+        g = path_graph(10)
+        assert not verify_ruling_set(g, {0}, alpha=2, beta=3)
+
+    def test_distributed_wrapper_charges_kmw18_rounds(self):
+        g = grid_graph(5, 2)
+        sim = HybridSimulator(g, ModelConfig.hybrid0(), seed=0)
+        mu = 3
+        ruling = distributed_ruling_set(sim, mu)
+        assert verify_ruling_set(g, ruling, mu + 1, mu * log2_ceil(g.number_of_nodes()))
+        assert sim.metrics.charged_rounds == mu * log2_ceil(g.number_of_nodes())
+
+    def test_distributed_wrapper_invalid_mu(self):
+        sim = HybridSimulator(path_graph(4), ModelConfig.hybrid0(), seed=0)
+        with pytest.raises(ValueError):
+            distributed_ruling_set(sim, 0)
+
+
+class TestClusteringLemma35:
+    @pytest.mark.parametrize(
+        "graph_builder,k",
+        [
+            (lambda: path_graph(60), 30),
+            (lambda: cycle_graph(48), 24),
+            (lambda: grid_graph(7, 2), 40),
+            (lambda: grid_graph(8, 2), 64),
+            (lambda: star_graph(30), 10),
+        ],
+    )
+    def test_partition_covers_all_nodes_exactly_once(self, graph_builder, k):
+        g = graph_builder()
+        clustering = nq_clustering(g, k)
+        seen = []
+        for cluster in clustering.clusters:
+            seen.extend(cluster.members)
+        assert sorted(seen, key=str) == sorted(g.nodes, key=str)
+
+    @pytest.mark.parametrize(
+        "graph_builder,k",
+        [
+            (lambda: path_graph(60), 30),
+            (lambda: grid_graph(7, 2), 40),
+            (lambda: cycle_graph(48), 24),
+        ],
+    )
+    def test_cluster_sizes_within_lemma_bounds(self, graph_builder, k):
+        g = graph_builder()
+        clustering = nq_clustering(g, k)
+        nq = clustering.nq
+        n = g.number_of_nodes()
+        lower = min(n, k / nq)
+        upper = 2 * lower
+        for cluster in clustering.clusters:
+            assert len(cluster) >= math.floor(lower)
+            assert len(cluster) <= math.ceil(upper)
+
+    @pytest.mark.parametrize(
+        "graph_builder,k",
+        [
+            (lambda: path_graph(60), 30),
+            (lambda: grid_graph(7, 2), 40),
+        ],
+    )
+    def test_weak_diameter_bound(self, graph_builder, k):
+        g = graph_builder()
+        n = g.number_of_nodes()
+        clustering = nq_clustering(g, k)
+        bound = 4 * clustering.nq * log2_ceil(n)
+        for cluster in clustering.clusters:
+            assert weak_diameter(g, cluster.members) <= bound
+
+    def test_each_cluster_has_member_leader(self):
+        g = grid_graph(6, 2)
+        clustering = nq_clustering(g, 24)
+        for cluster in clustering.clusters:
+            assert cluster.leader in cluster.members
+
+    def test_cluster_of_lookup(self):
+        g = path_graph(40)
+        clustering = nq_clustering(g, 20)
+        for cluster in clustering.clusters:
+            for member in cluster.members:
+                assert clustering.cluster_of[member] == cluster.index
+                assert clustering.cluster_containing(member) is cluster
+
+    def test_leader_ball_contained_in_some_cluster_before_split(self):
+        # Indirect check of Observation 3.2's role: the number of clusters can
+        # not exceed n * NQ_k / k (each has >= k / NQ_k members).
+        g = path_graph(80)
+        k = 40
+        clustering = nq_clustering(g, k)
+        n = g.number_of_nodes()
+        assert len(clustering.clusters) <= math.ceil(n * clustering.nq / k)
+
+    def test_k_larger_than_n_is_capped(self):
+        g = grid_graph(4, 2)
+        clustering = nq_clustering(g, 10_000)
+        assert len(clustering.clusters) >= 1
+        total = sum(len(c) for c in clustering.clusters)
+        assert total == g.number_of_nodes()
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            nq_clustering(path_graph(4), 0)
+
+    def test_nq_hint_respected(self):
+        g = path_graph(40)
+        nq = neighborhood_quality(g, 20)
+        clustering = nq_clustering(g, 20, nq=nq)
+        assert clustering.nq == nq
+
+    def test_distributed_wrapper_charges_rounds(self):
+        g = grid_graph(5, 2)
+        sim = HybridSimulator(g, ModelConfig.hybrid0(), seed=0)
+        clustering = distributed_nq_clustering(sim, 20)
+        assert len(clustering.clusters) >= 1
+        assert sim.metrics.charged_rounds > 0
+        # Charge scales with NQ_k * log n (three components in the construction).
+        log_n = log2_ceil(g.number_of_nodes())
+        assert sim.metrics.charged_rounds <= 10 * clustering.nq * log_n + log_n

@@ -1,0 +1,227 @@
+"""Unit tests for Theorem 1 (k-dissemination) and Theorem 2 (k-aggregation)."""
+
+import math
+import operator
+import random
+
+import pytest
+
+from repro.core.aggregation import KAggregation
+from repro.core.dissemination import (
+    KDissemination,
+    build_cluster_tree,
+    match_cluster_tree_ids,
+    rank_matched_transfers,
+)
+from repro.core.clustering import nq_clustering
+from repro.core.neighborhood_quality import neighborhood_quality
+from repro.graphs.generators import (
+    barbell_graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    star_graph,
+)
+from repro.simulator.config import ModelConfig, log2_ceil
+from repro.simulator.network import HybridSimulator
+
+
+def scatter(graph, k, seed=0, concentrated=False):
+    rng = random.Random(seed)
+    nodes = sorted(graph.nodes, key=str)
+    tokens = {}
+    if concentrated:
+        tokens[nodes[0]] = [("tok", i) for i in range(k)]
+        return tokens
+    for i in range(k):
+        holder = rng.choice(nodes)
+        tokens.setdefault(holder, []).append(("tok", i))
+    return tokens
+
+
+def run_dissemination(graph, k, seed=0, concentrated=False, hybrid0=True):
+    config = ModelConfig.hybrid0() if hybrid0 else ModelConfig.hybrid()
+    sim = HybridSimulator(graph, config, seed=seed)
+    tokens = scatter(graph, k, seed=seed, concentrated=concentrated)
+    return KDissemination(sim, tokens).run(), sim
+
+
+class TestClusterTree:
+    def test_cluster_tree_spans_all_clusters(self):
+        g = grid_graph(6, 2)
+        clustering = nq_clustering(g, 24)
+        tree = build_cluster_tree(clustering)
+        assert sorted(tree.order) == sorted(c.index for c in clustering.clusters)
+
+    def test_cluster_tree_depth_logarithmic(self):
+        g = path_graph(100)
+        clustering = nq_clustering(g, 50)
+        tree = build_cluster_tree(clustering)
+        assert tree.depth <= log2_ceil(len(clustering.clusters)) + 1
+
+    def test_rank_matching_teaches_ids_both_ways(self):
+        g = grid_graph(5, 2)
+        sim = HybridSimulator(g, ModelConfig.hybrid0(), seed=0)
+        clustering = nq_clustering(g, 12, id_of=sim.id_of)
+        tree = build_cluster_tree(clustering)
+        match_cluster_tree_ids(sim, clustering, tree)
+        for child_index, parent_index in tree.parent.items():
+            if parent_index is None:
+                continue
+            child = clustering.clusters[child_index]
+            parent = clustering.clusters[parent_index]
+            child_members = sorted(child.members, key=sim.id_of)
+            parent_members = sorted(parent.members, key=sim.id_of)
+            for rank, member in enumerate(child_members):
+                counterpart = parent_members[rank % len(parent_members)]
+                assert sim.knows_id(member, sim.id_of(counterpart))
+                assert sim.knows_id(counterpart, sim.id_of(member))
+
+    def test_rank_matched_transfers_only_use_matched_pairs(self):
+        g = grid_graph(5, 2)
+        sim = HybridSimulator(g, ModelConfig.hybrid0(), seed=0)
+        clustering = nq_clustering(g, 12, id_of=sim.id_of)
+        assert len(clustering.clusters) >= 2
+        source, target = clustering.clusters[0], clustering.clusters[1]
+        payloads = [("p", i) for i in range(17)]
+        transfers = rank_matched_transfers(sim, source, target, payloads, "t")
+        assert len(transfers) == 17
+        source_members = sorted(source.members, key=sim.id_of)
+        target_members = sorted(target.members, key=sim.id_of)
+        for transfer in transfers:
+            rank = source_members.index(transfer.sender)
+            assert transfer.receiver == target_members[rank % len(target_members)]
+
+
+class TestKDissemination:
+    @pytest.mark.parametrize(
+        "graph_builder,k",
+        [
+            (lambda: path_graph(40), 20),
+            (lambda: cycle_graph(36), 12),
+            (lambda: grid_graph(6, 2), 36),
+            (lambda: star_graph(25), 10),
+            (lambda: barbell_graph(8, 10), 16),
+        ],
+    )
+    def test_every_node_learns_every_token(self, graph_builder, k):
+        result, _ = run_dissemination(graph_builder(), k, seed=1)
+        assert result.k == k
+        assert result.all_nodes_know_all_tokens()
+
+    def test_concentrated_distribution_also_works(self):
+        result, _ = run_dissemination(path_graph(40), 20, seed=2, concentrated=True)
+        assert result.all_nodes_know_all_tokens()
+
+    def test_works_in_dense_id_hybrid_too(self):
+        result, _ = run_dissemination(grid_graph(5, 2), 15, seed=3, hybrid0=False)
+        assert result.all_nodes_know_all_tokens()
+
+    def test_no_capacity_violations(self):
+        result, sim = run_dissemination(grid_graph(6, 2), 30, seed=4)
+        assert sim.metrics.capacity_violations == 0
+
+    def test_zero_tokens_trivial(self):
+        g = path_graph(10)
+        sim = HybridSimulator(g, ModelConfig.hybrid0(), seed=0)
+        result = KDissemination(sim, {}).run()
+        assert result.k == 0
+        assert result.all_nodes_know_all_tokens()
+
+    def test_single_token(self):
+        result, _ = run_dissemination(grid_graph(4, 2), 1, seed=5)
+        assert result.k == 1
+        assert result.all_nodes_know_all_tokens()
+
+    def test_unknown_holder_rejected(self):
+        g = path_graph(5)
+        sim = HybridSimulator(g, ModelConfig.hybrid0(), seed=0)
+        with pytest.raises(KeyError):
+            KDissemination(sim, {99: ["x"]})
+
+    def test_nq_value_matches_centralized(self):
+        g = grid_graph(6, 2)
+        k = 18
+        result, _ = run_dissemination(g, k, seed=6)
+        assert result.nq == neighborhood_quality(g, k)
+
+    def test_round_cost_grows_with_nq_not_k_alone(self):
+        # Same k on a star (NQ small) vs. a path (NQ ~ sqrt k): the path must
+        # cost more rounds.
+        k = 24
+        star_result, star_sim = run_dissemination(star_graph(60), k, seed=7)
+        path_result, path_sim = run_dissemination(path_graph(60), k, seed=7)
+        assert star_result.nq < path_result.nq
+        assert star_sim.metrics.total_rounds < path_sim.metrics.total_rounds
+
+    def test_duplicate_tokens_counted_once(self):
+        g = path_graph(20)
+        sim = HybridSimulator(g, ModelConfig.hybrid0(), seed=0)
+        tokens = {0: [("tok", 0), ("tok", 1)], 5: [("tok", 0)]}
+        result = KDissemination(sim, tokens).run()
+        assert result.k == 2
+        assert result.all_nodes_know_all_tokens()
+
+
+class TestKAggregation:
+    def test_componentwise_minimum(self):
+        g = grid_graph(5, 2)
+        rng = random.Random(0)
+        k = 6
+        values = {v: [rng.randint(0, 1000) for _ in range(k)] for v in g.nodes}
+        sim = HybridSimulator(g, ModelConfig.hybrid0(), seed=0)
+        result = KAggregation(sim, values, min).run()
+        expected = [min(values[v][i] for v in g.nodes) for i in range(k)]
+        assert result.aggregates == expected
+        assert result.all_nodes_know_all_aggregates()
+
+    def test_componentwise_sum(self):
+        g = path_graph(30)
+        k = 4
+        values = {v: [1, 2, 3, v if isinstance(v, int) else 0] for v in g.nodes}
+        sim = HybridSimulator(g, ModelConfig.hybrid0(), seed=0)
+        result = KAggregation(sim, values, operator.add).run()
+        assert result.aggregates[0] == 30
+        assert result.aggregates[1] == 60
+        assert result.aggregates[3] == sum(range(30))
+
+    def test_componentwise_max(self):
+        g = cycle_graph(24)
+        k = 3
+        values = {v: [v, -v, v * v] for v in g.nodes}
+        sim = HybridSimulator(g, ModelConfig.hybrid0(), seed=0)
+        result = KAggregation(sim, values, max).run()
+        assert result.aggregates == [23, 0, 23 * 23]
+
+    def test_all_nodes_receive_results(self):
+        g = grid_graph(4, 2)
+        values = {v: [v % 3, v % 5] for v in g.nodes}
+        sim = HybridSimulator(g, ModelConfig.hybrid0(), seed=0)
+        result = KAggregation(sim, values, min).run()
+        for node, known in result.known_aggregates.items():
+            assert known == result.aggregates
+
+    def test_requires_uniform_k(self):
+        g = path_graph(4)
+        sim = HybridSimulator(g, ModelConfig.hybrid0(), seed=0)
+        with pytest.raises(ValueError):
+            KAggregation(sim, {0: [1], 1: [1, 2], 2: [1], 3: [1]}, min)
+
+    def test_requires_all_nodes(self):
+        g = path_graph(4)
+        sim = HybridSimulator(g, ModelConfig.hybrid0(), seed=0)
+        with pytest.raises(ValueError):
+            KAggregation(sim, {0: [1]}, min)
+
+    def test_rejects_k_zero(self):
+        g = path_graph(4)
+        sim = HybridSimulator(g, ModelConfig.hybrid0(), seed=0)
+        with pytest.raises(ValueError):
+            KAggregation(sim, {v: [] for v in g.nodes}, min)
+
+    def test_no_capacity_violations(self):
+        g = grid_graph(5, 2)
+        values = {v: [v % 7, v % 11, v % 13] for v in g.nodes}
+        sim = HybridSimulator(g, ModelConfig.hybrid0(), seed=0)
+        KAggregation(sim, values, min).run()
+        assert sim.metrics.capacity_violations == 0

@@ -1,0 +1,223 @@
+"""Unit tests for the graph generators."""
+
+import networkx as nx
+import pytest
+
+from repro.graphs.generators import (
+    GRAPH_FAMILIES,
+    GraphSpec,
+    balanced_tree,
+    barbell_graph,
+    broom_graph,
+    caterpillar_graph,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_graph,
+    generate_graph,
+    grid_graph,
+    lollipop_graph,
+    path_graph,
+    random_geometric_graph,
+    random_regular_graph,
+    star_graph,
+    torus_graph,
+    two_cluster_graph,
+)
+from repro.graphs.properties import diameter, is_connected
+
+
+class TestPathAndCycle:
+    def test_path_node_and_edge_counts(self):
+        g = path_graph(10)
+        assert g.number_of_nodes() == 10
+        assert g.number_of_edges() == 9
+
+    def test_path_diameter(self):
+        assert diameter(path_graph(10)) == 9
+
+    def test_single_node_path(self):
+        g = path_graph(1)
+        assert g.number_of_nodes() == 1
+        assert g.number_of_edges() == 0
+
+    def test_path_rejects_zero_nodes(self):
+        with pytest.raises(ValueError):
+            path_graph(0)
+
+    def test_cycle_counts(self):
+        g = cycle_graph(12)
+        assert g.number_of_nodes() == 12
+        assert g.number_of_edges() == 12
+        assert all(g.degree(v) == 2 for v in g.nodes)
+
+    def test_cycle_diameter(self):
+        assert diameter(cycle_graph(12)) == 6
+
+    def test_cycle_rejects_too_small(self):
+        with pytest.raises(ValueError):
+            cycle_graph(2)
+
+
+class TestGridsAndTori:
+    def test_grid_node_count(self):
+        g = grid_graph(4, 2)
+        assert g.number_of_nodes() == 16
+
+    def test_grid_3d_node_count(self):
+        g = grid_graph(3, 3)
+        assert g.number_of_nodes() == 27
+
+    def test_grid_nodes_relabelled_to_integers(self):
+        g = grid_graph(4, 2)
+        assert set(g.nodes) == set(range(16))
+
+    def test_grid_diameter_matches_manhattan(self):
+        # Diameter of a d-dim grid with side m is d * (m - 1).
+        assert diameter(grid_graph(4, 2)) == 6
+        assert diameter(grid_graph(3, 3)) == 6
+
+    def test_grid_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            grid_graph(0, 2)
+        with pytest.raises(ValueError):
+            grid_graph(3, 0)
+
+    def test_torus_is_regular(self):
+        g = torus_graph(4, 2)
+        assert all(g.degree(v) == 4 for v in g.nodes)
+
+    def test_torus_rejects_small_side(self):
+        with pytest.raises(ValueError):
+            torus_graph(2, 2)
+
+
+class TestTreesAndStars:
+    def test_balanced_tree_size(self):
+        g = balanced_tree(2, 3)
+        assert g.number_of_nodes() == 15
+
+    def test_balanced_tree_branching_one_is_path(self):
+        g = balanced_tree(1, 5)
+        assert g.number_of_nodes() == 6
+        assert diameter(g) == 5
+
+    def test_star_structure(self):
+        g = star_graph(10)
+        assert g.number_of_nodes() == 10
+        degrees = sorted(dict(g.degree()).values())
+        assert degrees[-1] == 9
+        assert degrees[0] == 1
+
+    def test_complete_graph(self):
+        g = complete_graph(6)
+        assert g.number_of_edges() == 15
+        assert diameter(g) == 1
+
+
+class TestRandomFamilies:
+    def test_erdos_renyi_connected(self):
+        g = erdos_renyi_graph(50, 0.05, seed=3)
+        assert is_connected(g)
+        assert g.number_of_nodes() == 50
+
+    def test_erdos_renyi_deterministic_given_seed(self):
+        g1 = erdos_renyi_graph(40, 0.1, seed=7)
+        g2 = erdos_renyi_graph(40, 0.1, seed=7)
+        assert set(g1.edges) == set(g2.edges)
+
+    def test_erdos_renyi_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            erdos_renyi_graph(10, 1.5)
+
+    def test_random_regular_degree(self):
+        g = random_regular_graph(30, 4, seed=1)
+        assert all(g.degree(v) == 4 for v in g.nodes)
+        assert is_connected(g)
+
+    def test_random_regular_rejects_odd_product(self):
+        with pytest.raises(ValueError):
+            random_regular_graph(7, 3)
+
+    def test_geometric_connected(self):
+        g = random_geometric_graph(40, 0.35, seed=2)
+        assert is_connected(g)
+        assert g.number_of_nodes() == 40
+
+
+class TestWorstCaseFamilies:
+    def test_barbell_counts(self):
+        g = barbell_graph(5, 6)
+        assert g.number_of_nodes() == 16
+        assert is_connected(g)
+
+    def test_lollipop_counts(self):
+        g = lollipop_graph(5, 6)
+        assert g.number_of_nodes() == 11
+        assert is_connected(g)
+
+    def test_caterpillar(self):
+        g = caterpillar_graph(5, 3)
+        assert g.number_of_nodes() == 5 + 15
+        assert is_connected(g)
+
+    def test_caterpillar_no_legs_is_path(self):
+        g = caterpillar_graph(6, 0)
+        assert diameter(g) == 5
+
+    def test_broom(self):
+        g = broom_graph(10, 5)
+        assert g.number_of_nodes() == 15
+        assert is_connected(g)
+        assert diameter(g) == 10
+
+    def test_two_cluster_bridge(self):
+        g = two_cluster_graph(6, 8)
+        assert is_connected(g)
+        assert g.number_of_nodes() == 20
+        assert diameter(g) >= 9
+
+
+class TestGraphSpec:
+    def test_spec_build_and_label(self):
+        spec = GraphSpec.of("grid", side=4, dim=2)
+        graph = spec.build()
+        assert graph.number_of_nodes() == 16
+        assert spec.label() == "grid(dim=2,side=4)"
+
+    def test_spec_roundtrip_through_generate(self):
+        spec = GraphSpec.of("path", n=7)
+        graph = generate_graph(spec)
+        assert graph.graph["spec"] == spec
+
+    def test_spec_unknown_family(self):
+        with pytest.raises(KeyError):
+            generate_graph(GraphSpec.of("moebius", n=5))
+
+    def test_spec_hashable(self):
+        a = GraphSpec.of("path", n=5)
+        b = GraphSpec.of("path", n=5)
+        assert a == b
+        assert len({a, b}) == 1
+
+    def test_all_registered_families_buildable(self):
+        samples = {
+            "path": {"n": 8},
+            "cycle": {"n": 8},
+            "grid": {"side": 3, "dim": 2},
+            "torus": {"side": 3, "dim": 2},
+            "tree": {"branching": 2, "height": 2},
+            "star": {"n": 6},
+            "complete": {"n": 5},
+            "erdos_renyi": {"n": 12, "p": 0.3, "seed": 0},
+            "random_regular": {"n": 10, "degree": 3, "seed": 0},
+            "barbell": {"clique_size": 3, "path_length": 2},
+            "lollipop": {"clique_size": 3, "path_length": 2},
+            "caterpillar": {"spine_length": 4, "legs_per_node": 1},
+            "broom": {"path_length": 4, "bristle_count": 3},
+            "geometric": {"n": 15, "radius": 0.5, "seed": 0},
+            "two_cluster": {"cluster_size": 4, "bridge_length": 3},
+        }
+        assert set(samples) == set(GRAPH_FAMILIES)
+        for family, params in samples.items():
+            graph = generate_graph(GraphSpec.of(family, **params))
+            assert is_connected(graph), family

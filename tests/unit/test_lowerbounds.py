@@ -1,0 +1,138 @@
+"""Unit tests for the node-communication problem (Lemma 7.1) and the universal
+lower bounds (Theorems 4, 10-12, Corollary 2.1)."""
+
+import math
+
+import pytest
+
+from repro.core.neighborhood_quality import neighborhood_quality
+from repro.graphs.generators import grid_graph, path_graph, star_graph, two_cluster_graph
+from repro.lowerbounds.node_communication import (
+    NodeCommunicationInstance,
+    node_communication_lower_bound,
+)
+from repro.lowerbounds.universal import (
+    bcc_simulation_lower_bound,
+    dissemination_lower_bound,
+    routing_lower_bound,
+    shortest_paths_lower_bound,
+)
+
+
+class TestNodeCommunicationProblem:
+    def test_lower_bound_formula(self):
+        value = node_communication_lower_bound(
+            entropy_bits=1000, reachable_count=10, gamma_bits=10, hop_distance=100,
+            success_probability=1.0,
+        )
+        assert value == pytest.approx(min((1000 - 1) / 100, 49.0))
+
+    def test_locality_term_caps_the_bound(self):
+        value = node_communication_lower_bound(
+            entropy_bits=10**9, reachable_count=1, gamma_bits=1, hop_distance=10,
+            success_probability=1.0,
+        )
+        assert value == pytest.approx(4.0)
+
+    def test_never_negative(self):
+        value = node_communication_lower_bound(
+            entropy_bits=0.5, reachable_count=100, gamma_bits=100, hop_distance=2,
+            success_probability=0.5,
+        )
+        assert value == 0.0
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            node_communication_lower_bound(
+                entropy_bits=1, reachable_count=1, gamma_bits=1, hop_distance=1,
+                success_probability=0.0,
+            )
+
+    def test_instance_construction_on_path(self):
+        g = path_graph(50)
+        instance = NodeCommunicationInstance.build(g, {49}, {0}, entropy_bits=100)
+        assert instance.hop_distance == 49
+        assert instance.reachable_count == 49  # B_48(node 49) misses only node 0
+        assert instance.lower_bound_rounds(10, 1.0) > 0
+
+    def test_instance_rejects_overlapping_sets(self):
+        g = path_graph(10)
+        with pytest.raises(ValueError):
+            NodeCommunicationInstance.build(g, {0, 1}, {1, 2}, entropy_bits=10)
+
+    def test_instance_rejects_empty_sets(self):
+        g = path_graph(10)
+        with pytest.raises(ValueError):
+            NodeCommunicationInstance.build(g, set(), {1}, entropy_bits=10)
+
+
+class TestUniversalLowerBounds:
+    def test_path_bound_is_positive_and_below_nq(self):
+        g = path_graph(400)
+        k = 200
+        bound = dissemination_lower_bound(g, k)
+        nq = neighborhood_quality(g, k)
+        assert bound.nq == nq
+        assert bound.rounds > 0
+        # Lemma 7.1's value is at most h/2 - 1 <= NQ_k; the eOmega(NQ_k)
+        # statement hides polylog factors.
+        assert bound.rounds <= nq
+
+    def test_bottleneck_node_has_small_ball(self):
+        g = path_graph(200)
+        k = 100
+        bound = dissemination_lower_bound(g, k)
+        # Lemma 3.8: the chosen node maximizes NQ_k(v); on a path that is an end
+        # node.
+        assert bound.bottleneck_node in (0, 199)
+
+    def test_trivial_regime_small_nq(self):
+        g = star_graph(30)
+        bound = dissemination_lower_bound(g, 10)
+        assert bound.rounds == 0.0
+
+    def test_bound_scales_with_k_on_paths(self):
+        g = path_graph(400)
+        small = dissemination_lower_bound(g, 64)
+        large = dissemination_lower_bound(g, 256)
+        assert large.rounds >= small.rounds
+
+    def test_routing_and_sp_bounds_share_the_instance(self):
+        g = path_graph(300)
+        k = 120
+        d_bound = dissemination_lower_bound(g, k)
+        r_bound = routing_lower_bound(g, k, 5)
+        sp_bound = shortest_paths_lower_bound(g, k)
+        assert d_bound.rounds == r_bound.rounds == sp_bound.rounds
+        assert r_bound.problem.endswith("-routing")
+        assert "SP" in sp_bound.problem or "SSP" in sp_bound.problem
+
+    def test_unweighted_variant_label(self):
+        g = path_graph(300)
+        bound = shortest_paths_lower_bound(g, 100, weighted=False)
+        assert bound.problem == "unweighted k-SSP"
+
+    def test_bcc_bound_uses_k_equals_n(self):
+        g = path_graph(300)
+        bound = bcc_simulation_lower_bound(g)
+        assert bound.k == 300
+        assert bound.problem == "BCC-round simulation"
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            dissemination_lower_bound(path_graph(10), 0)
+        with pytest.raises(ValueError):
+            routing_lower_bound(path_graph(10), 5, 0)
+
+    def test_consistency_check_helper(self):
+        g = path_graph(300)
+        bound = dissemination_lower_bound(g, 150)
+        assert bound.is_consistent_with_upper_bound(bound.rounds + 5)
+        assert not bound.is_consistent_with_upper_bound(bound.rounds / 2 - 1)
+
+    def test_two_cluster_graph_bottleneck(self):
+        # The two-cluster graph is the canonical node-communication shape: with
+        # a long enough bridge the bound is strictly positive.
+        g = two_cluster_graph(20, 300)
+        bound = dissemination_lower_bound(g, 300)
+        assert bound.rounds > 0

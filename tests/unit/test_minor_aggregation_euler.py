@@ -1,0 +1,180 @@
+"""Unit tests for the Minor-Aggregation model simulation (Lemma 8.2) and the
+Eulerian-orientation oracle (Lemmas 8.5, 8.6)."""
+
+import networkx as nx
+import pytest
+
+from repro.core.euler import (
+    EulerOracle,
+    eulerian_orientation,
+    forests_decomposition,
+    is_eulerian,
+    verify_orientation_balanced,
+)
+from repro.core.minor_aggregation import MinorAggregation
+from repro.graphs.generators import cycle_graph, grid_graph, path_graph, complete_graph
+from repro.simulator.config import ModelConfig
+from repro.simulator.network import HybridSimulator
+
+
+class TestMinorAggregation:
+    def _engine(self, graph):
+        sim = HybridSimulator(graph, ModelConfig.hybrid0(), seed=0)
+        return MinorAggregation(sim), sim
+
+    def test_no_contraction_gives_singleton_supernodes(self):
+        engine, _ = self._engine(grid_graph(3, 2))
+        result = engine.run_round(
+            contract=lambda u, v: False,
+            node_values={v: 1 for v in engine.graph.nodes},
+            consensus_op=lambda a, b: a + b,
+            edge_proposal=lambda e, ya, yb: (yb, ya),
+            aggregate_op=lambda a, b: a + b,
+        )
+        assert len(result.supernodes) == engine.graph.number_of_nodes()
+        assert all(value == 1 for value in result.consensus.values())
+
+    def test_full_contraction_gives_one_supernode(self):
+        engine, _ = self._engine(grid_graph(3, 2))
+        result = engine.run_round(
+            contract=lambda u, v: True,
+            node_values={v: 1 for v in engine.graph.nodes},
+            consensus_op=lambda a, b: a + b,
+            edge_proposal=lambda e, ya, yb: (None, None),
+            aggregate_op=lambda a, b: a + b,
+        )
+        assert len(result.supernodes) == 1
+        root_value = result.consensus[0]
+        assert root_value == engine.graph.number_of_nodes()
+        # No inter-supernode edges, so no aggregates.
+        assert result.aggregates == {}
+
+    def test_partial_contraction_consensus_per_component(self):
+        # Contract the path 0-1-2-3-4-5 into {0,1,2} and {3,4,5}.
+        engine, _ = self._engine(path_graph(6))
+        result = engine.run_round(
+            contract=lambda u, v: max(u, v) <= 2 or min(u, v) >= 3,
+            node_values={v: v for v in range(6)},
+            consensus_op=lambda a, b: a + b,
+            edge_proposal=lambda e, ya, yb: (yb, ya),
+            aggregate_op=lambda a, b: a + b,
+        )
+        assert len(result.supernodes) == 2
+        assert sorted(result.consensus.values()) == [0 + 1 + 2, 3 + 4 + 5]
+        # Each supernode learns the other's consensus through the single
+        # connecting edge {2, 3}.
+        values = {result.consensus_at(0), result.aggregate_at(0)}
+        assert values == {3, 12}
+
+    def test_aggregation_counts_incident_edges(self):
+        # Star: contract nothing, each edge proposes 1 to both endpoints; the
+        # hub must aggregate degree-many proposals.
+        engine, _ = self._engine(complete_graph(5))
+        result = engine.run_round(
+            contract=lambda u, v: False,
+            node_values={v: 0 for v in engine.graph.nodes},
+            consensus_op=lambda a, b: a + b,
+            edge_proposal=lambda e, ya, yb: (1, 1),
+            aggregate_op=lambda a, b: a + b,
+        )
+        for node in engine.graph.nodes:
+            assert result.aggregate_at(node) == 4
+
+    def test_rounds_charge_accumulates(self):
+        engine, sim = self._engine(grid_graph(3, 2))
+        for _ in range(3):
+            engine.run_round(
+                contract=lambda u, v: False,
+                node_values={v: 1 for v in engine.graph.nodes},
+                consensus_op=lambda a, b: a + b,
+                edge_proposal=lambda e, ya, yb: (None, None),
+                aggregate_op=lambda a, b: a + b,
+            )
+        assert engine.rounds_executed == 3
+        assert sim.metrics.charged_rounds > 0
+
+
+class TestEulerianOrientation:
+    def test_is_eulerian(self):
+        assert is_eulerian(cycle_graph(6))
+        assert not is_eulerian(path_graph(4))
+
+    def test_cycle_orientation_balanced(self):
+        g = cycle_graph(8)
+        orientation = eulerian_orientation(g)
+        assert verify_orientation_balanced(g, orientation)
+
+    def test_torus_like_even_graph(self):
+        # The complete graph K5 is 4-regular, hence Eulerian.
+        g = complete_graph(5)
+        orientation = eulerian_orientation(g)
+        assert verify_orientation_balanced(g, orientation)
+
+    def test_two_disjoint_cycles(self):
+        g = nx.Graph()
+        nx.add_cycle(g, [0, 1, 2, 3])
+        nx.add_cycle(g, [10, 11, 12])
+        orientation = eulerian_orientation(g)
+        assert verify_orientation_balanced(g, orientation)
+
+    def test_multigraph_supported(self):
+        g = nx.MultiGraph()
+        g.add_edge(0, 1)
+        g.add_edge(0, 1)
+        orientation = eulerian_orientation(g)
+        assert len(orientation) == 2
+        out_deg = sum(1 for u, v in orientation if u == 0)
+        assert out_deg == 1
+
+    def test_odd_degree_rejected(self):
+        with pytest.raises(ValueError):
+            eulerian_orientation(path_graph(3))
+
+    def test_verify_rejects_incomplete_orientation(self):
+        g = cycle_graph(4)
+        orientation = eulerian_orientation(g)[:-1]
+        assert not verify_orientation_balanced(g, orientation)
+
+    def test_verify_rejects_unbalanced_orientation(self):
+        g = cycle_graph(4)
+        # Orient all edges toward node 0's neighbor order: definitely unbalanced.
+        bad = [(0, 1), (2, 1), (2, 3), (0, 3)]
+        assert not verify_orientation_balanced(g, bad)
+
+
+class TestForestsDecomposition:
+    def test_union_covers_all_edges(self):
+        g = grid_graph(4, 2)
+        forests = forests_decomposition(g, 2)
+        covered = {frozenset(edge) for forest in forests for edge in forest}
+        assert covered == {frozenset(edge) for edge in g.edges}
+
+    def test_each_part_is_a_forest(self):
+        g = grid_graph(4, 2)
+        forests = forests_decomposition(g, 2)
+        for forest_edges in forests:
+            forest = nx.Graph()
+            forest.add_nodes_from(g.nodes)
+            forest.add_edges_from(forest_edges)
+            assert nx.is_forest(forest)
+
+    def test_forest_count_bounded_for_planar_graph(self):
+        # Grids have arboricity <= 2, so O(arboricity) forests suffice.
+        g = grid_graph(5, 2)
+        forests = forests_decomposition(g, 2)
+        assert len(forests) <= 4
+
+    def test_invalid_bound(self):
+        with pytest.raises(ValueError):
+            forests_decomposition(path_graph(4), 0)
+
+
+class TestEulerOracle:
+    def test_oracle_orients_and_charges(self):
+        sim = HybridSimulator(grid_graph(4, 2), ModelConfig.hybrid0(), seed=0)
+        oracle = EulerOracle(sim)
+        subgraph = cycle_graph(6)
+        orientation = oracle.orient(subgraph)
+        assert verify_orientation_balanced(subgraph, orientation)
+        assert oracle.calls == 1
+        assert sim.metrics.charged_rounds > 0

@@ -1,0 +1,38 @@
+"""Unit tests for the benchmark report assembler."""
+
+import pathlib
+
+from repro.analysis.report import RESULT_SECTIONS, build_report, write_report
+
+
+def test_build_report_with_partial_results(tmp_path):
+    (tmp_path / "table1_dissemination.md").write_text("### Table 1\n\n| a |\n|---|\n| 1 |\n")
+    report = build_report(tmp_path)
+    assert "# Measured benchmark results" in report
+    assert "| a |" in report
+    assert "_not yet generated" in report  # the other sections are marked missing
+    # Every configured section appears as a heading.
+    for _, heading in RESULT_SECTIONS:
+        assert heading in report
+
+
+def test_write_report_creates_file(tmp_path):
+    (tmp_path / "table4_sssp.md").write_text("### Table 4\n\n| n |\n|---|\n| 25 |\n")
+    path = write_report(results_dir=tmp_path)
+    assert path.exists()
+    assert path.parent == tmp_path
+    assert "| 25 |" in path.read_text()
+
+
+def test_write_report_custom_target(tmp_path):
+    target = tmp_path / "out" / "report.md"
+    path = write_report(output_path=target, results_dir=tmp_path)
+    assert path == target
+    assert target.exists()
+
+
+def test_build_report_against_repository_results_dir():
+    # Whatever state the real results directory is in, assembling the report
+    # must not fail (sections may simply be marked as missing).
+    report = build_report()
+    assert report.startswith("# Measured benchmark results")

@@ -1,0 +1,213 @@
+"""Unit tests for the universally optimal shortest paths (Theorems 5-8) and cut
+approximation (Theorem 9)."""
+
+import math
+import random
+
+import networkx as nx
+import pytest
+
+from repro.baselines.centralized import exact_apsp, exact_hop_apsp, max_stretch_of_table
+from repro.core.cuts import (
+    CutSparsifierAPSP,
+    build_cut_sparsifier,
+    cut_weight,
+    nagamochi_ibaraki_forest_index,
+)
+from repro.core.shortest_paths import (
+    KLShortestPaths,
+    SkeletonAPSP,
+    SpannerAPSP,
+    UnweightedApproxAPSP,
+)
+from repro.graphs.generators import (
+    cycle_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graphs.weighted import assign_random_weights, unit_weights
+from repro.simulator.config import ModelConfig
+from repro.simulator.network import HybridSimulator
+
+
+def hop_truth_as_float(graph):
+    return {v: {w: float(d) for w, d in row.items()} for v, row in exact_hop_apsp(graph).items()}
+
+
+class TestKLShortestPaths:
+    def _run(self, graph, sources, targets, epsilon=0.25, seed=0):
+        sim = HybridSimulator(graph, ModelConfig.hybrid(), seed=seed)
+        return KLShortestPaths(sim, sources, targets, epsilon=epsilon, seed=seed).run(), sim
+
+    def test_small_target_set_uses_sequential_sssp(self):
+        g = assign_random_weights(grid_graph(5, 2), max_weight=6, seed=0)
+        sources, targets = [0, 6, 12, 18, 24], [3, 21]
+        table, sim = self._run(g, sources, targets, seed=0)
+        truth = {t: nx.single_source_dijkstra_path_length(g, t, weight="weight") for t in targets}
+        pairs = [(t, s) for t in targets for s in sources]
+        stretch = max_stretch_of_table(truth, table.estimates, pairs=pairs)
+        assert stretch <= 1.25 + 1e-6
+
+    def test_larger_target_set_uses_ksp(self):
+        g = assign_random_weights(grid_graph(6, 2), max_weight=6, seed=1)
+        rng = random.Random(1)
+        nodes = sorted(g.nodes)
+        sources = rng.sample(nodes, 6)
+        targets = rng.sample(nodes, 8)
+        table, sim = self._run(g, sources, targets, seed=1)
+        truth = {t: nx.single_source_dijkstra_path_length(g, t, weight="weight") for t in targets}
+        pairs = [(t, s) for t in targets for s in sources]
+        stretch = max_stretch_of_table(truth, table.estimates, pairs=pairs)
+        assert stretch <= 1.25 + 1e-6
+
+    def test_every_target_learns_every_source(self):
+        g = grid_graph(4, 2)
+        sources, targets = [0, 15], [5, 10]
+        table, _ = self._run(g, sources, targets, seed=2)
+        for target in targets:
+            assert set(table.estimates[target]) == set(sources)
+
+    def test_invalid_inputs(self):
+        sim = HybridSimulator(path_graph(6), ModelConfig.hybrid(), seed=0)
+        with pytest.raises(ValueError):
+            KLShortestPaths(sim, [], [0])
+        with pytest.raises(ValueError):
+            KLShortestPaths(sim, [0], [1], epsilon=0.0)
+
+
+class TestUnweightedApproxAPSP:
+    @pytest.mark.parametrize(
+        "graph_builder",
+        [
+            lambda: path_graph(40),
+            lambda: cycle_graph(36),
+            lambda: grid_graph(6, 2),
+            lambda: star_graph(25),
+        ],
+    )
+    def test_stretch_bound_holds(self, graph_builder):
+        g = unit_weights(graph_builder())
+        sim = HybridSimulator(g, ModelConfig.hybrid0(), seed=0)
+        table = UnweightedApproxAPSP(sim, epsilon=0.5).run()
+        stretch = max_stretch_of_table(hop_truth_as_float(g), table.estimates)
+        assert stretch <= table.stretch_bound + 1e-6
+
+    def test_estimates_cover_all_pairs(self):
+        g = grid_graph(4, 2)
+        sim = HybridSimulator(g, ModelConfig.hybrid0(), seed=0)
+        table = UnweightedApproxAPSP(sim, epsilon=0.5).run()
+        assert set(table.estimates) == set(g.nodes)
+        for row in table.estimates.values():
+            assert set(row) == set(g.nodes)
+
+    def test_rejects_bad_epsilon(self):
+        sim = HybridSimulator(path_graph(5), ModelConfig.hybrid0(), seed=0)
+        with pytest.raises(ValueError):
+            UnweightedApproxAPSP(sim, epsilon=1.5)
+
+    def test_round_cost_scales_with_nq_not_sqrt_n(self):
+        # On a star graph NQ_n is tiny, so the algorithm must be far below the
+        # sqrt(n)-round existential baseline ... measured in its NQ_n-dependent
+        # charges rather than any sqrt(n) term.
+        g = star_graph(100)
+        sim = HybridSimulator(g, ModelConfig.hybrid0(), seed=0)
+        table = UnweightedApproxAPSP(sim, epsilon=0.5).run()
+        assert table.nq <= 2
+
+
+class TestSpannerAPSP:
+    def test_stretch_bound_holds_weighted(self):
+        g = assign_random_weights(erdos_renyi_graph(30, 0.25, seed=3), max_weight=9, seed=3)
+        sim = HybridSimulator(g, ModelConfig.hybrid0(), seed=3)
+        table = SpannerAPSP(sim, epsilon=0.5).run()
+        stretch = max_stretch_of_table(exact_apsp(g), table.estimates)
+        assert stretch <= table.stretch_bound + 1e-6
+
+    def test_stretch_bound_scales_with_epsilon(self):
+        g = assign_random_weights(grid_graph(5, 2), max_weight=5, seed=4)
+        sim_fine = HybridSimulator(g, ModelConfig.hybrid0(), seed=4)
+        sim_coarse = HybridSimulator(g, ModelConfig.hybrid0(), seed=4)
+        fine = SpannerAPSP(sim_fine, epsilon=0.2).run()
+        coarse = SpannerAPSP(sim_coarse, epsilon=1.0).run()
+        assert fine.stretch_bound <= coarse.stretch_bound
+
+    def test_rejects_bad_epsilon(self):
+        sim = HybridSimulator(path_graph(5), ModelConfig.hybrid0(), seed=0)
+        with pytest.raises(ValueError):
+            SpannerAPSP(sim, epsilon=0.0)
+
+
+class TestSkeletonAPSP:
+    @pytest.mark.parametrize("alpha", [1, 2])
+    def test_stretch_bound_holds(self, alpha):
+        g = assign_random_weights(grid_graph(6, 2), max_weight=7, seed=5)
+        sim = HybridSimulator(g, ModelConfig.hybrid0(), seed=5)
+        table = SkeletonAPSP(sim, alpha=alpha, seed=5).run()
+        stretch = max_stretch_of_table(exact_apsp(g), table.estimates)
+        assert stretch <= 4 * alpha - 1 + 1e-6
+
+    def test_unweighted_cycle(self):
+        g = unit_weights(cycle_graph(30))
+        sim = HybridSimulator(g, ModelConfig.hybrid0(), seed=6)
+        table = SkeletonAPSP(sim, alpha=1, seed=6).run()
+        stretch = max_stretch_of_table(hop_truth_as_float(g), table.estimates)
+        assert stretch <= 3 + 1e-6
+
+    def test_rejects_bad_alpha(self):
+        sim = HybridSimulator(path_graph(5), ModelConfig.hybrid0(), seed=0)
+        with pytest.raises(ValueError):
+            SkeletonAPSP(sim, alpha=0)
+
+
+class TestCutSparsifier:
+    def test_forest_index_covers_all_edges(self):
+        g = grid_graph(4, 2)
+        index = nagamochi_ibaraki_forest_index(g)
+        assert len(index) == g.number_of_edges()
+        assert all(value >= 1 for value in index.values())
+
+    def test_forest_index_of_clique_is_high_for_some_edges(self):
+        g = erdos_renyi_graph(12, 1.0, seed=0)  # complete graph
+        index = nagamochi_ibaraki_forest_index(g)
+        assert max(index.values()) >= 3
+
+    def test_cut_weight_helper(self):
+        g = unit_weights(path_graph(4))
+        assert cut_weight(g, {0, 1}) == 1
+        assert cut_weight(g, {0, 2}) == 3
+
+    def test_sparsifier_preserves_cuts_approximately(self):
+        g = unit_weights(erdos_renyi_graph(40, 0.3, seed=7))
+        eps = 0.5
+        sparsifier = build_cut_sparsifier(g, eps, seed=7)
+        rng = random.Random(7)
+        nodes = sorted(g.nodes)
+        for _ in range(20):
+            side = {v for v in nodes if rng.random() < 0.5}
+            if not side or len(side) == len(nodes):
+                continue
+            true_cut = cut_weight(g, side)
+            approx_cut = cut_weight(sparsifier, side)
+            assert approx_cut >= (1 - eps) * true_cut * 0.8
+            assert approx_cut <= (1 + eps) * true_cut * 1.2
+
+    def test_sparsifier_is_sparser_on_dense_graphs(self):
+        g = unit_weights(erdos_renyi_graph(60, 0.6, seed=8))
+        sparsifier = build_cut_sparsifier(g, 0.5, seed=8, oversampling=1.0)
+        assert sparsifier.number_of_edges() < g.number_of_edges()
+
+    def test_rejects_bad_epsilon(self):
+        with pytest.raises(ValueError):
+            build_cut_sparsifier(path_graph(4), 1.5)
+
+    def test_theorem9_pipeline_min_cut(self):
+        g = unit_weights(erdos_renyi_graph(30, 0.3, seed=9))
+        sim = HybridSimulator(g, ModelConfig.hybrid0(), seed=9)
+        result = CutSparsifierAPSP(sim, epsilon=0.5, seed=9).run()
+        true_min_cut = nx.stoer_wagner(g, weight="weight")[0]
+        approx_min_cut = result.approximate_min_cut()
+        assert approx_min_cut >= (1 - 0.5) * true_min_cut * 0.8
+        assert approx_min_cut <= (1 + 0.5) * true_min_cut * 1.5
+        assert sim.metrics.charged_rounds > 0

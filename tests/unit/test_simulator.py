@@ -1,0 +1,355 @@
+"""Unit tests for the HYBRID(lambda, gamma) simulator: configuration, message
+accounting, knowledge tracking, capacity enforcement and the round lifecycle."""
+
+import pytest
+
+from repro.graphs.generators import path_graph, grid_graph, complete_graph
+from repro.graphs.weighted import assign_uniform_weights
+from repro.simulator.config import IdentifierRegime, ModelConfig, log2_ceil, word_bits
+from repro.simulator.errors import (
+    CapacityExceededError,
+    LocalBandwidthExceededError,
+    NotANeighborError,
+    RoundLifecycleError,
+    UnknownIdentifierError,
+    UnknownNodeError,
+)
+from repro.simulator.knowledge import KnowledgeTracker
+from repro.simulator.messages import Message, payload_words
+from repro.simulator.metrics import ChargeRecord, RoundMetrics
+from repro.simulator.network import HybridSimulator
+
+
+class TestModelConfig:
+    def test_log2_ceil(self):
+        assert log2_ceil(1) == 1
+        assert log2_ceil(2) == 1
+        assert log2_ceil(3) == 2
+        assert log2_ceil(1024) == 10
+
+    def test_hybrid_defaults(self):
+        config = ModelConfig.hybrid()
+        assert config.local_mode_enabled()
+        assert config.global_mode_enabled()
+        assert not config.is_hybrid0()
+
+    def test_hybrid0_is_sparse(self):
+        assert ModelConfig.hybrid0().identifier_regime is IdentifierRegime.SPARSE
+
+    def test_local_model_has_no_global_mode(self):
+        config = ModelConfig.local()
+        assert config.local_mode_enabled()
+        assert not config.global_mode_enabled()
+
+    def test_congest_has_finite_local_bandwidth(self):
+        config = ModelConfig.congest()
+        assert config.local_bits_per_edge is not None
+        assert not config.global_mode_enabled()
+
+    def test_ncc_has_no_local_mode(self):
+        config = ModelConfig.ncc()
+        assert not config.local_mode_enabled()
+        assert config.global_mode_enabled()
+
+    def test_congested_clique_budget_scales_with_n(self):
+        config = ModelConfig.congested_clique(50)
+        assert config.resolve_global_message_budget(50) == 49
+
+    def test_default_budget_scales_logarithmically(self):
+        config = ModelConfig.hybrid()
+        assert config.resolve_global_message_budget(1024) == 10
+        assert config.resolve_global_word_budget(1024) == 10 * config.words_per_message
+
+    def test_parameterized_constructor(self):
+        config = ModelConfig.hybrid_parameterized(64, 5, sparse_ids=True)
+        assert config.local_bits_per_edge == 64
+        assert config.resolve_global_message_budget(100) == 5
+        assert config.is_hybrid0()
+
+
+class TestPayloadWords:
+    def test_primitives_cost_one_word(self):
+        assert payload_words(7) == 1
+        assert payload_words(3.14) == 1
+        assert payload_words(None) == 1
+        assert payload_words(True) == 1
+
+    def test_big_int_costs_more(self):
+        assert payload_words(1 << 200) >= 4
+
+    def test_string_cost_scales_with_length(self):
+        assert payload_words("abc") == 1
+        assert payload_words("a" * 64) == 8
+
+    def test_container_costs_sum_plus_framing(self):
+        assert payload_words((1, 2, 3)) == 4
+        assert payload_words({"a": 1}) == 3
+
+    def test_message_words_include_tag(self):
+        message = Message(0, 1, (1, 2), "global", tag="x")
+        assert message.words == payload_words((1, 2)) + 1
+
+
+class TestKnowledgeTracker:
+    def test_initial_knowledge_is_self_and_neighbors(self):
+        tracker = KnowledgeTracker([10, 20, 30])
+        tracker.initialize_node(10, [20])
+        assert tracker.knows(10, 10)
+        assert tracker.knows(10, 20)
+        assert not tracker.knows(10, 30)
+
+    def test_learning_new_ids(self):
+        tracker = KnowledgeTracker([10, 20, 30])
+        tracker.initialize_node(10, [])
+        tracker.learn(10, [30])
+        assert tracker.knows(10, 30)
+
+    def test_learning_nonexistent_id_is_ignored(self):
+        tracker = KnowledgeTracker([10, 20])
+        tracker.initialize_node(10, [])
+        tracker.learn(10, [999])
+        assert not tracker.knows(10, 999)
+
+    def test_all_known_initialization(self):
+        tracker = KnowledgeTracker([1, 2, 3])
+        tracker.initialize_all_known()
+        assert tracker.knows(1, 3)
+        assert tracker.knowledge_count(2) == 3
+
+    def test_unknown_node_raises(self):
+        tracker = KnowledgeTracker([1])
+        with pytest.raises(UnknownNodeError):
+            tracker.knows(99, 1)
+
+
+class TestRoundMetrics:
+    def test_charge_accumulates(self):
+        metrics = RoundMetrics()
+        metrics.charge(5, "setup")
+        metrics.charge(3, "more setup", "Lemma X")
+        assert metrics.charged_rounds == 8
+        assert metrics.total_rounds == 8
+        assert metrics.charges[1] == ChargeRecord(3, "more setup", "Lemma X")
+
+    def test_zero_charge_is_noop(self):
+        metrics = RoundMetrics()
+        metrics.charge(0, "nothing")
+        assert metrics.charges == []
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError):
+            RoundMetrics().charge(-1, "bad")
+
+    def test_merge(self):
+        a = RoundMetrics(measured_rounds=2, global_messages=3)
+        b = RoundMetrics(measured_rounds=1, local_messages=4)
+        b.charge(7, "x")
+        merged = a.merge(b)
+        assert merged.measured_rounds == 3
+        assert merged.global_messages == 3
+        assert merged.local_messages == 4
+        assert merged.charged_rounds == 7
+
+    def test_summary_keys(self):
+        summary = RoundMetrics().summary()
+        assert "total_rounds" in summary
+        assert "capacity_violations" in summary
+
+
+class TestSimulatorBasics:
+    def test_rejects_empty_graph(self):
+        import networkx as nx
+
+        with pytest.raises(ValueError):
+            HybridSimulator(nx.Graph())
+
+    def test_dense_ids_are_node_labels(self):
+        sim = HybridSimulator(path_graph(5), ModelConfig.hybrid())
+        assert sim.id_of(3) == 3
+        assert sim.node_of_id(3) == 3
+
+    def test_sparse_ids_are_distinct_and_resolvable(self):
+        sim = HybridSimulator(path_graph(6), ModelConfig.hybrid0(), seed=1)
+        ids = [sim.id_of(v) for v in sim.nodes]
+        assert len(set(ids)) == 6
+        for v in sim.nodes:
+            assert sim.node_of_id(sim.id_of(v)) == v
+
+    def test_neighbors(self):
+        sim = HybridSimulator(path_graph(5))
+        assert sim.neighbors(0) == [1]
+        assert sim.neighbors(2) == [1, 3]
+
+    def test_unknown_node_raises(self):
+        sim = HybridSimulator(path_graph(3))
+        with pytest.raises(UnknownNodeError):
+            sim.neighbors(17)
+
+    def test_edge_weight_accessor(self):
+        graph = assign_uniform_weights(path_graph(3), 4)
+        sim = HybridSimulator(graph)
+        assert sim.edge_weight(0, 1) == 4
+
+    def test_inbox_before_first_round_raises(self):
+        sim = HybridSimulator(path_graph(3))
+        with pytest.raises(RoundLifecycleError):
+            sim.local_inbox(0)
+
+
+class TestLocalMode:
+    def test_local_send_delivers_next_round(self):
+        sim = HybridSimulator(path_graph(3))
+        sim.local_send(0, 1, "hello")
+        sim.advance_round()
+        inbox = sim.local_inbox(1)
+        assert len(inbox) == 1
+        assert inbox[0].payload == "hello"
+        assert sim.local_inbox(0) == []
+
+    def test_local_send_requires_edge(self):
+        sim = HybridSimulator(path_graph(3))
+        with pytest.raises(NotANeighborError):
+            sim.local_send(0, 2, "nope")
+
+    def test_local_broadcast_reaches_all_neighbors(self):
+        sim = HybridSimulator(grid_graph(3, 2))
+        sim.local_broadcast(4, "x")  # the grid centre has 4 neighbors
+        sim.advance_round()
+        receivers = [v for v in sim.nodes if sim.local_inbox(v)]
+        assert len(receivers) == 4
+
+    def test_local_mode_disabled_in_ncc(self):
+        sim = HybridSimulator(path_graph(3), ModelConfig.ncc())
+        with pytest.raises(LocalBandwidthExceededError):
+            sim.local_send(0, 1, "x")
+
+    def test_congest_local_bandwidth_enforced(self):
+        sim = HybridSimulator(path_graph(3), ModelConfig.congest())
+        sim.local_send(0, 1, 5)  # one word is fine
+        with pytest.raises(LocalBandwidthExceededError):
+            sim.local_send(0, 1, tuple(range(50)))
+
+    def test_local_messages_unbounded_in_hybrid(self):
+        sim = HybridSimulator(path_graph(3), ModelConfig.hybrid())
+        sim.local_send(0, 1, tuple(range(1000)))  # arbitrarily large is legal
+        sim.advance_round()
+        assert sim.local_inbox(1)[0].payload == tuple(range(1000))
+
+
+class TestGlobalMode:
+    def test_global_send_any_pair_in_hybrid(self):
+        sim = HybridSimulator(path_graph(6), ModelConfig.hybrid())
+        sim.global_send(0, 5, "far away")
+        sim.advance_round()
+        assert sim.global_inbox(5)[0].payload == "far away"
+
+    def test_global_send_unknown_identifier_in_hybrid0(self):
+        sim = HybridSimulator(path_graph(6), ModelConfig.hybrid0(), seed=0)
+        far_id = sim.id_of(5)
+        with pytest.raises(UnknownIdentifierError):
+            sim.global_send(0, far_id, "nope")
+
+    def test_global_send_to_neighbor_allowed_in_hybrid0(self):
+        sim = HybridSimulator(path_graph(6), ModelConfig.hybrid0(), seed=0)
+        sim.global_send(0, sim.id_of(1), "ok")
+        sim.advance_round()
+        assert sim.global_inbox(1)[0].payload == "ok"
+
+    def test_receiving_teaches_sender_id(self):
+        sim = HybridSimulator(path_graph(6), ModelConfig.hybrid0(), seed=0)
+        # 0 -> 1 is allowed (neighbors); afterwards 1 knows 0's id (already did),
+        # but 1 -> 3 is not; teach 1 about 3 explicitly, then 3 learns 1's id by
+        # receiving and can reply.
+        sim.declare_learned_ids(1, [sim.id_of(3)])
+        sim.global_send(1, sim.id_of(3), "ping")
+        sim.advance_round()
+        assert sim.knows_id(3, sim.id_of(1))
+        sim.global_send(3, sim.id_of(1), "pong")
+        sim.advance_round()
+        assert sim.global_inbox(1)[0].payload == "pong"
+
+    def test_global_mode_disabled_in_local_model(self):
+        sim = HybridSimulator(path_graph(4), ModelConfig.local())
+        with pytest.raises(CapacityExceededError):
+            sim.global_send(0, 2, "x")
+
+    def test_send_capacity_enforced(self):
+        sim = HybridSimulator(path_graph(40), ModelConfig.hybrid())
+        budget = sim.global_budget_words()
+        for target in range(1, budget + 2):
+            sim.global_send(0, target, 1)
+        with pytest.raises(CapacityExceededError):
+            sim.advance_round()
+        assert sim.metrics.capacity_violations >= 1
+
+    def test_send_within_capacity_passes(self):
+        sim = HybridSimulator(path_graph(40), ModelConfig.hybrid())
+        budget = sim.global_budget_words()
+        for target in range(1, budget + 1):
+            sim.global_send(0, target, 1)
+        sim.advance_round()
+        assert sim.metrics.capacity_violations == 0
+
+    def test_receive_overload_recorded_but_not_fatal_by_default(self):
+        sim = HybridSimulator(complete_graph(40), ModelConfig.hybrid())
+        budget = sim.global_budget_words()
+        for sender in range(1, budget + 5):
+            sim.global_send(sender, 0, 1)
+        sim.advance_round()
+        assert sim.metrics.capacity_violations >= 1
+        assert len(sim.global_inbox(0)) == budget + 4
+
+    def test_receive_overload_raises_when_enforced(self):
+        sim = HybridSimulator(
+            complete_graph(40), ModelConfig.hybrid(), enforce_receive_capacity=True
+        )
+        budget = sim.global_budget_words()
+        for sender in range(1, budget + 5):
+            sim.global_send(sender, 0, 1)
+        with pytest.raises(CapacityExceededError):
+            sim.advance_round()
+
+    def test_capacity_multiplier_relaxes_budget(self):
+        tight = HybridSimulator(path_graph(40), ModelConfig.hybrid())
+        loose = HybridSimulator(path_graph(40), ModelConfig.hybrid(), capacity_multiplier=3)
+        assert loose.global_budget_words() == 3 * tight.global_budget_words()
+
+
+class TestRoundLifecycle:
+    def test_round_counter_increments(self):
+        sim = HybridSimulator(path_graph(3))
+        assert sim.round == 0
+        sim.advance_round()
+        sim.advance_round()
+        assert sim.round == 2
+        assert sim.metrics.measured_rounds == 2
+
+    def test_advance_rounds_bulk(self):
+        sim = HybridSimulator(path_graph(3))
+        sim.advance_rounds(5)
+        assert sim.round == 5
+        with pytest.raises(ValueError):
+            sim.advance_rounds(-1)
+
+    def test_inboxes_are_per_round(self):
+        sim = HybridSimulator(path_graph(3))
+        sim.local_send(0, 1, "first")
+        sim.advance_round()
+        assert len(sim.local_inbox(1)) == 1
+        sim.advance_round()
+        assert sim.local_inbox(1) == []
+
+    def test_charge_rounds_recorded(self):
+        sim = HybridSimulator(path_graph(3))
+        sim.charge_rounds(11, "analysis", "Lemma 4.1")
+        assert sim.metrics.charged_rounds == 11
+        assert sim.metrics.total_rounds == 11
+
+    def test_message_accounting(self):
+        sim = HybridSimulator(path_graph(4), ModelConfig.hybrid())
+        sim.local_send(0, 1, "a")
+        sim.global_send(0, 3, "b")
+        sim.advance_round()
+        assert sim.metrics.local_messages == 1
+        assert sim.metrics.global_messages == 1
+        assert sim.metrics.global_words >= 1

@@ -1,0 +1,202 @@
+"""Unit tests for the existentially optimal SSSP (Theorem 13) and k-SSP
+(Theorem 14) algorithms."""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.core.ksp import KSourceShortestPaths, ksp_round_cost
+from repro.core.sssp import (
+    ApproxSSSP,
+    approx_sssp_distances,
+    exact_sssp_distances,
+    round_weight_up,
+    sssp_round_cost,
+)
+from repro.graphs.generators import (
+    cycle_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    path_graph,
+)
+from repro.graphs.weighted import assign_random_weights
+from repro.simulator.config import ModelConfig
+from repro.simulator.network import HybridSimulator
+
+
+class TestWeightRounding:
+    def test_rounds_up(self):
+        assert round_weight_up(5.0, 0.25) >= 5.0
+
+    def test_within_factor(self):
+        for weight in (1, 2, 3, 7, 100, 12345):
+            rounded = round_weight_up(weight, 0.25)
+            assert weight <= rounded <= weight * 1.25 + 1e-9
+
+    def test_epsilon_zero_identity(self):
+        assert round_weight_up(7.0, 0.0) == 7.0
+
+    def test_rejects_nonpositive_weight(self):
+        with pytest.raises(ValueError):
+            round_weight_up(0, 0.1)
+
+
+class TestApproxSSSPDistances:
+    def _check_stretch(self, graph, source, epsilon):
+        truth = exact_sssp_distances(graph, source)
+        approx = approx_sssp_distances(graph, source, epsilon)
+        for node, true_distance in truth.items():
+            estimate = approx[node]
+            assert estimate >= true_distance - 1e-9
+            assert estimate <= (1 + epsilon) * true_distance + 1e-9
+
+    @pytest.mark.parametrize("epsilon", [0.1, 0.25, 0.5])
+    def test_stretch_on_weighted_grid(self, epsilon):
+        g = assign_random_weights(grid_graph(6, 2), max_weight=17, seed=1)
+        self._check_stretch(g, 0, epsilon)
+
+    @pytest.mark.parametrize("epsilon", [0.1, 0.5])
+    def test_stretch_on_random_graph(self, epsilon):
+        g = assign_random_weights(erdos_renyi_graph(40, 0.15, seed=2), max_weight=9, seed=2)
+        self._check_stretch(g, 0, epsilon)
+
+    def test_unweighted_graph_estimates_at_least_hops(self):
+        g = path_graph(20)
+        approx = approx_sssp_distances(g, 0, 0.25)
+        assert approx[19] >= 19
+
+    def test_epsilon_zero_is_exact(self):
+        g = assign_random_weights(cycle_graph(12), max_weight=5, seed=3)
+        assert approx_sssp_distances(g, 0, 0.0) == exact_sssp_distances(g, 0)
+
+    def test_source_distance_zero(self):
+        g = path_graph(5)
+        assert approx_sssp_distances(g, 2, 0.3)[2] == 0.0
+
+    def test_unknown_source(self):
+        with pytest.raises(KeyError):
+            approx_sssp_distances(path_graph(4), 77, 0.2)
+
+    def test_negative_epsilon_rejected(self):
+        with pytest.raises(ValueError):
+            approx_sssp_distances(path_graph(4), 0, -0.1)
+
+
+class TestApproxSSSPAlgorithm:
+    def test_result_covers_all_nodes(self):
+        g = assign_random_weights(grid_graph(5, 2), max_weight=7, seed=4)
+        sim = HybridSimulator(g, ModelConfig.hybrid0(), seed=4)
+        result = ApproxSSSP(sim, 0, epsilon=0.25).run()
+        assert set(result.distances) == set(g.nodes)
+
+    def test_round_cost_charged_per_theorem_13(self):
+        g = path_graph(50)
+        sim = HybridSimulator(g, ModelConfig.hybrid0(), seed=0)
+        ApproxSSSP(sim, 0, epsilon=0.5).run()
+        assert sim.metrics.charged_rounds == sssp_round_cost(50, 0.5)
+        # Crucially the cost is polylogarithmic in n: growing n by a factor of
+        # 10^4 changes the charge only by the (log n)^2 ratio, far below the
+        # n^{1/2} growth of the prior existential algorithms.
+        growth = sssp_round_cost(10**6, 0.5) / sssp_round_cost(100, 0.5)
+        assert growth < 10
+        assert sssp_round_cost(10**8, 0.5) < math.sqrt(10**8)
+
+    def test_smaller_epsilon_costs_more_rounds(self):
+        assert sssp_round_cost(100, 0.1) > sssp_round_cost(100, 0.5)
+
+    def test_invalid_inputs(self):
+        g = path_graph(5)
+        sim = HybridSimulator(g, ModelConfig.hybrid0(), seed=0)
+        with pytest.raises(KeyError):
+            ApproxSSSP(sim, 99, epsilon=0.2)
+        with pytest.raises(ValueError):
+            ApproxSSSP(sim, 0, epsilon=0.0)
+
+    def test_distance_to_accessor(self):
+        g = path_graph(6)
+        sim = HybridSimulator(g, ModelConfig.hybrid0(), seed=0)
+        result = ApproxSSSP(sim, 0, epsilon=0.3).run()
+        assert result.distance_to(5) >= 5
+        assert result.distance_to("missing") == math.inf
+
+
+class TestKSP:
+    def _ground_truth(self, graph, sources):
+        return {
+            s: nx.single_source_dijkstra_path_length(graph, s, weight="weight")
+            for s in sources
+        }
+
+    def _max_stretch(self, graph, sources, result):
+        truth = self._ground_truth(graph, sources)
+        worst = 1.0
+        for node in graph.nodes:
+            for s in sources:
+                true_distance = truth[s].get(node, math.inf)
+                estimate = result.estimate(node, s)
+                if true_distance == 0:
+                    assert estimate == pytest.approx(0.0, abs=1e-9)
+                    continue
+                assert estimate >= true_distance - 1e-6
+                worst = max(worst, estimate / true_distance)
+        return worst
+
+    def test_sources_in_skeleton_stretch(self):
+        g = assign_random_weights(grid_graph(6, 2), max_weight=6, seed=5)
+        sources = [0, 7, 21, 35]
+        sim = HybridSimulator(g, ModelConfig.hybrid(), seed=5)
+        result = KSourceShortestPaths(
+            sim, sources, epsilon=0.25, sources_in_skeleton=True, seed=5
+        ).run()
+        assert self._max_stretch(g, sources, result) <= 1.25 + 1e-6
+
+    def test_arbitrary_sources_stretch(self):
+        g = assign_random_weights(grid_graph(6, 2), max_weight=6, seed=6)
+        sources = [0, 1, 2]  # deliberately concentrated (arbitrary sources case)
+        sim = HybridSimulator(g, ModelConfig.hybrid(), seed=6)
+        result = KSourceShortestPaths(
+            sim, sources, epsilon=0.25, sources_in_skeleton=False, seed=6
+        ).run()
+        assert self._max_stretch(g, sources, result) <= result.stretch_bound + 1e-6
+
+    def test_unweighted_path(self):
+        g = path_graph(40)
+        sources = [0, 20, 39]
+        sim = HybridSimulator(g, ModelConfig.hybrid(), seed=7)
+        result = KSourceShortestPaths(sim, sources, epsilon=0.25, seed=7).run()
+        assert self._max_stretch(g, sources, result) <= 1.25 + 1e-6
+
+    def test_every_node_gets_estimates_for_every_source(self):
+        g = grid_graph(5, 2)
+        sources = [0, 24]
+        sim = HybridSimulator(g, ModelConfig.hybrid(), seed=8)
+        result = KSourceShortestPaths(sim, sources, epsilon=0.5, seed=8).run()
+        for node in g.nodes:
+            assert set(result.distances[node]) == set(sources)
+
+    def test_round_cost_scaling(self):
+        # Theorem 14: cost ~ sqrt(k / gamma); quadrupling k should roughly double
+        # the charge, and k <= gamma costs the gamma-free polylog.
+        n = 400
+        assert ksp_round_cost(n, 16, 4, 0.25) <= ksp_round_cost(n, 64, 4, 0.25)
+        assert ksp_round_cost(n, 2, 16, 0.25) == ksp_round_cost(n, 16, 16, 0.25)
+
+    def test_gamma_knob_reduces_rounds(self):
+        g = path_graph(60)
+        sources = list(range(0, 60, 6))
+        low = HybridSimulator(g, ModelConfig.hybrid(), seed=9)
+        high = HybridSimulator(g, ModelConfig.hybrid(), seed=9)
+        low_result = KSourceShortestPaths(sim := low, sources, epsilon=0.25, gamma_words=4, seed=9).run()
+        high_result = KSourceShortestPaths(high, sources, epsilon=0.25, gamma_words=64, seed=9).run()
+        assert high.metrics.total_rounds <= low.metrics.total_rounds
+
+    def test_invalid_inputs(self):
+        g = path_graph(10)
+        sim = HybridSimulator(g, ModelConfig.hybrid(), seed=0)
+        with pytest.raises(ValueError):
+            KSourceShortestPaths(sim, [], epsilon=0.2)
+        with pytest.raises(ValueError):
+            KSourceShortestPaths(sim, [0], epsilon=0.0)
+        with pytest.raises(KeyError):
+            KSourceShortestPaths(sim, [0, 99], epsilon=0.2)
