@@ -37,7 +37,13 @@ The package is organised as follows:
 """
 
 from repro.graphs import GraphSpec, generate_graph
-from repro.simulator import HybridSimulator, ModelConfig, RoundMetrics
+from repro.simulator import (
+    BatchAlgorithm,
+    HybridSimulator,
+    ModelConfig,
+    RoundMetrics,
+    batched_global_exchange,
+)
 from repro.core.neighborhood_quality import (
     neighborhood_quality,
     neighborhood_quality_per_node,
@@ -63,6 +69,8 @@ __all__ = [
     "HybridSimulator",
     "ModelConfig",
     "RoundMetrics",
+    "BatchAlgorithm",
+    "batched_global_exchange",
     "neighborhood_quality",
     "neighborhood_quality_per_node",
     "DistributedNQComputation",

@@ -72,7 +72,9 @@ def default_benchmark_specs(scale: str = "small") -> List[GraphSpec]:
     """The graph grid the benchmark tables sweep over.
 
     ``scale`` picks between a fast grid ("small", used by default so the
-    benchmark suite stays minutes-long) and a larger one ("medium").
+    benchmark suite stays minutes-long), a larger one ("medium"), and a
+    production-scale one ("large", n >= 2000, feasible only through the batch
+    messaging engine).
     """
     if scale == "small":
         return [
@@ -91,6 +93,15 @@ def default_benchmark_specs(scale: str = "small") -> List[GraphSpec]:
             GraphSpec.of("erdos_renyi", n=256, p=0.04, seed=7),
             GraphSpec.of("random_regular", n=256, degree=4, seed=7),
             GraphSpec.of("barbell", clique_size=64, path_length=128),
+        ]
+    if scale == "large":
+        return [
+            GraphSpec.of("path", n=2000),
+            GraphSpec.of("cycle", n=2000),
+            GraphSpec.of("grid", side=45, dim=2),
+            GraphSpec.of("erdos_renyi", n=2000, p=0.005, seed=7),
+            GraphSpec.of("random_regular", n=2048, degree=4, seed=7),
+            GraphSpec.of("barbell", clique_size=500, path_length=1000),
         ]
     raise ValueError(f"unknown scale {scale!r}")
 
@@ -128,7 +139,12 @@ def _fresh_simulator(
 # Table 1: information dissemination
 # ----------------------------------------------------------------------
 def run_table1_dissemination(
-    spec: GraphSpec, k: int, *, seed: int = 0, concentrated: bool = False
+    spec: GraphSpec,
+    k: int,
+    *,
+    seed: int = 0,
+    concentrated: bool = False,
+    engine: str = "batch",
 ) -> Dict[str, Any]:
     """One Table 1 row: k-dissemination, measured vs. prior bound vs. lower bound."""
     graph = generate_graph(spec)
@@ -137,7 +153,7 @@ def run_table1_dissemination(
     tokens = scatter_tokens(graph, k, seed=seed, concentrated=concentrated)
 
     sim = _fresh_simulator(graph, hybrid0=True, seed=seed)
-    result = KDissemination(sim, tokens).run()
+    result = KDissemination(sim, tokens, engine=engine).run()
     if not result.all_nodes_know_all_tokens():
         raise AssertionError("k-dissemination failed to deliver all tokens")
 

@@ -12,6 +12,11 @@ load balance them so each node is responsible for at most ``NQ_k`` indices,
 converge-cast the partial aggregates up the cluster tree (combining per index,
 physically simulated over the global mode), and finally disseminate the ``k``
 final results with Theorem 1.
+
+Like :class:`~repro.core.dissemination.KDissemination`, the implementation is
+a :class:`~repro.simulator.engine.BatchAlgorithm`; the converge-cast moves
+whole levels of partial aggregates through the batch messaging engine (or the
+legacy per-message transport with ``engine="legacy"``, with identical rounds).
 """
 
 from __future__ import annotations
@@ -26,11 +31,11 @@ from repro.core.dissemination import (
     KDissemination,
     build_cluster_tree,
     match_cluster_tree_ids,
-    rank_matched_transfers,
+    rank_matched_triples,
 )
 from repro.core.neighborhood_quality import neighborhood_quality
-from repro.core.transport import GlobalTransfer, throttled_global_exchange
 from repro.simulator.config import log2_ceil
+from repro.simulator.engine import BatchAlgorithm, GlobalTriple
 from repro.simulator.metrics import RoundMetrics
 from repro.simulator.network import HybridSimulator
 
@@ -53,7 +58,7 @@ class AggregationResult:
         return all(known == self.aggregates for known in self.known_aggregates.values())
 
 
-class KAggregation:
+class KAggregation(BatchAlgorithm):
     """Theorem 2: deterministic ``eO(NQ_k)``-round k-aggregation in HYBRID_0.
 
     Parameters
@@ -63,6 +68,7 @@ class KAggregation:
         supply the same number ``k`` of values.
     combine: the aggregation function ``F`` (associative and commutative), e.g.
         ``min``, ``max``, ``operator.add``.
+    engine: ``"batch"`` (default) or ``"legacy"`` message path.
     """
 
     def __init__(
@@ -72,8 +78,9 @@ class KAggregation:
         combine: Callable[[Any, Any], Any],
         *,
         nq: Optional[int] = None,
+        engine: str = "batch",
     ) -> None:
-        self.simulator = simulator
+        super().__init__(simulator, engine=engine)
         self.combine = combine
         node_set = set(simulator.nodes)
         if set(values_by_node) != node_set:
@@ -86,21 +93,41 @@ class KAggregation:
             raise ValueError("k must be positive")
         self.values_by_node = {node: list(values) for node, values in values_by_node.items()}
         self._nq_hint = nq
+        # Phase state.
+        self._log_n = log2_ceil(max(simulator.n, 2))
+        self.nq = 0
+        self.clustering: Optional[Clustering] = None
+        self.cluster_tree: Optional[ClusterTree] = None
+        self._sorted_members: Dict[int, List[Node]] = {}
+        self._cluster_partials: Dict[int, List[Any]] = {}
+        self._final_aggregates: List[Any] = []
+        self._known_aggregates: Dict[Node, List[Any]] = {}
 
     # ------------------------------------------------------------------
-    def run(self) -> AggregationResult:
-        sim = self.simulator
-        k = self.k
-        log_n = log2_ceil(max(sim.n, 2))
+    def phases(self):
+        return (
+            ("parameters", self._phase_parameters),
+            ("intra-cluster aggregation", self._phase_intra_cluster),
+            ("converge-cast", self._phase_converge_cast),
+            ("broadcast", self._phase_broadcast),
+        )
 
+    def _phase_parameters(self) -> None:
+        """Compute NQ_k, the clustering (Lemma 3.5) and the cluster chaining."""
+        sim = self.simulator
+        log_n = self._log_n
         nq = self._nq_hint
         if nq is None:
-            nq = neighborhood_quality(sim.graph, k)
-        nq = max(1, nq)
-        sim.charge_rounds(nq, "distributed computation of NQ_k", "Lemma 3.3")
+            nq = neighborhood_quality(sim.graph, self.k)
+        self.nq = max(1, nq)
+        sim.charge_rounds(self.nq, "distributed computation of NQ_k", "Lemma 3.3")
 
-        clustering = distributed_nq_clustering(sim, k, nq=nq)
-        cluster_tree = build_cluster_tree(clustering)
+        self.clustering = distributed_nq_clustering(sim, self.k, nq=self.nq)
+        self.cluster_tree = build_cluster_tree(self.clustering)
+        self._sorted_members = {
+            cluster.index: sorted(cluster.members, key=sim.id_of)
+            for cluster in self.clustering.clusters
+        }
         sim.charge_rounds(
             log_n * log_n, "cluster-tree construction", "Lemma 4.6 via Theorem 2"
         )
@@ -109,47 +136,60 @@ class KAggregation:
             "matching parent/child cluster nodes rank-by-rank",
             "Theorem 2 via Theorem 1, cluster chaining",
         )
-        match_cluster_tree_ids(sim, clustering, cluster_tree)
+        match_cluster_tree_ids(sim, self.clustering, self.cluster_tree)
 
-        # Intra-cluster intermediate aggregation (local flooding, charged).
+    def _phase_intra_cluster(self) -> None:
+        """Intra-cluster intermediate aggregation (local flooding, charged)."""
+        sim = self.simulator
+        k = self.k
+        combine = self.combine
         cluster_partials: Dict[int, List[Any]] = {}
-        for cluster in clustering.clusters:
+        for cluster in self.clustering.clusters:
             partial: List[Any] = [None] * k
             for member in cluster.members:
                 for index, value in enumerate(self.values_by_node[member]):
                     if partial[index] is None:
                         partial[index] = value
                     else:
-                        partial[index] = self.combine(partial[index], value)
+                        partial[index] = combine(partial[index], value)
             cluster_partials[cluster.index] = partial
+        self._cluster_partials = cluster_partials
         sim.charge_rounds(
-            4 * nq * log_n,
+            4 * self.nq * self._log_n,
             "intra-cluster flooding for intermediate aggregation",
             "Theorem 2",
         )
         sim.charge_rounds(
-            8 * nq * log_n,
+            8 * self.nq * self._log_n,
             "intra-cluster load balancing of intermediate aggregates",
             "Lemma 4.1",
         )
 
-        # Converge-cast the k partial aggregates up the cluster tree (measured).
+    def _phase_converge_cast(self) -> None:
+        """Converge-cast the k partial aggregates up the cluster tree (measured)."""
+        sim = self.simulator
+        k = self.k
+        combine = self.combine
+        cluster_tree = self.cluster_tree
+        cluster_partials = self._cluster_partials
         levels = cluster_tree.levels()
         for level in reversed(levels[1:]):
-            transfers: List[GlobalTransfer] = []
+            triples: List[GlobalTriple] = []
             incoming: Dict[int, List[Tuple[int, Any]]] = defaultdict(list)
             for cluster_index in level:
                 parent_index = cluster_tree.parent[cluster_index]
-                child = clustering.clusters[cluster_index]
-                parent = clustering.clusters[parent_index]
                 partial = cluster_partials[cluster_index]
                 payloads = [(index, partial[index]) for index in range(k)]
-                transfers.extend(
-                    rank_matched_transfers(sim, child, parent, payloads, "kagg")
+                triples.extend(
+                    rank_matched_triples(
+                        self._sorted_members[cluster_index],
+                        self._sorted_members[parent_index],
+                        payloads,
+                    )
                 )
                 incoming[parent_index].extend(payloads)
-            if transfers:
-                throttled_global_exchange(sim, transfers)
+            if triples:
+                self.exchange(triples, "kagg")
             for parent_index, pairs in incoming.items():
                 parent_partial = cluster_partials[parent_index]
                 for index, value in pairs:
@@ -158,36 +198,42 @@ class KAggregation:
                     if parent_partial[index] is None:
                         parent_partial[index] = value
                     else:
-                        parent_partial[index] = self.combine(parent_partial[index], value)
+                        parent_partial[index] = combine(parent_partial[index], value)
             sim.charge_rounds(
-                8 * nq * log_n,
+                8 * self.nq * self._log_n,
                 "intra-cluster load balancing between converge-cast levels",
                 "Lemma 4.1",
             )
+        self._final_aggregates = list(cluster_partials[cluster_tree.root])
 
-        final_aggregates = list(cluster_partials[cluster_tree.root])
-
-        # The root cluster knows the k results; broadcast them with Theorem 1.
-        root_cluster = clustering.clusters[cluster_tree.root]
+    def _phase_broadcast(self) -> None:
+        """The root cluster knows the k results; broadcast them with Theorem 1."""
+        sim = self.simulator
+        root_cluster = self.clustering.clusters[self.cluster_tree.root]
         announcer = root_cluster.leader
-        tokens = [("agg-result", index, value) for index, value in enumerate(final_aggregates)]
+        tokens = [
+            ("agg-result", index, value)
+            for index, value in enumerate(self._final_aggregates)
+        ]
         dissemination = KDissemination(
-            sim, {announcer: tokens}, nq=None, clustering=None
+            sim, {announcer: tokens}, nq=None, clustering=None, engine=self.engine
         )
         dissemination_result = dissemination.run()
 
         known_aggregates: Dict[Node, List[Any]] = {}
         for node, known in dissemination_result.known_tokens.items():
-            values: List[Any] = [None] * k
+            values: List[Any] = [None] * self.k
             for token in known:
                 if isinstance(token, tuple) and len(token) == 3 and token[0] == "agg-result":
                     values[token[1]] = token[2]
             known_aggregates[node] = values
+        self._known_aggregates = known_aggregates
 
+    def finish(self) -> AggregationResult:
         return AggregationResult(
-            aggregates=final_aggregates,
-            known_aggregates=known_aggregates,
-            k=k,
-            nq=nq,
-            metrics=sim.metrics,
+            aggregates=self._final_aggregates,
+            known_aggregates=self._known_aggregates,
+            k=self.k,
+            nq=self.nq,
+            metrics=self.simulator.metrics,
         )

@@ -25,20 +25,28 @@ The global-mode token movements of phase 5 are physically simulated (throttled
 to the per-node budget); the local-mode coordination of phases 2-4 and the
 final flood are charged per the paper's analysis (DESIGN.md substitution
 note 1).
+
+The implementation is a :class:`~repro.simulator.engine.BatchAlgorithm`: each
+phase submits whole rounds of traffic through the batch messaging engine
+(``engine="batch"``, the default) or through the legacy per-message transport
+(``engine="legacy"``); both engines produce identical round counts, inboxes
+and metrics.
 """
 
 from __future__ import annotations
 
 import dataclasses
 from collections import defaultdict
-from typing import Any, Dict, Hashable, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, FrozenSet, Hashable, List, Optional, Sequence, Set, Tuple
 
 from repro.core.clustering import Cluster, Clustering, distributed_nq_clustering
 from repro.core.load_balancing import balance_items, cluster_load_balance
 from repro.core.neighborhood_quality import neighborhood_quality
 from repro.core.overlay import VirtualTree, basic_aggregation, build_virtual_tree
-from repro.core.transport import GlobalTransfer, throttled_global_exchange
+from repro.core.transport import GlobalTransfer
 from repro.simulator.config import log2_ceil
+from repro.simulator.engine import BatchAlgorithm
+from repro.simulator.messages import payload_words
 from repro.simulator.metrics import RoundMetrics
 from repro.simulator.network import HybridSimulator
 
@@ -99,6 +107,7 @@ def match_cluster_tree_ids(
     identifier so they can exchange global messages.  The round cost of the
     matching (O(log n), one tree level at a time) is charged by the caller.
     """
+    learned: Dict[Node, Set[int]] = defaultdict(set)
     for child_index, parent_index in cluster_tree.parent.items():
         if parent_index is None:
             continue
@@ -110,8 +119,42 @@ def match_cluster_tree_ids(
         for position in range(span):
             a = child_members[position % len(child_members)]
             b = parent_members[position % len(parent_members)]
-            simulator.declare_learned_ids(a, [simulator.id_of(b)])
-            simulator.declare_learned_ids(b, [simulator.id_of(a)])
+            learned[a].add(simulator.id_of(b))
+            learned[b].add(simulator.id_of(a))
+    for node, identifiers in learned.items():
+        simulator.declare_learned_ids(node, identifiers)
+
+
+def rank_matched_triples(
+    source_members: Sequence[Node],
+    target_members: Sequence[Node],
+    payloads: Sequence[Any],
+    words_map: Optional[Dict[Any, int]] = None,
+) -> List[Tuple]:
+    """(sender, receiver, payload) triples between rank-matched cluster members.
+
+    ``source_members`` / ``target_members`` are the id-sorted member lists of
+    the two clusters.  Payloads are spread round-robin over the source members
+    (mirroring the load-balanced state) and each source member sends only to
+    its fixed rank-matched counterpart in the target cluster, exactly the pairs
+    taught by :func:`match_cluster_tree_ids`.  When ``words_map`` (payload ->
+    precomputed word count) is given, 4-tuples ``(sender, receiver, payload,
+    words)`` are produced so the exchange skips re-estimating payload sizes.
+    """
+    if not payloads:
+        return []
+    n_source = len(source_members)
+    n_target = len(target_members)
+    triples: List[Tuple] = []
+    for position, payload in enumerate(payloads):
+        sender_rank = position % n_source
+        sender = source_members[sender_rank]
+        receiver = target_members[sender_rank % n_target]
+        if words_map is None:
+            triples.append((sender, receiver, payload))
+        else:
+            triples.append((sender, receiver, payload, words_map[payload]))
+    return triples
 
 
 def rank_matched_transfers(
@@ -121,34 +164,29 @@ def rank_matched_transfers(
     payloads: Sequence[Any],
     tag: str,
 ) -> List[GlobalTransfer]:
-    """Transfers carrying ``payloads`` from ``source`` to ``target`` cluster.
-
-    Payloads are spread round-robin over the source members (mirroring the
-    load-balanced state) and each source member sends only to its fixed
-    rank-matched counterpart in the target cluster, exactly the pairs taught by
-    :func:`match_cluster_tree_ids`.
-    """
-    if not payloads:
-        return []
-    source_members = sorted(source.members, key=simulator.id_of)
-    target_members = sorted(target.members, key=simulator.id_of)
-    transfers: List[GlobalTransfer] = []
-    for position, payload in enumerate(payloads):
-        sender_rank = position % len(source_members)
-        sender = source_members[sender_rank]
-        receiver = target_members[sender_rank % len(target_members)]
-        transfers.append(
-            GlobalTransfer(sender=sender, receiver=receiver, payload=payload, tag=tag)
-        )
-    return transfers
+    """Legacy wrapper around :func:`rank_matched_triples` producing transfers."""
+    triples = rank_matched_triples(
+        sorted(source.members, key=simulator.id_of),
+        sorted(target.members, key=simulator.id_of),
+        payloads,
+    )
+    return [
+        GlobalTransfer(sender=sender, receiver=receiver, payload=payload, tag=tag)
+        for sender, receiver, payload in triples
+    ]
 
 
 @dataclasses.dataclass
 class DisseminationResult:
-    """Outcome of a k-dissemination run."""
+    """Outcome of a k-dissemination run.
+
+    ``known_tokens`` maps each node to the tokens it knows, as frozensets;
+    members of the same cluster share one frozenset (they learn the same
+    tokens in the final intra-cluster flood).
+    """
 
     tokens: Set[Any]
-    known_tokens: Dict[Node, Set[Any]]
+    known_tokens: Dict[Node, FrozenSet[Any]]
     k: int
     nq: int
     clustering: Clustering
@@ -159,7 +197,7 @@ class DisseminationResult:
         return all(known == self.tokens for known in self.known_tokens.values())
 
 
-class KDissemination:
+class KDissemination(BatchAlgorithm):
     """Theorem 1: deterministic ``eO(NQ_k)``-round k-dissemination in HYBRID_0."""
 
     def __init__(
@@ -169,55 +207,85 @@ class KDissemination:
         *,
         nq: Optional[int] = None,
         clustering: Optional[Clustering] = None,
+        engine: str = "batch",
     ) -> None:
-        self.simulator = simulator
+        super().__init__(simulator, engine=engine)
+        node_set = set(simulator.nodes)
         self.tokens_by_node = {
             node: list(tokens) for node, tokens in tokens_by_node.items() if tokens
         }
         for node in self.tokens_by_node:
-            if node not in set(simulator.nodes):
+            if node not in node_set:
                 raise KeyError(f"token holder {node!r} is not a node of the network")
         self._nq_hint = nq
         self._clustering_hint = clustering
+        # Phase state.
+        self._log_n = log2_ceil(max(simulator.n, 2))
+        self.all_tokens: Set[Any] = set()
+        self.k = 0
+        self.nq = 0
+        self.clustering: Optional[Clustering] = None
+        self.cluster_tree: Optional[ClusterTree] = None
+        self._sorted_members: Dict[int, List[Node]] = {}
+        self._held: Dict[Node, List[Any]] = {}
+        self._cluster_tokens: Dict[int, Set[Any]] = {}
+        self._known_tokens: Dict[Node, FrozenSet[Any]] = {}
+        # Each token crosses many cluster-tree edges; its word size is
+        # computed once (tokens are hashable — they live in sets throughout
+        # the algorithm) and reused by every exchange.
+        self._token_words: Dict[Any, int] = {}
 
     # ------------------------------------------------------------------
-    def run(self) -> DisseminationResult:
+    def phases(self):
+        return (
+            ("parameters", self._phase_parameters),
+            ("clustering", self._phase_clustering),
+            ("load-balance", self._phase_load_balance),
+            ("converge-cast", self._phase_converge_cast),
+            ("down-cast", self._phase_down_cast),
+        )
+
+    @property
+    def _trivial(self) -> bool:
+        return self.k == 0
+
+    # ------------------------------------------------------------------
+    def _phase_parameters(self) -> None:
+        """Phase 1: compute k (Lemma 4.4 aggregation, physically simulated) and
+        NQ_k (Lemma 3.3, charged)."""
         sim = self.simulator
-        log_n = log2_ceil(max(sim.n, 2))
-
-        all_tokens: Set[Any] = set()
         for tokens in self.tokens_by_node.values():
-            all_tokens.update(tokens)
-        k = len(all_tokens)
-        if k == 0:
-            return DisseminationResult(
-                tokens=set(),
-                known_tokens={v: set() for v in sim.nodes},
-                k=0,
-                nq=0,
-                clustering=Clustering(clusters=[], nq=0, k=0, cluster_of={}),
-                cluster_tree=ClusterTree(root=0, parent={0: None}, children={0: []}, order=[0]),
-                metrics=sim.metrics,
-            )
-
-        # Phase 1: compute k (Lemma 4.4 aggregation, physically simulated) and
-        # NQ_k (Lemma 3.3, charged).
+            self.all_tokens.update(tokens)
+        self.k = len(self.all_tokens)
+        if self._trivial:
+            return
         counts = {node: len(tokens) for node, tokens in self.tokens_by_node.items()}
         tree = build_virtual_tree(sim)
-        basic_aggregation(sim, counts, lambda a, b: (a or 0) + (b or 0), tree=tree)
+        basic_aggregation(
+            sim, counts, lambda a, b: (a or 0) + (b or 0), tree=tree, batch=self.use_batch
+        )
         nq = self._nq_hint
         if nq is None:
-            nq = neighborhood_quality(sim.graph, k)
-        nq = max(1, nq)
-        sim.charge_rounds(nq, "distributed computation of NQ_k", "Lemma 3.3")
+            nq = neighborhood_quality(sim.graph, self.k)
+        self.nq = max(1, nq)
+        sim.charge_rounds(self.nq, "distributed computation of NQ_k", "Lemma 3.3")
 
-        # Phase 2: clustering (Lemma 3.5, charged).
+    def _phase_clustering(self) -> None:
+        """Phases 2 + 3: clustering (Lemma 3.5) and cluster chaining (Lemma 4.6
+        plus rank matching), both charged."""
+        if self._trivial:
+            return
+        sim = self.simulator
+        log_n = self._log_n
         clustering = self._clustering_hint
         if clustering is None:
-            clustering = distributed_nq_clustering(sim, k, nq=nq)
-
-        # Phase 3: cluster chaining (Lemma 4.6 + rank matching, charged eO(1)).
-        cluster_tree = build_cluster_tree(clustering)
+            clustering = distributed_nq_clustering(sim, self.k, nq=self.nq)
+        self.clustering = clustering
+        self.cluster_tree = build_cluster_tree(clustering)
+        self._sorted_members = {
+            cluster.index: sorted(cluster.members, key=sim.id_of)
+            for cluster in clustering.clusters
+        }
         sim.charge_rounds(
             log_n * log_n,
             "cluster-tree construction over cluster leaders",
@@ -228,91 +296,141 @@ class KDissemination:
             "matching parent/child cluster nodes rank-by-rank",
             "Theorem 1, cluster chaining subphase 2",
         )
-        leader_ids = [sim.id_of(c.leader) for c in clustering.clusters]
+        leader_ids = frozenset(sim.id_of(c.leader) for c in clustering.clusters)
         for cluster in clustering.clusters:
             for member in cluster.members:
                 sim.declare_learned_ids(member, leader_ids)
-        match_cluster_tree_ids(sim, clustering, cluster_tree)
+        match_cluster_tree_ids(sim, clustering, self.cluster_tree)
 
-        # Phase 4: initial load balancing inside each cluster (Lemma 4.1, charged).
+    def _phase_load_balance(self) -> None:
+        """Phase 4: initial load balancing inside each cluster (Lemma 4.1,
+        charged)."""
+        if self._trivial:
+            return
         held: Dict[Node, List[Any]] = defaultdict(list)
         for node, tokens in self.tokens_by_node.items():
             held[node].extend(tokens)
-        held = self._load_balance_all_clusters(clustering, held, nq, log_n, "initial")
+        self._held = self._load_balance_all_clusters(
+            self.clustering, held, self.nq, self._log_n, "initial"
+        )
 
-        # Phase 5a: converge-cast all tokens up the cluster tree (measured).
+    def _phase_converge_cast(self) -> None:
+        """Phase 5a: converge-cast all tokens up the cluster tree (measured)."""
+        if self._trivial:
+            return
+        sim = self.simulator
+        clustering = self.clustering
+        cluster_tree = self.cluster_tree
         cluster_tokens: Dict[int, Set[Any]] = {
             cluster.index: set() for cluster in clustering.clusters
         }
-        for node, tokens in held.items():
+        for node, tokens in self._held.items():
             cluster_tokens[clustering.cluster_of[node]].update(tokens)
+        self._cluster_tokens = cluster_tokens
+        self._token_words = {token: payload_words(token) for token in self.all_tokens}
 
         levels = cluster_tree.levels()
         for level in reversed(levels[1:]):
-            transfers: List[GlobalTransfer] = []
+            triples: List[Tuple] = []
             for cluster_index in level:
                 parent_index = cluster_tree.parent[cluster_index]
-                child = clustering.clusters[cluster_index]
-                parent = clustering.clusters[parent_index]
                 new_tokens = cluster_tokens[cluster_index] - cluster_tokens[parent_index]
-                transfers.extend(
-                    rank_matched_transfers(
-                        sim, child, parent, sorted(new_tokens, key=str), "kdiss"
+                triples.extend(
+                    rank_matched_triples(
+                        self._sorted_members[cluster_index],
+                        self._sorted_members[parent_index],
+                        sorted(new_tokens, key=str),
+                        self._token_words,
                     )
                 )
                 cluster_tokens[parent_index].update(new_tokens)
-            if transfers:
-                throttled_global_exchange(sim, transfers)
+            if triples:
+                self.exchange(triples, "kdiss")
             # Load balancing at the receiving clusters before the next level.
             sim.charge_rounds(
-                8 * nq * log_n,
+                8 * self.nq * self._log_n,
                 "intra-cluster load balancing between converge-cast levels",
                 "Lemma 4.1",
             )
 
-        # Phase 5b: cast every token back down the cluster tree (measured).
-        root_index = cluster_tree.root
-        cluster_tokens[root_index] = set(all_tokens)
-        for level in levels:
-            transfers = []
+    def _phase_down_cast(self) -> None:
+        """Phase 5b: cast every token back down the cluster tree (measured),
+        then charge the final intra-cluster flood."""
+        if self._trivial:
+            return
+        sim = self.simulator
+        clustering = self.clustering
+        cluster_tree = self.cluster_tree
+        cluster_tokens = self._cluster_tokens
+        cluster_tokens[cluster_tree.root] = set(self.all_tokens)
+        # The down-cast proceeds top-down, so every sender cluster already
+        # holds the full token set when its level is processed; the per-child
+        # "missing" set is therefore a filter of one pre-sorted token list.
+        sorted_all = sorted(self.all_tokens, key=str)
+        all_tokens = self.all_tokens
+        for level in cluster_tree.levels():
+            triples: List[Tuple] = []
             for cluster_index in level:
                 for child_index in cluster_tree.children[cluster_index]:
-                    parent = clustering.clusters[cluster_index]
-                    child = clustering.clusters[child_index]
-                    missing = cluster_tokens[cluster_index] - cluster_tokens[child_index]
-                    transfers.extend(
-                        rank_matched_transfers(
-                            sim, parent, child, sorted(missing, key=str), "kdiss"
+                    have = cluster_tokens[child_index]
+                    missing = (
+                        sorted_all
+                        if not have
+                        else [token for token in sorted_all if token not in have]
+                    )
+                    triples.extend(
+                        rank_matched_triples(
+                            self._sorted_members[cluster_index],
+                            self._sorted_members[child_index],
+                            missing,
+                            self._token_words,
                         )
                     )
-                    cluster_tokens[child_index].update(missing)
-            if transfers:
-                throttled_global_exchange(sim, transfers)
+                    cluster_tokens[child_index] = set(all_tokens)
+            if triples:
+                self.exchange(triples, "kdiss")
             sim.charge_rounds(
-                8 * nq * log_n,
+                8 * self.nq * self._log_n,
                 "intra-cluster load balancing between down-cast levels",
                 "Lemma 4.1",
             )
 
         # Final intra-cluster flood: every node learns its cluster's tokens.
         sim.charge_rounds(
-            4 * nq * log_n,
+            4 * self.nq * self._log_n,
             "final intra-cluster flooding of all tokens",
             "Theorem 1, dissemination phase",
         )
-        known_tokens: Dict[Node, Set[Any]] = {}
+        # Members of one cluster share a single frozenset (copying per member
+        # is an O(n * k) cost that dwarfs the simulation at scale); frozenset
+        # makes the sharing safe — accidental mutation raises instead of
+        # silently editing every clustermate's entry.
+        known_tokens: Dict[Node, FrozenSet[Any]] = {}
         for cluster in clustering.clusters:
-            tokens_here = set(cluster_tokens[cluster.index])
+            tokens_here = frozenset(cluster_tokens[cluster.index])
             for member in cluster.members:
-                known_tokens[member] = set(tokens_here)
+                known_tokens[member] = tokens_here
+        self._known_tokens = known_tokens
 
+    def finish(self) -> DisseminationResult:
+        sim = self.simulator
+        if self._trivial:
+            return DisseminationResult(
+                tokens=set(),
+                known_tokens={v: frozenset() for v in sim.nodes},
+                k=0,
+                nq=0,
+                clustering=Clustering(clusters=[], nq=0, k=0, cluster_of={}),
+                cluster_tree=ClusterTree(root=0, parent={0: None}, children={0: []}, order=[0]),
+                metrics=sim.metrics,
+            )
         return DisseminationResult(
-            tokens=all_tokens,
-            known_tokens=known_tokens,
-            k=k,
-            nq=nq,
-            clustering=clustering,
-            cluster_tree=cluster_tree,
+            tokens=self.all_tokens,
+            known_tokens=self._known_tokens,
+            k=self.k,
+            nq=self.nq,
+            clustering=self.clustering,
+            cluster_tree=self.cluster_tree,
             metrics=sim.metrics,
         )
 
@@ -336,4 +454,3 @@ class KDissemination:
             "Lemma 4.1",
         )
         return balanced
-

@@ -24,6 +24,7 @@ import math
 from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.simulator.config import log2_ceil
+from repro.simulator.messages import GLOBAL_MODE
 from repro.simulator.network import HybridSimulator
 
 Node = Hashable
@@ -157,16 +158,37 @@ def aggregate_via_tree(
     tree: VirtualTree,
     values: Dict[Node, Any],
     combine: Callable[[Any, Any], Any],
+    *,
+    batch: bool = True,
 ) -> Any:
     """Converge-cast ``values`` up the tree, combining with ``combine``.
 
     One tree level per round (leaf level first); every node sends a single
     global message to its parent, so the per-node budget is respected.  Returns
-    the aggregate as known by the root.
+    the aggregate as known by the root.  ``batch=False`` routes the sends
+    through the legacy per-message API (identical rounds and inboxes).
     """
     partial: Dict[Node, Any] = {node: values.get(node) for node in tree.order}
     levels = tree.levels()
     for level in reversed(levels[1:]):
+        if batch:
+            simulator.global_send_batch(
+                [(node, tree.parent[node], partial[node]) for node in level],
+                "tree-agg",
+            )
+            simulator.advance_round()
+            inbox = simulator.per_node_inbox(GLOBAL_MODE)
+            for parent in {tree.parent[node] for node in level}:
+                acc = partial[parent]
+                for _, incoming, tag, _ in inbox.get(parent, ()):
+                    if tag != "tree-agg":
+                        continue
+                    if acc is None:
+                        acc = incoming
+                    elif incoming is not None:
+                        acc = combine(acc, incoming)
+                partial[parent] = acc
+            continue
         for node in level:
             parent = tree.parent[node]
             simulator.global_send_to_node(node, parent, partial[node], tag="tree-agg")
@@ -187,26 +209,35 @@ def aggregate_via_tree(
 
 
 def broadcast_via_tree(
-    simulator: HybridSimulator, tree: VirtualTree, value: Any
+    simulator: HybridSimulator, tree: VirtualTree, value: Any, *, batch: bool = True
 ) -> Dict[Node, Any]:
     """Down-cast ``value`` from the root to every tree node (one level per round)."""
     received: Dict[Node, Any] = {tree.root: value}
     for level in tree.levels():
-        send_happened = False
-        for node in level:
-            if node not in received:
-                continue
-            for child in tree.children[node]:
-                simulator.global_send_to_node(node, child, received[node], tag="tree-bcast")
-                send_happened = True
-        if not send_happened:
+        sends = [
+            (node, child, received[node])
+            for node in level
+            if node in received
+            for child in tree.children[node]
+        ]
+        if not sends:
             continue
+        if batch:
+            simulator.global_send_batch(sends, "tree-bcast")
+            simulator.advance_round()
+            inbox = simulator.per_node_inbox(GLOBAL_MODE)
+            for _, child, _ in sends:
+                for _, payload, tag, _ in inbox.get(child, ()):
+                    if tag == "tree-bcast":
+                        received[child] = payload
+            continue
+        for sender, child, payload in sends:
+            simulator.global_send_to_node(sender, child, payload, tag="tree-bcast")
         simulator.advance_round()
-        for node in level:
-            for child in tree.children[node]:
-                for message in simulator.global_inbox(child):
-                    if message.tag == "tree-bcast":
-                        received[child] = message.payload
+        for _, child, _ in sends:
+            for message in simulator.global_inbox(child):
+                if message.tag == "tree-bcast":
+                    received[child] = message.payload
     return received
 
 
@@ -215,6 +246,8 @@ def basic_aggregation(
     values: Dict[Node, Any],
     combine: Callable[[Any, Any], Any],
     tree: Optional[VirtualTree] = None,
+    *,
+    batch: bool = True,
 ) -> Any:
     """Lemma 4.4 for ``k = 1``: every node learns ``combine`` over all values.
 
@@ -223,8 +256,8 @@ def basic_aggregation(
     """
     if tree is None:
         tree = build_virtual_tree(simulator)
-    aggregate = aggregate_via_tree(simulator, tree, values, combine)
-    broadcast_via_tree(simulator, tree, aggregate)
+    aggregate = aggregate_via_tree(simulator, tree, values, combine, batch=batch)
+    broadcast_via_tree(simulator, tree, aggregate, batch=batch)
     return aggregate
 
 

@@ -18,12 +18,16 @@ senders and receivers never need to learn each other's helper sets
 
 What is physically simulated: every hop of every message that crosses the
 global network (source-helpers -> intermediates, target-helpers' requests ->
-intermediates, intermediates' replies -> target-helpers), scheduled by
-:func:`~repro.core.transport.throttled_global_exchange` so the per-node budget
-is respected.  What is charged: the helper-set construction (Lemma 5.2), the
-hash-seed broadcast and the broadcast of ``S``'s identifiers (Theorem 1), and
-the local-mode distribution/collection of messages between sources/targets and
-their helpers (bounded by the weak diameter ``eO(NQ_k)``).
+intermediates, intermediates' replies -> target-helpers), token-sharded over
+the batch messaging engine (:mod:`repro.simulator.engine`) so the per-node
+budget is respected.  What is charged: the helper-set construction
+(Lemma 5.2), the hash-seed broadcast and the broadcast of ``S``'s identifiers
+(Theorem 1), and the local-mode distribution/collection of messages between
+sources/targets and their helpers (bounded by the weak diameter ``eO(NQ_k)``).
+
+The implementation is a :class:`~repro.simulator.engine.BatchAlgorithm`;
+``engine="legacy"`` reroutes every hop through the per-message transport with
+identical round counts.
 """
 
 from __future__ import annotations
@@ -38,8 +42,8 @@ from repro.core.clustering import Clustering, distributed_nq_clustering
 from repro.core.hashing import PairwiseHash
 from repro.core.helper_sets import HelperAssignment, compute_adaptive_helper_sets
 from repro.core.neighborhood_quality import neighborhood_quality
-from repro.core.transport import GlobalTransfer, throttled_global_exchange
 from repro.simulator.config import log2_ceil
+from repro.simulator.engine import BatchAlgorithm, GlobalTriple
 from repro.simulator.metrics import RoundMetrics
 from repro.simulator.network import HybridSimulator
 
@@ -77,7 +81,7 @@ class RoutingResult:
         return True
 
 
-class KLRouting:
+class KLRouting(BatchAlgorithm):
     """Theorem 3: (k, l)-routing in ``eO(NQ_k)`` rounds (scenario-dependent).
 
     Parameters
@@ -88,6 +92,7 @@ class KLRouting:
         determines whether source helpers are the sources themselves
         (case 1: ``H_s = {s}``) or sampled adaptively (case 3).
     seed: randomness for helper sampling and the hash family.
+    engine: ``"batch"`` (default) or ``"legacy"`` message path.
     """
 
     def __init__(
@@ -98,10 +103,11 @@ class KLRouting:
         scenario: RoutingScenario = RoutingScenario.ARBITRARY_SOURCES_RANDOM_TARGETS,
         seed: Optional[int] = None,
         nq: Optional[int] = None,
+        engine: str = "batch",
     ) -> None:
+        super().__init__(simulator, engine=engine)
         if not messages:
             raise ValueError("messages must be non-empty")
-        self.simulator = simulator
         self.messages = dict(messages)
         self.scenario = scenario
         self.seed = seed
@@ -110,70 +116,100 @@ class KLRouting:
         for source, target in self.messages:
             if source not in node_set or target not in node_set:
                 raise KeyError(f"message endpoints ({source!r}, {target!r}) not in the network")
+        # Phase state.
+        self._log_n = log2_ceil(max(simulator.n, 2))
+        self.sources: List[Node] = []
+        self.targets: List[Node] = []
+        self.k = 0
+        self.l = 0
+        self.nq = 0
+        self._source_helpers: Optional[HelperAssignment] = None
+        self._target_helpers: Optional[HelperAssignment] = None
+        self._pair_hash: Optional[PairwiseHash] = None
+        self._node_by_position: List[Node] = []
+        self._intermediate_store: Dict[Node, Dict[Tuple[int, int], Any]] = defaultdict(dict)
+        self._intermediate_load: Dict[Node, int] = defaultdict(int)
+        self._reply_triples: List[GlobalTriple] = []
+        self._delivered: Dict[Node, Dict[Node, Any]] = {}
 
     # ------------------------------------------------------------------
-    def run(self) -> RoutingResult:
-        sim = self.simulator
-        log_n = log2_ceil(max(sim.n, 2))
+    def phases(self):
+        return (
+            ("parameters", self._phase_parameters),
+            ("scatter", self._phase_scatter),
+            ("request-reply", self._phase_request_reply),
+            ("collect", self._phase_collect),
+        )
 
-        sources: List[Node] = sorted({s for s, _ in self.messages}, key=sim.id_of)
-        targets: List[Node] = sorted({t for _, t in self.messages}, key=sim.id_of)
-        k = len(sources)
-        l = len(targets)
+    def _phase_parameters(self) -> None:
+        """NQ_k, clustering, helper sets and the hash family (mostly charged)."""
+        sim = self.simulator
+        log_n = self._log_n
+
+        self.sources = sorted({s for s, _ in self.messages}, key=sim.id_of)
+        self.targets = sorted({t for _, t in self.messages}, key=sim.id_of)
+        self.k = len(self.sources)
+        self.l = len(self.targets)
 
         nq = self._nq_hint
         if nq is None:
-            nq = neighborhood_quality(sim.graph, max(k, 1))
-        nq = max(1, nq)
-        sim.charge_rounds(nq, "distributed computation of NQ_k", "Lemma 3.3")
+            nq = neighborhood_quality(sim.graph, max(self.k, 1))
+        self.nq = max(1, nq)
+        sim.charge_rounds(self.nq, "distributed computation of NQ_k", "Lemma 3.3")
 
-        clustering = distributed_nq_clustering(sim, max(k, 1), nq=nq)
+        clustering = distributed_nq_clustering(sim, max(self.k, 1), nq=self.nq)
 
         # Helper sets for targets (always) and for sources (case 3 only).
-        target_helpers = compute_adaptive_helper_sets(
-            sim, targets, max(k, 1), nq=nq, clustering=clustering, seed=self.seed
+        self._target_helpers = compute_adaptive_helper_sets(
+            sim, self.targets, max(self.k, 1), nq=self.nq, clustering=clustering, seed=self.seed
         )
         if self.scenario is RoutingScenario.RANDOM_SOURCES_RANDOM_TARGETS:
-            source_helpers = compute_adaptive_helper_sets(
+            self._source_helpers = compute_adaptive_helper_sets(
                 sim,
-                sources,
-                max(k, 1),
-                nq=nq,
+                self.sources,
+                max(self.k, 1),
+                nq=self.nq,
                 clustering=clustering,
                 seed=None if self.seed is None else self.seed + 1,
             )
         else:
             # Case (1)/(2): the sources send their own messages, H_s = {s}.
-            source_helpers = HelperAssignment(
-                helpers={s: [s] for s in sources}, load={v: 0 for v in sim.nodes}
+            self._source_helpers = HelperAssignment(
+                helpers={s: [s] for s in self.sources}, load={v: 0 for v in sim.nodes}
             )
 
         # Hash family (Lemma 5.3); the seed (Theta(NQ_k log n) words) is
         # broadcast with Theorem 1, charged.
         universe = max(sim.all_ids()) + 1
-        independence = max(2, nq * log_n)
-        pair_hash = PairwiseHash(
+        independence = max(2, self.nq * log_n)
+        self._pair_hash = PairwiseHash(
             universe=universe,
             buckets=sim.n,
             independence=independence,
             seed=self.seed,
         )
         sim.charge_rounds(
-            nq * log_n,
+            self.nq * log_n,
             "broadcasting the kappa-wise independent hash seed",
             "Lemma 5.3 via Theorem 1",
         )
         sim.charge_rounds(
-            nq * log_n,
+            self.nq * log_n,
             "broadcasting the set of source identifiers",
             "Theorem 3 via Theorem 1",
         )
-        node_by_position = sim.nodes  # deterministic order for bucket -> node
+        self._node_by_position = sim.nodes  # deterministic order for bucket -> node
 
-        # Phase A: sources hand their labelled messages to their helpers over
-        # the local mode (weak diameter eO(NQ_k), charged), balanced.
+    def _phase_scatter(self) -> None:
+        """Phase A (local, charged): sources hand their labelled messages to
+        their helpers; Phase B (global, measured): helpers push the messages to
+        the hashed intermediate nodes."""
+        sim = self.simulator
+        pair_hash = self._pair_hash
+        node_by_position = self._node_by_position
+
         sim.charge_rounds(
-            4 * nq * log_n,
+            4 * self.nq * self._log_n,
             "sources distribute messages to their helpers over the local mode",
             "Theorem 3 / Lemma 5.2 property (2)",
         )
@@ -181,46 +217,41 @@ class KLRouting:
         for (source, target), payload in sorted(
             self.messages.items(), key=lambda item: (sim.id_of(item[0][0]), sim.id_of(item[0][1]))
         ):
-            helpers = source_helpers.helpers_of(source)
-            index = len(helper_outbox) % max(1, len(helpers))
+            helpers = self._source_helpers.helpers_of(source)
             chosen = helpers[hash((sim.id_of(source), sim.id_of(target))) % len(helpers)]
             helper_outbox[chosen].append((sim.id_of(source), sim.id_of(target), payload))
 
-        # Phase B: helpers push messages to intermediate nodes (global, measured).
-        to_intermediate: List[GlobalTransfer] = []
+        to_intermediate: List[GlobalTriple] = []
         for helper, items in sorted(helper_outbox.items(), key=lambda kv: sim.id_of(kv[0])):
             for source_id, target_id, payload in items:
                 bucket = pair_hash(source_id, target_id)
                 intermediate = node_by_position[bucket % len(node_by_position)]
                 to_intermediate.append(
-                    GlobalTransfer(
-                        sender=helper,
-                        receiver=intermediate,
-                        payload=(source_id, target_id, payload),
-                        tag="rt-st",
-                    )
+                    (helper, intermediate, (source_id, target_id, payload))
                 )
-        throttled_global_exchange(sim, to_intermediate)
-        intermediate_store: Dict[Node, Dict[Tuple[int, int], Any]] = defaultdict(dict)
-        intermediate_load: Dict[Node, int] = defaultdict(int)
-        for transfer in to_intermediate:
-            source_id, target_id, payload = transfer.payload
-            intermediate_store[transfer.receiver][(source_id, target_id)] = payload
-            intermediate_load[transfer.receiver] += 1
+        self.exchange(to_intermediate, "rt-st")
+        for _, intermediate, item in to_intermediate:
+            source_id, target_id, payload = item
+            self._intermediate_store[intermediate][(source_id, target_id)] = payload
+            self._intermediate_load[intermediate] += 1
 
-        # Phase C: targets hand requests to their helpers (local, charged), the
-        # helpers query the intermediates (global, measured), the intermediates
-        # reply (global, measured).
+    def _phase_request_reply(self) -> None:
+        """Phase C: targets hand requests to their helpers (local, charged), the
+        helpers query the intermediates (global, measured), the intermediates
+        reply (global, measured)."""
+        sim = self.simulator
+        pair_hash = self._pair_hash
+        node_by_position = self._node_by_position
+
         sim.charge_rounds(
-            4 * nq * log_n,
+            4 * self.nq * self._log_n,
             "targets distribute requests to their helpers over the local mode",
             "Theorem 3 / Lemma 5.2 property (2)",
         )
-        request_transfers: List[GlobalTransfer] = []
-        request_owner: Dict[Tuple[int, int], Node] = {}
-        for target in targets:
-            helpers = target_helpers.helpers_of(target)
-            for position, source in enumerate(sources):
+        request_triples: List[GlobalTriple] = []
+        for target in self.targets:
+            helpers = self._target_helpers.helpers_of(target)
+            for position, source in enumerate(self.sources):
                 if (source, target) not in self.messages:
                     continue
                 helper = helpers[position % len(helpers)]
@@ -228,54 +259,45 @@ class KLRouting:
                 target_id = sim.id_of(target)
                 bucket = pair_hash(source_id, target_id)
                 intermediate = node_by_position[bucket % len(node_by_position)]
-                request_transfers.append(
-                    GlobalTransfer(
-                        sender=helper,
-                        receiver=intermediate,
-                        payload=(source_id, target_id, sim.id_of(helper)),
-                        tag="rt-rq",
-                    )
+                request_triples.append(
+                    (helper, intermediate, (source_id, target_id, sim.id_of(helper)))
                 )
-                request_owner[(source_id, target_id)] = helper
-        throttled_global_exchange(sim, request_transfers)
+        self.exchange(request_triples, "rt-rq")
 
-        reply_transfers: List[GlobalTransfer] = []
-        for transfer in request_transfers:
-            source_id, target_id, helper_id = transfer.payload
-            intermediate = transfer.receiver
-            payload = intermediate_store[intermediate].get((source_id, target_id))
-            reply_transfers.append(
-                GlobalTransfer(
-                    sender=intermediate,
-                    receiver=sim.node_of_id(helper_id),
-                    payload=(source_id, target_id, payload),
-                    tag="rt-rp",
-                )
+        reply_triples: List[GlobalTriple] = []
+        for _, intermediate, request in request_triples:
+            source_id, target_id, helper_id = request
+            payload = self._intermediate_store[intermediate].get((source_id, target_id))
+            reply_triples.append(
+                (intermediate, sim.node_of_id(helper_id), (source_id, target_id, payload))
             )
-        throttled_global_exchange(sim, reply_transfers)
+        self.exchange(reply_triples, "rt-rp")
+        self._reply_triples = reply_triples
 
-        # Phase D: targets collect from their helpers over the local mode (charged).
+    def _phase_collect(self) -> None:
+        """Phase D: targets collect from their helpers over the local mode
+        (charged)."""
+        sim = self.simulator
         sim.charge_rounds(
-            4 * nq * log_n,
+            4 * self.nq * self._log_n,
             "targets collect delivered messages from their helpers",
             "Theorem 3 / Lemma 5.2 property (2)",
         )
-        delivered: Dict[Node, Dict[Node, Any]] = {t: {} for t in targets}
-        for transfer in reply_transfers:
-            source_id, target_id, payload = transfer.payload
-            source = sim.node_of_id(source_id)
-            target = sim.node_of_id(target_id)
-            delivered[target][source] = payload
-
+        delivered: Dict[Node, Dict[Node, Any]] = {t: {} for t in self.targets}
+        for _, _, reply in self._reply_triples:
+            source_id, target_id, payload = reply
+            delivered[sim.node_of_id(target_id)][sim.node_of_id(source_id)] = payload
+        self._delivered = delivered
         for node in sim.nodes:
-            intermediate_load.setdefault(node, 0)
+            self._intermediate_load.setdefault(node, 0)
 
+    def finish(self) -> RoutingResult:
         return RoutingResult(
-            delivered=delivered,
-            k=k,
-            l=l,
-            nq=nq,
+            delivered=self._delivered,
+            k=self.k,
+            l=self.l,
+            nq=self.nq,
             scenario=self.scenario,
-            intermediate_load=dict(intermediate_load),
-            metrics=sim.metrics,
+            intermediate_load=dict(self._intermediate_load),
+            metrics=self.simulator.metrics,
         )

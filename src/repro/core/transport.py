@@ -1,4 +1,4 @@
-"""Throttled global-mode transfers.
+"""Throttled global-mode transfers (legacy per-message path).
 
 Several algorithms (the cluster-tree converge-cast of Theorem 1, the
 helper/intermediate relaying of Theorem 3, the skeleton scheduling of
@@ -11,6 +11,13 @@ still have budget left, sends them, and advances the round.  The number of
 rounds it takes is exactly the congestion-limited quantity the paper reasons
 about (max over nodes of words sent or received, divided by gamma, up to the
 greedy scheduling constant).
+
+This is the *legacy* engine: it submits one ``global_send_to_node`` per
+message and re-estimates payload sizes on every scheduling attempt.  Hot paths
+should use :func:`repro.simulator.engine.batched_global_exchange`, which
+implements the identical greedy schedule (same shards, same round counts) over
+the simulator's batch API; this module is kept for small-scale callers and as
+the comparison baseline for the equivalence tests and speedup benchmarks.
 """
 
 from __future__ import annotations

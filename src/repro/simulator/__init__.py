@@ -18,7 +18,14 @@ from repro.simulator.errors import (
 from repro.simulator.messages import GLOBAL_MODE, LOCAL_MODE, Message, payload_words
 from repro.simulator.knowledge import KnowledgeTracker
 from repro.simulator.metrics import ChargeRecord, RoundMetrics
-from repro.simulator.network import HybridSimulator
+from repro.simulator.network import BatchRecord, HybridSimulator, node_sort_key
+from repro.simulator.engine import (
+    BatchAlgorithm,
+    GlobalTriple,
+    PhaseRecord,
+    batched_global_exchange,
+    shard_transfers,
+)
 
 __all__ = [
     "IdentifierRegime",
@@ -41,4 +48,11 @@ __all__ = [
     "ChargeRecord",
     "RoundMetrics",
     "HybridSimulator",
+    "BatchRecord",
+    "node_sort_key",
+    "BatchAlgorithm",
+    "GlobalTriple",
+    "PhaseRecord",
+    "batched_global_exchange",
+    "shard_transfers",
 ]

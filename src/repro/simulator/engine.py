@@ -1,0 +1,248 @@
+"""Batch messaging engine: token-sharded exchanges and the phase driver.
+
+The per-message transport in :mod:`repro.core.transport` schedules one
+:class:`~repro.core.transport.GlobalTransfer` object at a time through
+``global_send_to_node``; at production scale that is dominated by per-message
+object churn.  This module provides the batch equivalents built on
+:meth:`~repro.simulator.network.HybridSimulator.global_send_batch`:
+
+* :func:`shard_transfers` — split a workload of ``(sender, receiver, payload,
+  words)`` tokens into per-round shards in which every node stays within the
+  per-round global budget on both the sending and the receiving side.  The
+  greedy FIFO policy is *identical* to the legacy
+  :func:`~repro.core.transport.throttled_global_exchange`, so migrating an
+  algorithm from the legacy path to the batch path provably does not change
+  its round counts (asserted by ``tests/unit/test_round_regression.py``).
+* :func:`batched_global_exchange` — run the shards through the simulator, one
+  batch send and one ``advance_round`` per shard, and collect the delivered
+  payloads from the pre-bucketed inboxes.
+* :class:`BatchAlgorithm` — a driver base class for algorithms structured as a
+  sequence of named phases, each of which moves whole rounds of traffic via
+  :meth:`BatchAlgorithm.exchange`.  The driver records per-phase round and
+  message accounting (``phase_log``) and lets callers flip a single ``engine``
+  switch between the batch path and the legacy per-message path (used by the
+  equivalence tests and the speedup benchmarks).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import defaultdict
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.simulator.messages import GLOBAL_MODE, payload_words
+from repro.simulator.network import HybridSimulator
+
+Node = Hashable
+
+__all__ = [
+    "GlobalTriple",
+    "shard_transfers",
+    "batched_global_exchange",
+    "PhaseRecord",
+    "BatchAlgorithm",
+]
+
+#: One unit of batch work: ``(sender, receiver, payload)``.
+GlobalTriple = Tuple[Node, Node, Any]
+
+#: Internal sharding token: ``(sender, receiver, payload, payload_words)``.
+_Token = Tuple[Node, Node, Any, int]
+
+
+def shard_transfers(
+    tokens: Sequence[_Token], budget: int, tag_words: int = 0
+) -> Iterable[List[_Token]]:
+    """Yield per-round shards of ``tokens`` respecting the per-node ``budget``.
+
+    Greedy FIFO: each round scans the remaining tokens in order and admits a
+    token iff its sender and receiver both still have budget left (counting
+    ``tag_words`` on top of each token's payload words).  If nothing fits —
+    every remaining token is individually larger than the budget — exactly one
+    oversized token is forced through (a single oversized message is the
+    sender's problem, and the simulator will flag it).  This mirrors the legacy
+    per-message scheduler exactly, shard for shard.
+    """
+    pending: List[_Token] = list(tokens)
+    while pending:
+        sent: Dict[Node, int] = defaultdict(int)
+        received: Dict[Node, int] = defaultdict(int)
+        shard: List[_Token] = []
+        deferred: List[_Token] = []
+        for token in pending:
+            sender, receiver, _, words = token
+            total = words + tag_words
+            if sent[sender] + total <= budget and received[receiver] + total <= budget:
+                shard.append(token)
+                sent[sender] += total
+                received[receiver] += total
+            else:
+                deferred.append(token)
+        if not shard and deferred:
+            shard.append(deferred.pop(0))
+        yield shard
+        pending = deferred
+
+
+def batched_global_exchange(
+    simulator: HybridSimulator,
+    triples: Iterable[GlobalTriple],
+    *,
+    tag: Optional[str] = None,
+    max_rounds: Optional[int] = None,
+) -> Dict[Node, List[Any]]:
+    """Deliver all ``triples`` over the global mode without exceeding capacity.
+
+    The batch counterpart of
+    :func:`~repro.core.transport.throttled_global_exchange`: the workload is
+    token-sharded once up front (payload sizes computed a single time each),
+    then each shard is submitted with one ``global_send_batch`` call and one
+    ``advance_round``.  ``triples`` may mix ``(sender, receiver, payload)``
+    with ``(sender, receiver, payload, words)`` entries whose payload size the
+    caller already knows.  Returns ``receiver -> [payloads in delivery
+    order]``.  Raises ``RuntimeError`` if ``max_rounds`` is given and the
+    schedule would exceed it.
+    """
+    tokens: List[_Token] = [
+        triple
+        if len(triple) == 4
+        else (triple[0], triple[1], triple[2], payload_words(triple[2]))
+        for triple in triples
+    ]
+    if not tokens:
+        return {}
+    tag_words = payload_words(tag) if tag is not None else 0
+    budget = simulator.global_budget_words()
+    delivered: Dict[Node, List[Any]] = defaultdict(list)
+    rounds_used = 0
+    for shard in shard_transfers(tokens, budget, tag_words):
+        if max_rounds is not None and rounds_used >= max_rounds:
+            raise RuntimeError(
+                f"batched exchange exceeded the allowed {max_rounds} rounds"
+            )
+        simulator.global_send_batch(shard, tag)
+        simulator.advance_round()
+        rounds_used += 1
+        # Harvest only this exchange's traffic — receivers scheduled in this
+        # shard, records carrying this exchange's tag.  A caller may have
+        # queued unrelated global messages before the exchange; those must
+        # not leak into its result (they stay readable via per_node_inbox /
+        # global_inbox for the round they were delivered in).  Foreign
+        # traffic that shares BOTH the tag and a receiver with the shard is
+        # indistinguishable — use a distinct tag per concurrent protocol.
+        inbox = simulator.per_node_inbox(GLOBAL_MODE)
+        for receiver in {token[1] for token in shard}:
+            payloads = [record[1] for record in inbox.get(receiver, ()) if record[2] == tag]
+            if payloads:
+                delivered[receiver].extend(payloads)
+    return dict(delivered)
+
+
+@dataclasses.dataclass(frozen=True)
+class PhaseRecord:
+    """Round/message accounting of one driver phase (deltas, not totals)."""
+
+    name: str
+    measured_rounds: int
+    charged_rounds: int
+    global_messages: int
+    local_messages: int
+
+
+class BatchAlgorithm:
+    """Base class for algorithms driven as a sequence of batch phases.
+
+    Subclasses implement :meth:`phases` — an ordered sequence of
+    ``(name, callable)`` pairs, each moving whole rounds of traffic through
+    :meth:`exchange` — and :meth:`finish`, which assembles the result object.
+    :meth:`run` executes the phases in order and records a
+    :class:`PhaseRecord` delta for each in :attr:`phase_log`.
+
+    Parameters
+    ----------
+    simulator: the network.
+    engine: ``"batch"`` (default) routes exchanges through
+        :func:`batched_global_exchange`; ``"legacy"`` routes them through the
+        per-message :func:`~repro.core.transport.throttled_global_exchange`.
+        Both produce identical inboxes, metrics and round counts — the legacy
+        path exists so equivalence tests and benchmarks can compare the two.
+    """
+
+    def __init__(self, simulator: HybridSimulator, *, engine: str = "batch") -> None:
+        if engine not in ("batch", "legacy"):
+            raise ValueError(f"unknown engine {engine!r}; use 'batch' or 'legacy'")
+        self.simulator = simulator
+        self.engine = engine
+        self.phase_log: List[PhaseRecord] = []
+
+    # ------------------------------------------------------------------
+    def phases(self) -> Sequence[Tuple[str, Callable[[], None]]]:
+        """Ordered (name, callable) pairs; override in subclasses."""
+        raise NotImplementedError
+
+    def finish(self) -> Any:
+        """Assemble the algorithm's result after all phases ran; override."""
+        raise NotImplementedError
+
+    def run(self) -> Any:
+        metrics = self.simulator.metrics
+        for name, phase in self.phases():
+            measured = metrics.measured_rounds
+            charged = metrics.charged_rounds
+            global_msgs = metrics.global_messages
+            local_msgs = metrics.local_messages
+            phase()
+            self.phase_log.append(
+                PhaseRecord(
+                    name=name,
+                    measured_rounds=metrics.measured_rounds - measured,
+                    charged_rounds=metrics.charged_rounds - charged,
+                    global_messages=metrics.global_messages - global_msgs,
+                    local_messages=metrics.local_messages - local_msgs,
+                )
+            )
+        return self.finish()
+
+    # ------------------------------------------------------------------
+    @property
+    def use_batch(self) -> bool:
+        return self.engine == "batch"
+
+    def exchange(
+        self,
+        triples: Sequence[GlobalTriple],
+        tag: Optional[str] = None,
+        *,
+        max_rounds: Optional[int] = None,
+    ) -> Dict[Node, List[Any]]:
+        """Move a workload of (sender, receiver, payload) triples globally.
+
+        Token-shards the workload over as many rounds as the per-node budget
+        requires.  The triple order is the schedule order, so the two engines
+        produce identical shard boundaries and round counts.
+        """
+        if not triples:
+            return {}
+        if self.use_batch:
+            return batched_global_exchange(
+                self.simulator, triples, tag=tag, max_rounds=max_rounds
+            )
+        from repro.core.transport import GlobalTransfer, throttled_global_exchange
+
+        transfers = [
+            GlobalTransfer(sender=triple[0], receiver=triple[1], payload=triple[2], tag=tag)
+            for triple in triples
+        ]
+        return throttled_global_exchange(
+            self.simulator, transfers, max_rounds=max_rounds
+        )

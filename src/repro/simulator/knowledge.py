@@ -49,6 +49,15 @@ class KnowledgeTracker:
         self._validate(node_id)
         return set(self._known.get(node_id, set()))
 
+    def known_ids_view(self, node_id: Hashable) -> Set[Hashable]:
+        """The node's knowledge set *without* a defensive copy.
+
+        Used by the batch send path, which probes membership once per queued
+        message; treat the returned set as read-only.
+        """
+        self._validate(node_id)
+        return self._known.get(node_id, set())
+
     def learn(self, node_id: Hashable, new_ids: Iterable[Hashable]) -> None:
         """Record that ``node_id`` learned the identifiers in ``new_ids``.
 
@@ -58,9 +67,9 @@ class KnowledgeTracker:
         """
         self._validate(node_id)
         bucket = self._known.setdefault(node_id, {node_id})
-        for identifier in new_ids:
-            if identifier in self._all_ids:
-                bucket.add(identifier)
+        if not isinstance(new_ids, (set, frozenset)):
+            new_ids = set(new_ids)
+        bucket |= new_ids & self._all_ids
 
     def knowledge_count(self, node_id: Hashable) -> int:
         self._validate(node_id)

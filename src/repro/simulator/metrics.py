@@ -66,12 +66,14 @@ class RoundMetrics:
     def record_round(self) -> None:
         self.measured_rounds += 1
 
-    def record_local(self, words: int) -> None:
-        self.local_messages += 1
+    def record_local_bulk(self, messages: int, words: int) -> None:
+        """Account a whole round of local traffic at once (batch engine)."""
+        self.local_messages += messages
         self.local_words += words
 
-    def record_global(self, words: int) -> None:
-        self.global_messages += 1
+    def record_global_bulk(self, messages: int, words: int) -> None:
+        """Account a whole round of global traffic at once (batch engine)."""
+        self.global_messages += messages
         self.global_words += words
 
     def record_node_round_load(self, words: int) -> None:

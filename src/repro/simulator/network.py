@@ -13,13 +13,53 @@ synchronous rounds (Section 1.3):
   its own identifier and those of its graph neighbors, and knowledge spreads
   only through received messages.
 
+Batch messaging engine
+----------------------
+
+The simulator is *batch-native*: queued traffic is stored as lightweight
+``(sender, payload, tag, words)`` records pre-bucketed by receiver, and
+capacity accounting is done with aggregated per-node word counters that are
+updated at enqueue time — ``advance_round`` never iterates over individual
+messages to enforce the budget.  Whole rounds of traffic are submitted with
+
+* :meth:`HybridSimulator.local_send_batch` — an iterable of
+  ``(sender, receiver, payload)`` (or ``(sender, receiver, payload, words)``
+  with the payload size precomputed) triples over local edges,
+* :meth:`HybridSimulator.global_send_batch` — the same shape for the global
+  mode, addressed by node (or by identifier with ``by_id=True``), and
+* :meth:`HybridSimulator.per_node_inbox` — the pre-bucketed delivery dict
+  ``receiver -> [(sender, payload, tag, words), ...]`` of the last round,
+  returned without materialising per-message objects.
+
+Capacity-accounting semantics: every queued global record adds its word count
+(payload words plus tag words) to the sender's and the receiver's running
+totals for the round; at ``advance_round`` each total is compared against
+:meth:`HybridSimulator.global_budget_words` exactly once per node.  Send-side
+overruns raise in strict mode (they are always under the algorithm's control);
+receive-side overruns raise only when ``enforce_receive_capacity`` is set and
+are otherwise recorded in
+:class:`~repro.simulator.metrics.RoundMetrics.capacity_violations`.  The
+accounting is therefore identical to charging each message individually — only
+the bookkeeping is O(#nodes) instead of O(#messages) per round.
+
+Legacy per-message API
+----------------------
+
+``local_send`` / ``global_send`` / ``local_inbox`` / ``global_inbox`` are kept
+as thin wrappers over the batch engine: the send wrappers enqueue a single
+record, and the inbox wrappers lazily materialise
+:class:`~repro.simulator.messages.Message` objects from the delivered records
+(cached per round).  They are not deprecated for correctness work — unit tests
+and small experiments read better with them — but hot paths should migrate to
+the batch API (see :mod:`repro.simulator.engine`); new per-message conveniences
+will not be added.
+
 Algorithms drive the simulator directly::
 
     sim = HybridSimulator(graph, ModelConfig.hybrid0(), seed=0)
-    sim.local_send(u, v, payload)
-    sim.global_send(u, target_id, payload)
+    sim.global_send_batch([(u, v, payload) for v, payload in assignments])
     sim.advance_round()
-    for message in sim.global_inbox(v):
+    for sender, payload, tag, words in sim.per_node_inbox().get(v, ()):
         ...
 
 Every send is size-accounted; capacity violations raise (strict mode) or are
@@ -49,7 +89,25 @@ from repro.simulator.metrics import RoundMetrics
 
 Node = Hashable
 
-__all__ = ["HybridSimulator"]
+__all__ = ["HybridSimulator", "BatchRecord", "node_sort_key"]
+
+#: One delivered (or pending) message as stored by the batch engine:
+#: ``(sender, payload, tag, words)``.  The receiver is the bucket key and the
+#: round is the simulator's ``_delivered_round``.
+BatchRecord = Tuple[Node, Any, Optional[str], int]
+
+
+def node_sort_key(node: Node) -> Tuple[int, Any]:
+    """Deterministic total order over nodes: numbers numerically, then strings.
+
+    Integer-labelled graphs (the common case) order as ``0, 1, 2, ..., 10, 11``
+    rather than the lexicographic ``0, 1, 10, 11, ..., 2`` a plain ``key=str``
+    produces; non-numeric labels fall back to their string form in a separate
+    group so mixed-type node sets still compare without a ``TypeError``.
+    """
+    if isinstance(node, bool) or not isinstance(node, (int, float)):
+        return (1, str(node))
+    return (0, node)
 
 
 class HybridSimulator:
@@ -102,17 +160,27 @@ class HybridSimulator:
         self.metrics = RoundMetrics()
         self.round = 0
 
-        self._nodes: List[Node] = sorted(graph.nodes, key=str)
+        self._nodes: List[Node] = sorted(graph.nodes, key=node_sort_key)
         self._node_set: Set[Node] = set(self._nodes)
         self._assign_identifiers()
         self._init_knowledge()
 
-        # Outboxes for the round currently being composed and inboxes holding
-        # the messages delivered by the most recent ``advance_round``.
-        self._pending_local: List[Message] = []
-        self._pending_global: List[Message] = []
-        self._delivered_local: Dict[Node, List[Message]] = {v: [] for v in self._nodes}
-        self._delivered_global: Dict[Node, List[Message]] = {v: [] for v in self._nodes}
+        # Batch-native round state: pending traffic pre-bucketed by receiver,
+        # per-node word counters for the round being composed, and the buckets
+        # delivered by the most recent ``advance_round``.
+        self._pending_local: Dict[Node, List[BatchRecord]] = {}
+        self._pending_global: Dict[Node, List[BatchRecord]] = {}
+        self._global_sent_words: Dict[Node, int] = defaultdict(int)
+        self._global_recv_words: Dict[Node, int] = defaultdict(int)
+        self._pending_local_msgs = 0
+        self._pending_local_words = 0
+        self._pending_global_msgs = 0
+        self._pending_global_words = 0
+        self._delivered_local: Dict[Node, List[BatchRecord]] = {}
+        self._delivered_global: Dict[Node, List[BatchRecord]] = {}
+        # Lazily materialised Message lists for the legacy inbox API.
+        self._materialized_local: Dict[Node, List[Message]] = {}
+        self._materialized_global: Dict[Node, List[Message]] = {}
         self._delivered_round = -1
 
     # ------------------------------------------------------------------
@@ -152,12 +220,12 @@ class HybridSimulator:
     # ------------------------------------------------------------------
     @property
     def nodes(self) -> List[Node]:
-        """All nodes, in a deterministic order."""
+        """All nodes, in a deterministic order (numeric labels numerically)."""
         return list(self._nodes)
 
     def neighbors(self, node: Node) -> List[Node]:
         self._require_node(node)
-        return sorted(self.graph.neighbors(node), key=str)
+        return sorted(self.graph.neighbors(node), key=node_sort_key)
 
     def id_of(self, node: Node) -> int:
         self._require_node(node)
@@ -189,37 +257,162 @@ class HybridSimulator:
         return self.graph[u][v].get("weight", 1)
 
     # ------------------------------------------------------------------
-    # Sending
+    # Sending — batch API (the native path)
     # ------------------------------------------------------------------
-    def local_send(self, sender: Node, receiver: Node, payload: Any, tag: Optional[str] = None) -> None:
-        """Queue a local-mode message along the edge ``{sender, receiver}``."""
-        self._require_node(sender)
-        self._require_node(receiver)
+    def local_send_batch(
+        self,
+        triples: Iterable[Tuple],
+        tag: Optional[str] = None,
+    ) -> int:
+        """Queue a whole round of local-mode traffic at once.
+
+        ``triples`` yields ``(sender, receiver, payload)`` — or
+        ``(sender, receiver, payload, words)`` with ``words`` the precomputed
+        :func:`~repro.simulator.messages.payload_words` of the payload, which
+        skips re-estimating sizes the caller already knows.  All records share
+        ``tag``.  Returns the number of messages queued.
+        """
         if not self.config.local_mode_enabled():
             raise LocalBandwidthExceededError(
                 f"local mode disabled in model {self.config.name!r}"
             )
-        if not self.graph.has_edge(sender, receiver):
-            raise NotANeighborError(f"{sender!r} and {receiver!r} are not adjacent")
-        message = Message(sender, receiver, payload, LOCAL_MODE, tag, self.round)
+        tag_words = payload_words(tag) if tag is not None else 0
         limit = self.config.local_bits_per_edge
-        if limit is not None and limit > 0:
-            # CONGEST-style finite bandwidth: the per-edge payload may use at most
-            # limit bits ~= limit / 64 words.
-            max_words = max(1, limit // 64)
-            if message.words > max_words:
-                if self.config.strict:
-                    raise LocalBandwidthExceededError(
-                        f"local message of {message.words} words exceeds per-edge "
-                        f"budget of {max_words} words"
-                    )
-                self.metrics.record_violation()
-        self._pending_local.append(message)
+        max_words = max(1, limit // 64) if limit is not None and limit > 0 else None
+        node_set = self._node_set
+        has_edge = self.graph.has_edge
+        buckets = self._pending_local
+        count = 0
+        total_words = 0
+        # The try/finally keeps the aggregate counters in sync with the
+        # records already queued when a validation error aborts the batch
+        # mid-iteration (the failing record itself is never queued).
+        try:
+            for triple in triples:
+                if len(triple) == 4:
+                    sender, receiver, payload, words = triple
+                else:
+                    sender, receiver, payload = triple
+                    words = payload_words(payload)
+                if sender not in node_set:
+                    raise UnknownNodeError(sender)
+                if receiver not in node_set:
+                    raise UnknownNodeError(receiver)
+                if not has_edge(sender, receiver):
+                    raise NotANeighborError(f"{sender!r} and {receiver!r} are not adjacent")
+                words += tag_words
+                if max_words is not None and words > max_words:
+                    # CONGEST-style finite bandwidth: the per-edge payload may
+                    # use at most limit bits ~= limit / 64 words.
+                    if self.config.strict:
+                        raise LocalBandwidthExceededError(
+                            f"local message of {words} words exceeds per-edge "
+                            f"budget of {max_words} words"
+                        )
+                    self.metrics.record_violation()
+                bucket = buckets.get(receiver)
+                if bucket is None:
+                    bucket = buckets[receiver] = []
+                bucket.append((sender, payload, tag, words))
+                count += 1
+                total_words += words
+        finally:
+            self._pending_local_msgs += count
+            self._pending_local_words += total_words
+        return count
+
+    def global_send_batch(
+        self,
+        triples: Iterable[Tuple],
+        tag: Optional[str] = None,
+        *,
+        by_id: bool = False,
+    ) -> int:
+        """Queue a whole round of global-mode traffic at once.
+
+        ``triples`` yields ``(sender, receiver, payload)`` — or
+        ``(sender, receiver, payload, words)`` with the payload size
+        precomputed — where ``receiver`` is a node, or an identifier when
+        ``by_id`` is set.  In HYBRID_0 each sender must know the receiver's
+        identifier.  Word counts (payload plus shared ``tag``) are added to the
+        aggregated per-node counters checked by :meth:`advance_round`.
+        Returns the number of messages queued.
+        """
+        if not self.config.global_mode_enabled():
+            raise CapacityExceededError(
+                f"global mode disabled in model {self.config.name!r}"
+            )
+        tag_words = payload_words(tag) if tag is not None else 0
+        check_knowledge = self.config.is_hybrid0()
+        node_set = self._node_set
+        node_to_id = self._node_to_id
+        id_to_node = self._id_to_node
+        known_view = self.knowledge.known_ids_view
+        known_cache: Dict[Node, Set[int]] = {}
+        buckets = self._pending_global
+        sent_words = self._global_sent_words
+        recv_words = self._global_recv_words
+        count = 0
+        total_words = 0
+        # As in local_send_batch: a validation error mid-batch must leave the
+        # aggregate counters consistent with the records already queued.
+        try:
+            for triple in triples:
+                if len(triple) == 4:
+                    sender, receiver, payload, words = triple
+                else:
+                    sender, receiver, payload = triple
+                    words = payload_words(payload)
+                if sender not in node_set:
+                    raise UnknownNodeError(sender)
+                if by_id:
+                    target_id = receiver
+                    if target_id not in id_to_node:
+                        raise UnknownNodeError(target_id)
+                    receiver = id_to_node[target_id]
+                else:
+                    if receiver not in node_set:
+                        raise UnknownNodeError(receiver)
+                    target_id = node_to_id[receiver]
+                if check_knowledge:
+                    known = known_cache.get(sender)
+                    if known is None:
+                        known = known_cache[sender] = known_view(node_to_id[sender])
+                    if target_id not in known:
+                        raise UnknownIdentifierError(
+                            f"node {sender!r} does not know identifier {target_id!r}"
+                        )
+                words += tag_words
+                bucket = buckets.get(receiver)
+                if bucket is None:
+                    bucket = buckets[receiver] = []
+                bucket.append((sender, payload, tag, words))
+                sent_words[sender] += words
+                recv_words[receiver] += words
+                count += 1
+                total_words += words
+        finally:
+            self._pending_global_msgs += count
+            self._pending_global_words += total_words
+        return count
+
+    # ------------------------------------------------------------------
+    # Sending — legacy per-message wrappers
+    # ------------------------------------------------------------------
+    def local_send(self, sender: Node, receiver: Node, payload: Any, tag: Optional[str] = None) -> None:
+        """Queue a local-mode message along the edge ``{sender, receiver}``.
+
+        Thin wrapper over :meth:`local_send_batch` for a single message.
+        """
+        self.local_send_batch(((sender, receiver, payload),), tag)
 
     def local_broadcast(self, sender: Node, payload: Any, tag: Optional[str] = None) -> None:
         """Send the same payload to every neighbor of ``sender``."""
-        for neighbor in self.neighbors(sender):
-            self.local_send(sender, neighbor, payload, tag)
+        words = payload_words(payload)
+        self.local_send_batch(
+            ((sender, neighbor, payload, words) for neighbor in self.neighbors(sender)),
+            tag,
+        )
 
     def global_send(
         self,
@@ -228,29 +421,17 @@ class HybridSimulator:
         payload: Any,
         tag: Optional[str] = None,
     ) -> None:
-        """Queue a global-mode message to the node whose identifier is ``target_id``."""
-        self._require_node(sender)
-        if not self.config.global_mode_enabled():
-            raise CapacityExceededError(
-                f"global mode disabled in model {self.config.name!r}"
-            )
-        if target_id not in self._id_to_node:
-            raise UnknownNodeError(target_id)
-        if self.config.is_hybrid0() and not self.knowledge.knows(
-            self.id_of(sender), target_id
-        ):
-            raise UnknownIdentifierError(
-                f"node {sender!r} does not know identifier {target_id!r}"
-            )
-        receiver = self._id_to_node[target_id]
-        message = Message(sender, receiver, payload, GLOBAL_MODE, tag, self.round)
-        self._pending_global.append(message)
+        """Queue a global-mode message to the node whose identifier is ``target_id``.
+
+        Thin wrapper over :meth:`global_send_batch` for a single message.
+        """
+        self.global_send_batch(((sender, target_id, payload),), tag, by_id=True)
 
     def global_send_to_node(
         self, sender: Node, receiver: Node, payload: Any, tag: Optional[str] = None
     ) -> None:
         """Convenience wrapper: address a global message by node rather than id."""
-        self.global_send(sender, self.id_of(receiver), payload, tag)
+        self.global_send_batch(((sender, receiver, payload),), tag)
 
     # ------------------------------------------------------------------
     # Round lifecycle
@@ -258,62 +439,63 @@ class HybridSimulator:
     def advance_round(self) -> None:
         """Deliver all queued messages and advance the round counter.
 
-        Global-mode capacity is enforced here: the total number of words each
+        Global-mode capacity is enforced here from the aggregated per-node
+        counters maintained by the send path: the total number of words each
         node *sends* and *receives* in this round must not exceed the per-node
         budget (times the configured slack).  Send-side violations raise in
         strict mode because they are always under the algorithm's control;
         receive-side violations raise only when ``enforce_receive_capacity`` is
         set, and are otherwise recorded.
         """
-        budget = self.global_budget_words()
-        sent_words: Dict[Node, int] = defaultdict(int)
-        received_words: Dict[Node, int] = defaultdict(int)
-
-        for message in self._pending_global:
-            sent_words[message.sender] += message.words
-            received_words[message.receiver] += message.words
-
         if self.config.global_mode_enabled():
-            for node, words in sent_words.items():
-                self.metrics.record_node_round_load(words)
+            budget = self.global_budget_words()
+            strict = self.config.strict
+            metrics = self.metrics
+            for node, words in self._global_sent_words.items():
+                metrics.record_node_round_load(words)
                 if words > budget:
-                    self.metrics.record_violation()
-                    if self.config.strict:
+                    metrics.record_violation()
+                    if strict:
                         raise CapacityExceededError(
                             f"node {node!r} sent {words} global words in round "
                             f"{self.round}, budget is {budget}"
                         )
-            for node, words in received_words.items():
-                self.metrics.record_node_round_load(words)
+            for node, words in self._global_recv_words.items():
+                metrics.record_node_round_load(words)
                 if words > budget:
-                    self.metrics.record_violation()
-                    if self.config.strict and self.enforce_receive_capacity:
+                    metrics.record_violation()
+                    if strict and self.enforce_receive_capacity:
                         raise CapacityExceededError(
                             f"node {node!r} received {words} global words in round "
                             f"{self.round}, budget is {budget}"
                         )
 
-        # Deliver.
-        new_local: Dict[Node, List[Message]] = {v: [] for v in self._nodes}
-        new_global: Dict[Node, List[Message]] = {v: [] for v in self._nodes}
-        for message in self._pending_local:
-            new_local[message.receiver].append(message)
-            self.metrics.record_local(message.words)
-        for message in self._pending_global:
-            new_global[message.receiver].append(message)
-            self.metrics.record_global(message.words)
-            # Receiving a global message always teaches the receiver the
-            # sender's identifier (the sender attaches it implicitly).
-            self.knowledge.learn(
-                self.id_of(message.receiver), [self.id_of(message.sender)]
-            )
+        self.metrics.record_local_bulk(self._pending_local_msgs, self._pending_local_words)
+        self.metrics.record_global_bulk(self._pending_global_msgs, self._pending_global_words)
 
-        # Receiving a local message likewise teaches the sender's identifier
-        # (already known — they are neighbors — but harmless and uniform).
-        self._delivered_local = new_local
-        self._delivered_global = new_global
-        self._pending_local = []
-        self._pending_global = []
+        # Receiving a global message always teaches the receiver the sender's
+        # identifier (the sender attaches it implicitly).  In the dense regime
+        # everyone already knows every identifier, so the bookkeeping is
+        # skipped.
+        if self._pending_global and self.config.identifier_regime is IdentifierRegime.SPARSE:
+            node_to_id = self._node_to_id
+            learn = self.knowledge.learn
+            for receiver, records in self._pending_global.items():
+                learn(node_to_id[receiver], {node_to_id[record[0]] for record in records})
+
+        # Deliver: the pending buckets become the inboxes of this round.
+        self._delivered_local = self._pending_local
+        self._delivered_global = self._pending_global
+        self._pending_local = {}
+        self._pending_global = {}
+        self._global_sent_words = defaultdict(int)
+        self._global_recv_words = defaultdict(int)
+        self._pending_local_msgs = 0
+        self._pending_local_words = 0
+        self._pending_global_msgs = 0
+        self._pending_global_words = 0
+        self._materialized_local = {}
+        self._materialized_global = {}
         self._delivered_round = self.round
         self.round += 1
         self.metrics.record_round()
@@ -332,21 +514,53 @@ class HybridSimulator:
     # ------------------------------------------------------------------
     # Receiving
     # ------------------------------------------------------------------
+    def per_node_inbox(self, mode: str = GLOBAL_MODE) -> Dict[Node, List[BatchRecord]]:
+        """The pre-bucketed deliveries of the last round for ``mode``.
+
+        Returns the internal mapping ``receiver -> [(sender, payload, tag,
+        words), ...]`` — nodes that received nothing are absent, so read with
+        ``inbox.get(node, ())``.  The dict and its lists are the simulator's
+        own buckets; treat them as read-only.
+        """
+        self._require_delivered()
+        if mode == GLOBAL_MODE:
+            return self._delivered_global
+        if mode == LOCAL_MODE:
+            return self._delivered_local
+        raise ValueError(f"unknown mode {mode!r}")
+
     def local_inbox(self, node: Node) -> List[Message]:
         """Messages delivered to ``node`` over the local mode in the last round."""
         self._require_delivered()
         self._require_node(node)
-        return list(self._delivered_local[node])
+        cached = self._materialized_local.get(node)
+        if cached is None:
+            cached = self._materialize(node, self._delivered_local, LOCAL_MODE)
+            self._materialized_local[node] = cached
+        return list(cached)
 
     def global_inbox(self, node: Node) -> List[Message]:
         """Messages delivered to ``node`` over the global mode in the last round."""
         self._require_delivered()
         self._require_node(node)
-        return list(self._delivered_global[node])
+        cached = self._materialized_global.get(node)
+        if cached is None:
+            cached = self._materialize(node, self._delivered_global, GLOBAL_MODE)
+            self._materialized_global[node] = cached
+        return list(cached)
 
     def inbox(self, node: Node) -> List[Message]:
         """All messages (local then global) delivered to ``node`` in the last round."""
         return self.local_inbox(node) + self.global_inbox(node)
+
+    def _materialize(
+        self, node: Node, buckets: Dict[Node, List[BatchRecord]], mode: str
+    ) -> List[Message]:
+        round_sent = self._delivered_round
+        return [
+            Message(sender, node, payload, mode, tag, round_sent)
+            for sender, payload, tag, _ in buckets.get(node, ())
+        ]
 
     # ------------------------------------------------------------------
     # Internals

@@ -1,0 +1,125 @@
+"""Cross-validation of the batch-migrated algorithms against centralized truth.
+
+Every algorithm migrated onto the batch messaging engine (KDissemination,
+KAggregation, KLRouting, ApproxSSSP) is checked against
+:mod:`repro.baselines.centralized` reference solvers on a corpus of six graph
+families (path, cycle, grid, barbell, broom, Erdos-Renyi) x three seeds each.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.baselines.centralized import exact_sssp
+from repro.core.aggregation import KAggregation
+from repro.core.dissemination import KDissemination
+from repro.core.routing import KLRouting
+from repro.core.sssp import ApproxSSSP
+from repro.graphs.generators import (
+    barbell_graph,
+    broom_graph,
+    cycle_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    path_graph,
+)
+from repro.graphs.weighted import assign_random_weights
+from repro.simulator.config import ModelConfig
+from repro.simulator.network import HybridSimulator
+
+SEEDS = [0, 1, 2]
+
+GRAPH_FAMILIES = {
+    "path": lambda seed: path_graph(30),
+    "cycle": lambda seed: cycle_graph(30),
+    "grid": lambda seed: grid_graph(6, 2),
+    "barbell": lambda seed: barbell_graph(8, 12),
+    "broom": lambda seed: broom_graph(18, 10),
+    "erdos_renyi": lambda seed: erdos_renyi_graph(30, 0.12, seed=seed),
+}
+
+CASES = [
+    (family, seed) for family in sorted(GRAPH_FAMILIES) for seed in SEEDS
+]
+
+
+def _ids(case):
+    family, seed = case
+    return f"{family}-s{seed}"
+
+
+@pytest.mark.parametrize("case", CASES, ids=_ids)
+def test_dissemination_matches_token_union(case):
+    family, seed = case
+    graph = GRAPH_FAMILIES[family](seed)
+    rng = random.Random(100 + seed)
+    nodes = sorted(graph.nodes)
+    tokens = {}
+    for index in range(12):
+        tokens.setdefault(rng.choice(nodes), []).append(("tok", index))
+    expected = {token for held in tokens.values() for token in held}
+
+    sim = HybridSimulator(graph, ModelConfig.hybrid0(), seed=seed)
+    result = KDissemination(sim, tokens).run()
+
+    assert result.tokens == expected
+    assert result.all_nodes_know_all_tokens()
+    assert result.metrics.capacity_violations == 0
+
+
+@pytest.mark.parametrize("case", CASES, ids=_ids)
+def test_aggregation_matches_centralized_reduction(case):
+    family, seed = case
+    graph = GRAPH_FAMILIES[family](seed)
+    rng = random.Random(200 + seed)
+    k = 6
+    values = {node: [rng.randint(-500, 500) for _ in range(k)] for node in graph.nodes}
+    expected_min = [min(values[v][i] for v in graph.nodes) for i in range(k)]
+    expected_sum = [sum(values[v][i] for v in graph.nodes) for i in range(k)]
+
+    sim = HybridSimulator(graph, ModelConfig.hybrid0(), seed=seed)
+    assert KAggregation(sim, values, min).run().aggregates == expected_min
+    sim = HybridSimulator(graph, ModelConfig.hybrid0(), seed=seed)
+    result = KAggregation(sim, values, lambda a, b: a + b).run()
+    assert result.aggregates == expected_sum
+    assert result.all_nodes_know_all_aggregates()
+
+
+@pytest.mark.parametrize("case", CASES, ids=_ids)
+def test_routing_delivers_every_message(case):
+    family, seed = case
+    graph = GRAPH_FAMILIES[family](seed)
+    rng = random.Random(300 + seed)
+    nodes = sorted(graph.nodes)
+    sources = rng.sample(nodes, 4)
+    targets = rng.sample(nodes, 3)
+    messages = {
+        (s, t): ("payload", s, t) for s in sources for t in targets
+    }
+
+    sim = HybridSimulator(graph, ModelConfig.hybrid(), seed=seed)
+    result = KLRouting(sim, messages, seed=seed).run()
+
+    assert result.all_delivered(messages)
+    for (source, target), payload in messages.items():
+        assert result.delivered[target][source] == payload
+
+
+@pytest.mark.parametrize("case", CASES, ids=_ids)
+def test_sssp_matches_centralized_dijkstra(case):
+    family, seed = case
+    graph = assign_random_weights(GRAPH_FAMILIES[family](seed), max_weight=9, seed=seed)
+    source = sorted(graph.nodes)[0]
+    epsilon = 0.25
+    truth = exact_sssp(graph, source)
+
+    sim = HybridSimulator(graph, ModelConfig.hybrid0(), seed=seed)
+    result = ApproxSSSP(sim, source, epsilon=epsilon).run()
+
+    for node, true_distance in truth.items():
+        estimate = result.distance_to(node)
+        assert estimate < math.inf
+        # Never underestimates, overestimates by at most (1 + eps).
+        assert estimate >= true_distance - 1e-9
+        assert estimate <= (1.0 + epsilon) * true_distance + 1e-9

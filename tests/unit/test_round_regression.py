@@ -1,0 +1,97 @@
+"""Round-count regression pins for the batch-migrated algorithms.
+
+The batch messaging engine must not change algorithm *behavior* — only how
+fast the simulation executes.  These tests pin the exact round counts of
+``KDissemination`` and ``ApproxSSSP`` on fixed seeded instances, for both the
+batch and the legacy engine, so any scheduling drift in a future refactor
+fails loudly instead of silently shifting the paper's reproduced numbers.
+
+If a change *intentionally* alters round counts (e.g. a different cluster-tree
+shape), update the pinned constants and say so in the commit message.
+"""
+
+import random
+
+import pytest
+
+from repro.core.dissemination import KDissemination
+from repro.core.sssp import ApproxSSSP
+from repro.graphs.generators import grid_graph, path_graph
+from repro.simulator.config import ModelConfig
+from repro.simulator.network import HybridSimulator
+
+# (label, graph builder, k, seed) -> (measured_rounds, total_rounds, global_messages)
+DISSEMINATION_PINS = {
+    ("path48", 24, 11): (18, 2381, 262),
+    ("grid7", 16, 5): (14, 1175, 192),
+}
+
+# (label, epsilon, seed) -> (measured_rounds, total_rounds)
+SSSP_PINS = {
+    ("path48", 0.25, 11): (0, 576),
+    ("grid7", 0.5, 5): (0, 144),
+}
+
+GRAPHS = {
+    "path48": lambda: path_graph(48),
+    "grid7": lambda: grid_graph(7, 2),
+}
+
+
+def _scatter(graph, k, seed):
+    rng = random.Random(seed)
+    nodes = sorted(graph.nodes)
+    tokens = {}
+    for index in range(k):
+        tokens.setdefault(rng.choice(nodes), []).append(("tok", index))
+    return tokens
+
+
+@pytest.mark.parametrize("engine", ["batch", "legacy"])
+@pytest.mark.parametrize("pin", sorted(DISSEMINATION_PINS), ids=lambda p: f"{p[0]}-k{p[1]}")
+def test_dissemination_round_counts_are_pinned(pin, engine):
+    label, k, seed = pin
+    graph = GRAPHS[label]()
+    tokens = _scatter(graph, k, seed)
+    sim = HybridSimulator(graph, ModelConfig.hybrid0(), seed=seed)
+    result = KDissemination(sim, tokens, engine=engine).run()
+    expected = DISSEMINATION_PINS[pin]
+    actual = (
+        result.metrics.measured_rounds,
+        result.metrics.total_rounds,
+        result.metrics.global_messages,
+    )
+    assert actual == expected, (
+        f"{label} k={k} seed={seed} engine={engine}: rounds/messages {actual} "
+        f"drifted from the pinned {expected}"
+    )
+    assert result.metrics.capacity_violations == 0
+    assert result.all_nodes_know_all_tokens()
+
+
+@pytest.mark.parametrize("engine", ["batch", "legacy"])
+@pytest.mark.parametrize("pin", sorted(SSSP_PINS), ids=lambda p: f"{p[0]}-eps{p[1]}")
+def test_sssp_round_counts_are_pinned(pin, engine):
+    label, epsilon, seed = pin
+    graph = GRAPHS[label]()
+    sim = HybridSimulator(graph, ModelConfig.hybrid0(), seed=seed)
+    result = ApproxSSSP(sim, 0, epsilon=epsilon, engine=engine).run()
+    expected = SSSP_PINS[pin]
+    actual = (result.metrics.measured_rounds, result.metrics.total_rounds)
+    assert actual == expected
+
+
+@pytest.mark.parametrize("pin", sorted(DISSEMINATION_PINS), ids=lambda p: f"{p[0]}-k{p[1]}")
+def test_batch_and_legacy_engines_agree_exactly(pin):
+    """Beyond the pins: the two engines agree on the full metrics summary."""
+    label, k, seed = pin
+    graph = GRAPHS[label]()
+    tokens = _scatter(graph, k, seed)
+
+    def run(engine):
+        sim = HybridSimulator(graph, ModelConfig.hybrid0(), seed=seed)
+        return KDissemination(sim, tokens, engine=engine).run()
+
+    batch, legacy = run("batch"), run("legacy")
+    assert batch.metrics.summary() == legacy.metrics.summary()
+    assert batch.known_tokens == legacy.known_tokens

@@ -15,9 +15,9 @@ from repro.simulator.errors import (
     UnknownNodeError,
 )
 from repro.simulator.knowledge import KnowledgeTracker
-from repro.simulator.messages import Message, payload_words
+from repro.simulator.messages import GLOBAL_MODE, LOCAL_MODE, Message, payload_words
 from repro.simulator.metrics import ChargeRecord, RoundMetrics
-from repro.simulator.network import HybridSimulator
+from repro.simulator.network import HybridSimulator, node_sort_key
 
 
 class TestModelConfig:
@@ -313,6 +313,152 @@ class TestGlobalMode:
         tight = HybridSimulator(path_graph(40), ModelConfig.hybrid())
         loose = HybridSimulator(path_graph(40), ModelConfig.hybrid(), capacity_multiplier=3)
         assert loose.global_budget_words() == 3 * tight.global_budget_words()
+
+
+class TestNodeOrdering:
+    """Regression: integer nodes must order numerically, not as strings
+    (0, 1, 10, 11, ..., 2 was the old ``key=str`` ordering)."""
+
+    def test_nodes_are_numerically_sorted(self):
+        sim = HybridSimulator(path_graph(12))
+        assert sim.nodes == list(range(12))
+
+    def test_neighbors_are_numerically_sorted(self):
+        sim = HybridSimulator(path_graph(12))
+        assert sim.neighbors(10) == [9, 11]
+        assert sim.neighbors(2) == [1, 3]
+
+    def test_node_sort_key_orders_integers_numerically(self):
+        values = [0, 1, 10, 11, 2, 20, 3]
+        assert sorted(values, key=node_sort_key) == sorted(values)
+
+    def test_node_sort_key_handles_mixed_types(self):
+        import networkx as nx
+
+        graph = nx.Graph()
+        graph.add_edge(0, "a")
+        graph.add_edge("a", 10)
+        graph.add_edge(10, 2)
+        sim = HybridSimulator(graph)
+        # Numbers first (numerically), then strings.
+        assert sim.nodes == [0, 2, 10, "a"]
+
+
+class TestBatchSending:
+    def test_local_send_batch_delivers_prebucketed(self):
+        sim = HybridSimulator(path_graph(4))
+        queued = sim.local_send_batch([(0, 1, "a"), (2, 1, "b"), (2, 3, "c")])
+        assert queued == 3
+        sim.advance_round()
+        inbox = sim.per_node_inbox(LOCAL_MODE)
+        assert [record[1] for record in inbox[1]] == ["a", "b"]
+        assert [record[1] for record in inbox[3]] == ["c"]
+        assert 0 not in inbox
+
+    def test_global_send_batch_by_node_and_by_id(self):
+        sim = HybridSimulator(path_graph(6), ModelConfig.hybrid())
+        sim.global_send_batch([(0, 5, "x")])
+        sim.global_send_batch([(1, sim.id_of(4), "y")], by_id=True)
+        sim.advance_round()
+        assert sim.global_inbox(5)[0].payload == "x"
+        assert sim.global_inbox(4)[0].payload == "y"
+
+    def test_batch_records_carry_sender_tag_and_words(self):
+        sim = HybridSimulator(path_graph(4), ModelConfig.hybrid())
+        sim.global_send_batch([(0, 2, (1, 2, 3))], tag="t")
+        sim.advance_round()
+        ((sender, payload, tag, words),) = sim.per_node_inbox(GLOBAL_MODE)[2]
+        assert sender == 0
+        assert payload == (1, 2, 3)
+        assert tag == "t"
+        assert words == payload_words((1, 2, 3)) + payload_words("t")
+
+    def test_precomputed_words_are_trusted(self):
+        sim = HybridSimulator(path_graph(4), ModelConfig.hybrid())
+        sim.global_send_batch([(0, 2, "payload", 7)])
+        sim.advance_round()
+        assert sim.per_node_inbox(GLOBAL_MODE)[2][0][3] == 7
+        assert sim.metrics.global_words == 7
+
+    def test_batch_send_validates_edges(self):
+        sim = HybridSimulator(path_graph(4))
+        with pytest.raises(NotANeighborError):
+            sim.local_send_batch([(0, 1, "ok"), (0, 3, "not adjacent")])
+
+    def test_batch_send_validates_nodes(self):
+        sim = HybridSimulator(path_graph(4), ModelConfig.hybrid())
+        with pytest.raises(UnknownNodeError):
+            sim.global_send_batch([(0, 99, "nope")])
+
+    def test_batch_knowledge_enforced_in_hybrid0(self):
+        sim = HybridSimulator(path_graph(6), ModelConfig.hybrid0(), seed=0)
+        with pytest.raises(UnknownIdentifierError):
+            sim.global_send_batch([(0, 5, "unknown target")])
+
+    def test_batch_capacity_accounting_matches_per_message(self):
+        sim = HybridSimulator(path_graph(40), ModelConfig.hybrid())
+        budget = sim.global_budget_words()
+        sim.global_send_batch((0, target, 1) for target in range(1, budget + 2))
+        with pytest.raises(CapacityExceededError):
+            sim.advance_round()
+        assert sim.metrics.capacity_violations >= 1
+
+    def test_aborted_batch_keeps_metrics_in_sync(self):
+        # A validation error mid-batch leaves earlier records queued; the
+        # aggregate accounting must cover exactly those records.
+        sim = HybridSimulator(path_graph(4), ModelConfig.hybrid())
+        with pytest.raises(UnknownNodeError):
+            sim.local_send_batch([(0, 1, "ok"), (1, 2, "ok2"), (0, 99, "bad")])
+        with pytest.raises(UnknownNodeError):
+            sim.global_send_batch([(0, 3, "ok"), (99, 0, "bad")])
+        sim.advance_round()
+        assert sim.metrics.local_messages == 2
+        assert sim.metrics.global_messages == 1
+        delivered_local = sum(len(r) for r in sim.per_node_inbox(LOCAL_MODE).values())
+        delivered_global = sum(len(r) for r in sim.per_node_inbox(GLOBAL_MODE).values())
+        assert delivered_local == 2
+        assert delivered_global == 1
+        assert sim.metrics.local_words == sum(
+            rec[3] for recs in sim.per_node_inbox(LOCAL_MODE).values() for rec in recs
+        )
+        assert sim.metrics.global_words == sum(
+            rec[3] for recs in sim.per_node_inbox(GLOBAL_MODE).values() for rec in recs
+        )
+
+    def test_exchange_does_not_harvest_foreign_traffic(self):
+        from repro.simulator.engine import batched_global_exchange
+
+        sim = HybridSimulator(path_graph(6), ModelConfig.hybrid())
+        sim.global_send_batch([(0, 4, "foreign")], tag="other")
+        delivered = batched_global_exchange(sim, [(1, 2, "mine")], tag="x")
+        assert delivered == {2: ["mine"]}
+        # The foreign message was still delivered in that round, just not
+        # folded into the exchange's result.
+        assert [r[1] for r in sim.per_node_inbox(GLOBAL_MODE)[4]] == ["foreign"]
+
+    def test_per_node_inbox_requires_delivered_round(self):
+        sim = HybridSimulator(path_graph(3))
+        with pytest.raises(RoundLifecycleError):
+            sim.per_node_inbox()
+
+    def test_per_node_inbox_rejects_unknown_mode(self):
+        sim = HybridSimulator(path_graph(3))
+        sim.advance_round()
+        with pytest.raises(ValueError):
+            sim.per_node_inbox("carrier-pigeon")
+
+    def test_legacy_wrappers_and_batch_share_accounting(self):
+        batch_sim = HybridSimulator(path_graph(8), ModelConfig.hybrid())
+        legacy_sim = HybridSimulator(path_graph(8), ModelConfig.hybrid())
+        triples = [(0, 5, ("m", 1)), (1, 5, ("m", 2)), (2, 3, ("m", 3))]
+        batch_sim.global_send_batch(triples, tag="t")
+        for sender, receiver, payload in triples:
+            legacy_sim.global_send_to_node(sender, receiver, payload, tag="t")
+        batch_sim.advance_round()
+        legacy_sim.advance_round()
+        assert batch_sim.metrics.summary() == legacy_sim.metrics.summary()
+        for node in batch_sim.nodes:
+            assert batch_sim.global_inbox(node) == legacy_sim.global_inbox(node)
 
 
 class TestRoundLifecycle:
