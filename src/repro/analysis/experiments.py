@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import math
 import random
+import time
 from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
 
 import networkx as nx
@@ -28,7 +29,7 @@ from repro.core.aggregation import KAggregation
 from repro.core.clustering import nq_clustering
 from repro.core.dissemination import KDissemination
 from repro.core.ksp import KSourceShortestPaths
-from repro.core.neighborhood_quality import neighborhood_quality
+from repro.core.neighborhood_quality import neighborhood_quality, nq_profile
 from repro.core.routing import KLRouting, RoutingScenario
 from repro.core.shortest_paths import (
     KLShortestPaths,
@@ -62,6 +63,7 @@ __all__ = [
     "fit_fig1_exponent",
     "run_fig2_broadcast_structure",
     "run_nq_family_point",
+    "run_nq_scale_point",
 ]
 
 
@@ -501,3 +503,34 @@ def run_nq_family_point(spec: GraphSpec, k: int) -> Dict[str, Any]:
         "upper bound min(D, sqrt k)": round(TheoryPredictions.nq_upper_bound(k, d), 2),
         "lower bound sqrt(Dk/3n)": round(TheoryPredictions.nq_lower_bound(k, d, n), 2),
     }
+
+
+def run_nq_scale_point(
+    spec: GraphSpec, ks: Sequence[float], *, with_diameter: bool = False
+) -> Dict[str, Any]:
+    """One large-scale NQ row: the full ``NQ_k`` profile of one graph, timed.
+
+    Exercises the frontier-based analytics engine (:mod:`repro.graphs.index`)
+    at production scale: one shared early-terminating exploration per node
+    answers every workload in ``ks``.  ``with_diameter`` additionally reports
+    the exact hop diameter (cheap through the index's iFUB search on path- and
+    tree-like families; leave it off for cycles, whose antipodal symmetry
+    defeats eccentricity pruning).
+    """
+    graph = generate_graph(spec)
+    n = graph.number_of_nodes()
+    start = time.perf_counter()
+    profile = nq_profile(graph, list(ks))
+    elapsed = time.perf_counter() - start
+    row: Dict[str, Any] = {
+        "graph": spec.label(),
+        "n": n,
+        "NQ profile seconds": round(elapsed, 2),
+    }
+    if with_diameter:
+        start = time.perf_counter()
+        row["D"] = diameter(graph)
+        row["D seconds"] = round(time.perf_counter() - start, 2)
+    for k in ks:
+        row[f"NQ_{k}"] = profile[k]
+    return row

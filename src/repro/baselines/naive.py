@@ -12,14 +12,13 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from collections import defaultdict
 from typing import Any, Dict, Hashable, List, Optional, Sequence, Set
 
 import networkx as nx
 
 from repro.core.skeleton import build_skeleton
-from repro.core.transport import GlobalTransfer, throttled_global_exchange
 from repro.graphs.properties import h_hop_limited_distances, hop_distances_from
+from repro.simulator.engine import BatchAlgorithm, GlobalTriple
 from repro.simulator.metrics import RoundMetrics
 from repro.simulator.network import HybridSimulator
 
@@ -74,7 +73,7 @@ class LocalFloodingBroadcast:
         return BroadcastOutcome(known_tokens=known, tokens=all_tokens, metrics=sim.metrics)
 
 
-class NaiveGlobalBroadcast:
+class NaiveGlobalBroadcast(BatchAlgorithm):
     """Broadcast every token to every node individually over the global mode.
 
     This is the pure-NCC strategy: the token holders unicast each token to each
@@ -83,32 +82,49 @@ class NaiveGlobalBroadcast:
     ``~ k * n / gamma`` rounds per holder on the send side — the benchmarks show
     how badly it loses to Theorem 1 once ``k`` is large, illustrating the
     eOmega(n) bound for NCC-only information dissemination quoted in Section 1.5.
+
+    The unicast workload moves through :meth:`~repro.simulator.engine.BatchAlgorithm.exchange`;
+    ``engine="batch"`` (default) token-shards it through the batch messaging
+    engine, ``engine="legacy"`` replays the original per-message
+    ``throttled_global_exchange`` path with identical shards and round counts.
     """
 
-    def __init__(self, simulator: HybridSimulator, tokens_by_node: Dict[Node, Sequence[Any]]):
-        self.simulator = simulator
+    def __init__(
+        self,
+        simulator: HybridSimulator,
+        tokens_by_node: Dict[Node, Sequence[Any]],
+        *,
+        engine: str = "batch",
+    ):
+        super().__init__(simulator, engine=engine)
         self.tokens_by_node = {node: list(tokens) for node, tokens in tokens_by_node.items()}
+        self._known: Dict[Node, Set[Any]] = {v: set() for v in simulator.nodes}
+        self._all_tokens: Set[Any] = set()
 
-    def run(self) -> BroadcastOutcome:
+    def phases(self):
+        return (("unicast", self._phase_unicast),)
+
+    def _phase_unicast(self) -> None:
         sim = self.simulator
-        all_tokens: Set[Any] = set()
-        known: Dict[Node, Set[Any]] = {v: set() for v in sim.nodes}
-        transfers: List[GlobalTransfer] = []
+        triples: List[GlobalTriple] = []
         for node, tokens in sorted(self.tokens_by_node.items(), key=lambda kv: str(kv[0])):
-            known[node].update(tokens)
-            all_tokens.update(tokens)
+            self._known[node].update(tokens)
+            self._all_tokens.update(tokens)
             for token in tokens:
                 for receiver in sim.nodes:
                     if receiver == node:
                         continue
-                    transfers.append(
-                        GlobalTransfer(sender=node, receiver=receiver, payload=token, tag="naive")
-                    )
-        if transfers:
-            delivered = throttled_global_exchange(sim, transfers)
-            for receiver, payloads in delivered.items():
-                known[receiver].update(payloads)
-        return BroadcastOutcome(known_tokens=known, tokens=all_tokens, metrics=sim.metrics)
+                    triples.append((node, receiver, token))
+        delivered = self.exchange(triples, "naive")
+        for receiver, payloads in delivered.items():
+            self._known[receiver].update(payloads)
+
+    def finish(self) -> BroadcastOutcome:
+        return BroadcastOutcome(
+            known_tokens=self._known,
+            tokens=self._all_tokens,
+            metrics=self.simulator.metrics,
+        )
 
 
 class SqrtNSkeletonAPSP:

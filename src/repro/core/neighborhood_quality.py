@@ -12,26 +12,46 @@ global network within ``O(t)`` rounds.
 
 This module provides
 
-* a centralized reference computation (used by theory predictions, tests and as
-  ground truth for the distributed algorithm), and
+* the centralized computation, delegated to the shared analytics engine
+  (:mod:`repro.graphs.index`): incremental ball growers with early termination
+  stop each node's BFS at the radius that certifies its answer, the diameter is
+  resolved lazily (only for nodes whose exploration exhausts the graph unmet),
+  ``nq_profile`` shares one exploration across all workloads, and graph-level
+  ``NQ_k`` values are memoised per ``(graph, k)``;
+* ``_reference_*`` twins of every centralized function — the original
+  Theta(n * m) formulations kept verbatim (on index-free primitives) as ground
+  truth for the equivalence tests in ``tests/properties/test_nq_equivalence.py``;
 * :class:`DistributedNQComputation`, the distributed computation of Lemma 3.3
   that runs on the :class:`~repro.simulator.network.HybridSimulator`:
   every node explores its neighborhood to increasing depth ``t`` (one local
   round per depth step) and after each step the global minimum ball size
   ``N_t = min_v |B_t(v)|`` is computed with the eO(1)-round aggregation of
   Lemma 4.4; the exploration stops at the first ``t`` with ``N_t >= k / t``.
+  The default ``engine="batch"`` floods *frontiers* (each node forwards only
+  the ball members it discovered in the previous round) through the batch
+  messaging engine; ``engine="legacy"`` reproduces the original whole-ball
+  flooding through the per-message API.  Both engines compute identical balls,
+  identical per-node values and identical round counts and charges (pinned by
+  ``tests/unit/test_round_regression.py``); the frontier engine moves strictly
+  fewer local words, and also fewer local messages once a node's ball
+  saturates before the global termination (an empty frontier is not sent).
 """
 
 from __future__ import annotations
 
 import dataclasses
-import math
-from typing import Dict, Hashable, Optional
+from typing import Dict, Hashable, Optional, Set
 
 import networkx as nx
 
-from repro.graphs.properties import ball_sizes_all_radii, diameter, hop_distances_from
+from repro.graphs.index import get_index
+from repro.graphs.properties import (
+    _reference_ball_sizes_all_radii,
+    _reference_diameter,
+)
 from repro.simulator.config import log2_ceil
+from repro.simulator.engine import BatchAlgorithm
+from repro.simulator.messages import LOCAL_MODE, payload_words
 from repro.simulator.metrics import RoundMetrics
 from repro.simulator.network import HybridSimulator
 
@@ -63,39 +83,68 @@ def _nq_from_ball_sizes(ball_sizes: list, k: float, graph_diameter: int) -> int:
 def neighborhood_quality_of_node(
     graph: nx.Graph, k: float, node: Node, graph_diameter: Optional[int] = None
 ) -> int:
-    """``NQ_k(v)`` for a single node (centralized reference)."""
-    if graph_diameter is None:
-        graph_diameter = diameter(graph)
-    if graph_diameter == 0:
-        # Single-node graph: the ball of radius "D" is the node itself.
-        return 0
-    sizes = ball_sizes_all_radii(graph, node)
-    return _nq_from_ball_sizes(sizes, k, graph_diameter)
+    """``NQ_k(v)`` for a single node (centralized, early-terminating)."""
+    return get_index(graph).nq_of_node(node, k, graph_diameter)
 
 
 def neighborhood_quality_per_node(graph: nx.Graph, k: float) -> Dict[Node, int]:
-    """``NQ_k(v)`` for every node (centralized reference)."""
-    graph_diameter = diameter(graph)
+    """``NQ_k(v)`` for every node (centralized, early-terminating)."""
+    return get_index(graph).nq_per_node(k)
+
+
+def neighborhood_quality(graph: nx.Graph, k: float) -> int:
+    """``NQ_k(G) = max_v NQ_k(v)`` (centralized; memoised per ``(graph, k)``)."""
+    return get_index(graph).nq_value(k)
+
+
+def nq_profile(graph: nx.Graph, ks: list) -> Dict[float, int]:
+    """``NQ_k(G)`` for several workloads ``k`` (one shared exploration per node)."""
+    return get_index(graph).nq_profile(ks)
+
+
+# ----------------------------------------------------------------------
+# Reference (index-free) twins — ground truth for the equivalence tests
+# ----------------------------------------------------------------------
+def _reference_neighborhood_quality_of_node(
+    graph: nx.Graph, k: float, node: Node, graph_diameter: Optional[int] = None
+) -> int:
+    """Original Theta(n * m) formulation of ``NQ_k(v)`` (tests only)."""
+    if graph_diameter is None:
+        graph_diameter = _reference_diameter(graph)
+    if graph_diameter == 0:
+        # Single-node graph: the ball of radius "D" is the node itself.
+        return 0
+    sizes = _reference_ball_sizes_all_radii(graph, node)
+    return _nq_from_ball_sizes(sizes, k, graph_diameter)
+
+
+def _reference_neighborhood_quality_per_node(
+    graph: nx.Graph, k: float
+) -> Dict[Node, int]:
+    """Original Theta(n * m) formulation of the per-node map (tests only)."""
+    graph_diameter = _reference_diameter(graph)
     result: Dict[Node, int] = {}
     for node in graph.nodes:
         if graph_diameter == 0:
             result[node] = 0
             continue
-        sizes = ball_sizes_all_radii(graph, node)
+        sizes = _reference_ball_sizes_all_radii(graph, node)
         result[node] = _nq_from_ball_sizes(sizes, k, graph_diameter)
     return result
 
 
-def neighborhood_quality(graph: nx.Graph, k: float) -> int:
-    """``NQ_k(G) = max_v NQ_k(v)`` (centralized reference)."""
-    per_node = neighborhood_quality_per_node(graph, k)
+def _reference_neighborhood_quality(graph: nx.Graph, k: float) -> int:
+    """Original formulation of ``NQ_k(G)`` (tests and speedup benchmarks only)."""
+    per_node = _reference_neighborhood_quality_per_node(graph, k)
     return max(per_node.values())
 
 
-def nq_profile(graph: nx.Graph, ks: list) -> Dict[float, int]:
-    """``NQ_k(G)`` for several workloads ``k`` (shares the diameter computation)."""
-    graph_diameter = diameter(graph)
-    sizes_per_node = {node: ball_sizes_all_radii(graph, node) for node in graph.nodes}
+def _reference_nq_profile(graph: nx.Graph, ks: list) -> Dict[float, int]:
+    """Original formulation of the workload profile (tests only)."""
+    graph_diameter = _reference_diameter(graph)
+    sizes_per_node = {
+        node: _reference_ball_sizes_all_radii(graph, node) for node in graph.nodes
+    }
     profile: Dict[float, int] = {}
     for k in ks:
         if graph_diameter == 0:
@@ -117,52 +166,153 @@ class NQResult:
     metrics: RoundMetrics
 
 
-class DistributedNQComputation:
+class DistributedNQComputation(BatchAlgorithm):
     """Distributed computation of ``NQ_k`` and ``NQ_k(v)`` (Lemma 3.3).
 
     The algorithm explores neighborhoods to increasing depth.  Depth step ``t``
-    costs one round of local flooding (simulated: every node broadcasts its
-    currently known ball to its neighbors), after which the global minimum
+    costs one round of local flooding, after which the global minimum
     ``N_t = min_v |B_t(v)|`` is obtained via the virtual-tree aggregation of
     Lemma 4.4, charged as ``O(log^2 n)`` rounds per step (the tree construction
     of [GHSS17] is charged once; see DESIGN.md substitution note 1).
     Exploration stops at the first ``t`` with ``N_t >= k / t``; if the entire
     graph is explored first, ``NQ_k = D``.
+
+    ``engine="batch"`` (default) floods only each round's *newly discovered*
+    ball members through :meth:`~repro.simulator.network.HybridSimulator.local_send_batch`;
+    ``engine="legacy"`` floods every node's whole known ball as a frozenset
+    through the per-message API, as the original implementation did.  The two
+    engines discover identical balls in identical rounds — a node ``u`` enters
+    ``v``'s ball in round ``hop(u, v)`` either way — so per-node values, the
+    global value and all round counts and charges coincide exactly.  Message
+    and word *volumes* do not: the frontier engine never re-broadcasts known
+    members, and a node whose ball has saturated sends nothing at all.
     """
 
-    def __init__(self, simulator: HybridSimulator, k: float) -> None:
+    def __init__(
+        self, simulator: HybridSimulator, k: float, *, engine: str = "batch"
+    ) -> None:
+        super().__init__(simulator, engine=engine)
         if k <= 0:
             raise ValueError("k must be positive")
-        self.simulator = simulator
         self.k = k
+        self._per_node_nq: Dict[Node, int] = {}
+        self._nq_value: int = 0
 
-    def run(self) -> NQResult:
+    # ------------------------------------------------------------------
+    def phases(self):
+        return (
+            ("overlay", self._phase_overlay),
+            ("explore", self._phase_explore),
+        )
+
+    def _phase_overlay(self) -> None:
+        """One-time overlay construction used by the Lemma 4.4 aggregations."""
         sim = self.simulator
-        n = sim.n
-        log_n = log2_ceil(max(n, 2))
-
-        # Each node's current knowledge of its ball (starts with itself).
-        known_balls: Dict[Node, set] = {v: {v} for v in sim.nodes}
-        per_node_nq: Dict[Node, int] = {}
-        aggregation_charge_per_step = 2 * log_n
-
-        # One-time overlay construction used by the Lemma 4.4 aggregations.
+        log_n = log2_ceil(max(sim.n, 2))
         sim.charge_rounds(
             log_n * log_n,
             "virtual-tree overlay construction for basic aggregation",
             "Lemma 4.3 [GHSS17]",
         )
 
+    def _phase_explore(self) -> None:
+        if self.use_batch:
+            self._explore_frontier()
+        else:
+            self._explore_legacy()
+
+    # ------------------------------------------------------------------
+    def _step_bookkeeping(
+        self, t: int, known_balls: Dict[Node, Set[Node]]
+    ) -> Optional[int]:
+        """Shared per-step accounting: per-node thresholds, the charged
+        Lemma 4.4 min-aggregation and the two termination conditions.
+        Returns the final ``NQ_k`` when exploration should stop."""
+        sim = self.simulator
+        n = sim.n
+        log_n = log2_ceil(max(n, 2))
+
+        # Record per-node NQ_k(v) the first time the node's own ball passes
+        # the threshold.
+        for v in sim.nodes:
+            if v not in self._per_node_nq and len(known_balls[v]) >= self.k / t:
+                self._per_node_nq[v] = t
+
+        # Global min-aggregation of |B_t(v)| (Lemma 4.4), charged.
+        sim.charge_rounds(
+            2 * log_n,
+            f"min-aggregation of ball sizes at depth {t}",
+            "Lemma 4.4",
+        )
+        min_ball = min(len(known_balls[v]) for v in sim.nodes)
+        if min_ball >= self.k / t:
+            return t
+        if all(len(known_balls[v]) == n for v in sim.nodes):
+            # Entire graph explored: NQ_k = D and t is now >= D.
+            return t
+        return None
+
+    def _explore_frontier(self) -> None:
+        """Frontier-only flooding over the batch engine: each node forwards
+        the ball members it learned in the previous round, never its whole
+        ball."""
+        sim = self.simulator
+        known_balls: Dict[Node, Set[Node]] = {v: {v} for v in sim.nodes}
+        frontiers: Dict[Node, frozenset] = {v: frozenset((v,)) for v in sim.nodes}
+        neighbors = {v: sim.neighbors(v) for v in sim.nodes}
+
         t = 0
         nq_value: Optional[int] = None
-        max_steps = n  # exploration can never exceed n-1 depth
+        max_steps = sim.n  # exploration can never exceed n-1 depth
+        while t < max_steps:
+            t += 1
+            # One local round: every node forwards its newest discoveries.
+            triples = []
+            for v in sim.nodes:
+                frontier = frontiers[v]
+                if not frontier:
+                    continue
+                words = payload_words(frontier)
+                for u in neighbors[v]:
+                    triples.append((v, u, frontier, words))
+            sim.local_send_batch(triples, "nq-explore")
+            sim.advance_round()
+            inbox = sim.per_node_inbox(LOCAL_MODE)
+            next_frontiers: Dict[Node, frozenset] = {}
+            for v in sim.nodes:
+                ball = known_balls[v]
+                fresh: Set[Node] = set()
+                for sender, payload, tag, _ in inbox.get(v, ()):
+                    if tag != "nq-explore":
+                        continue
+                    for u in payload:
+                        if u not in ball:
+                            fresh.add(u)
+                ball |= fresh
+                next_frontiers[v] = frozenset(fresh)
+            frontiers = next_frontiers
+
+            nq_value = self._step_bookkeeping(t, known_balls)
+            if nq_value is not None:
+                break
+
+        self._finalize(t if nq_value is None else nq_value, sim)
+
+    def _explore_legacy(self) -> None:
+        """The original whole-ball flooding over the per-message API."""
+        sim = self.simulator
+        known_balls: Dict[Node, Set[Node]] = {v: {v} for v in sim.nodes}
+
+        t = 0
+        nq_value: Optional[int] = None
+        max_steps = sim.n  # exploration can never exceed n-1 depth
         while t < max_steps:
             t += 1
             # One local round: every node tells its neighbors its known ball.
             for v in sim.nodes:
                 sim.local_broadcast(v, frozenset(known_balls[v]), tag="nq-explore")
             sim.advance_round()
-            new_balls: Dict[Node, set] = {}
+            new_balls: Dict[Node, Set[Node]] = {}
             for v in sim.nodes:
                 merged = set(known_balls[v])
                 for message in sim.local_inbox(v):
@@ -171,31 +321,22 @@ class DistributedNQComputation:
                 new_balls[v] = merged
             known_balls = new_balls
 
-            # Record per-node NQ_k(v) the first time the node's own ball passes
-            # the threshold.
-            for v in sim.nodes:
-                if v not in per_node_nq and len(known_balls[v]) >= self.k / t:
-                    per_node_nq[v] = t
-
-            # Global min-aggregation of |B_t(v)| (Lemma 4.4), charged.
-            sim.charge_rounds(
-                aggregation_charge_per_step,
-                f"min-aggregation of ball sizes at depth {t}",
-                "Lemma 4.4",
-            )
-            min_ball = min(len(known_balls[v]) for v in sim.nodes)
-            if min_ball >= self.k / t:
-                nq_value = t
-                break
-            if all(len(known_balls[v]) == n for v in sim.nodes):
-                # Entire graph explored: NQ_k = D and t is now >= D.
-                nq_value = t
+            nq_value = self._step_bookkeeping(t, known_balls)
+            if nq_value is not None:
                 break
 
-        if nq_value is None:
-            nq_value = t
+        self._finalize(t if nq_value is None else nq_value, sim)
+
+    def _finalize(self, nq_value: int, sim: HybridSimulator) -> None:
+        self._nq_value = nq_value
         # Nodes whose threshold was never reached have NQ_k(v) = D; at this
-        # point t equals (an upper bound on) the relevant exploration depth.
+        # point the exploration depth equals (an upper bound on) it.
         for v in sim.nodes:
-            per_node_nq.setdefault(v, nq_value)
-        return NQResult(nq=nq_value, per_node=per_node_nq, metrics=sim.metrics)
+            self._per_node_nq.setdefault(v, nq_value)
+
+    def finish(self) -> NQResult:
+        return NQResult(
+            nq=self._nq_value,
+            per_node=dict(self._per_node_nq),
+            metrics=self.simulator.metrics,
+        )

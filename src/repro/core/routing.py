@@ -153,6 +153,9 @@ class KLRouting(BatchAlgorithm):
 
         nq = self._nq_hint
         if nq is None:
+            # Served by the frontier-based analytics engine and memoised per
+            # (graph, k): repeated routing instances on the same graph — e.g.
+            # the (k, l)-SP reversal of Theorem 5 — recompute nothing.
             nq = neighborhood_quality(sim.graph, max(self.k, 1))
         self.nq = max(1, nq)
         sim.charge_rounds(self.nq, "distributed computation of NQ_k", "Lemma 3.3")

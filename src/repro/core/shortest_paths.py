@@ -116,6 +116,9 @@ class KLShortestPaths:
         sim = self.simulator
         k = len(self.sources)
         l = len(self.targets)
+        # Memoised per (graph, k) by the analytics engine; the KLRouting
+        # instance below receives it as a hint, so the whole Theorem 5
+        # pipeline evaluates NQ_k exactly once.
         nq = max(1, neighborhood_quality(sim.graph, max(k, 1)))
         sim.charge_rounds(nq, "distributed computation of NQ_k", "Lemma 3.3")
 
@@ -281,7 +284,9 @@ class SpannerAPSP:
         spanner = distributed_spanner(sim, t)
         spanner_edges = spanner.number_of_edges()
 
-        # Broadcast the m* spanner edges (Theorem 1 with k = m*).
+        # Broadcast the m* spanner edges (Theorem 1 with k = m*).  Both NQ
+        # evaluations in this method hit the per-(graph, k) memo on repeat
+        # runs over the same instance (the Table 2 sweep does exactly that).
         nq_mstar = max(1, neighborhood_quality(graph, max(spanner_edges, 1)))
         sim.charge_rounds(
             nq_mstar * log_n,

@@ -1,0 +1,511 @@
+"""Cached, integer-indexed graph analytics engine (CSR adjacency + flat BFS).
+
+The centralized analytics behind the paper's headline parameter ``NQ_k``
+(Definition 3.1) used to run a full BFS from every node *twice* — once inside
+``diameter()`` and once in ``ball_sizes_all_radii`` — making every NQ query
+Theta(n * m) with large constants.  This module replaces that path with a
+shared :class:`GraphIndex`: each ``networkx`` graph gets (at most) one
+compressed-sparse-row adjacency built over integer node indices, plus flat-array
+BFS primitives and incremental *ball growers* that evaluate Definition 3.1 with
+early termination.
+
+Why early termination is correct and fast
+-----------------------------------------
+
+``NQ_k(v) = min({t >= 1 : |B_t(v)| >= k / t} U {D})``.  The ball grower runs a
+level-by-level BFS from ``v`` and checks the threshold after each level.  The
+predicate ``|B_t(v)| >= k / t`` is *monotone in t* (the ball only grows while
+``k / t`` only shrinks), so the first radius ``t`` at which it holds is exactly
+the minimum in the definition — the BFS can stop there, having visited only
+``|B_t(v)| ~ k / t`` nodes instead of the whole graph.  Since on every graph
+``NQ_k <= sqrt(k)`` (Lemma 3.6), most nodes stop after a few hops and the
+per-node cost is bounded by the ball that certifies the answer, not by ``n``.
+
+The hop diameter ``D`` is only relevant for nodes whose BFS exhausts the graph
+*before* the threshold is ever met (``k`` super-polynomial in the reachable
+mass, e.g. a star with ``k = 10^6``).  For those nodes the ball size is pinned
+at its final value ``S = |B_ecc(v)(v)|``, so the smallest satisfying radius
+``t1`` solves ``S >= k / t1`` in O(1); the answer is ``min(t1, D)``.  ``D`` is
+therefore computed *lazily* — never as ``n`` BFS passes, but via a cached
+eccentricity-bound pruning search (double sweep + iFUB): BFS levels around a
+midpoint of an approximately diametral path are scanned outward-in, and the
+scan stops as soon as ``2 * level <= best_found``, because any pair realising a
+larger diameter would have an endpoint in an already-scanned level.  The result
+is exact; on paths/grids/barbells it needs only a handful of BFS passes.  A
+running diameter *lower* bound (the largest eccentricity any full sweep has
+seen) often answers ``min(t1, D)`` without computing ``D`` at all.
+
+Caching
+-------
+
+:func:`get_index` memoises one :class:`GraphIndex` per graph object in a
+``WeakKeyDictionary`` (the index holds no strong reference back to the graph,
+so graphs are collected normally).  Scalar ``NQ_k`` values are additionally
+memoised per ``(index, k)`` — repeated ``neighborhood_quality(graph, k)``
+calls inside one experiment (routing + shortest paths + lower bounds on the
+same instance) cost one computation.  The cache is invalidated when the
+graph's node or edge count changes; *rewiring* a graph while keeping both
+counts constant is not detected — treat analysed graphs as frozen (every
+generator in :mod:`repro.graphs.generators` does).
+"""
+
+from __future__ import annotations
+
+import math
+import weakref
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence
+
+import networkx as nx
+
+Node = Hashable
+
+__all__ = ["GraphIndex", "get_index"]
+
+
+class GraphIndex:
+    """CSR-style integer-indexed view of one (frozen) ``networkx`` graph.
+
+    ``nodes[i]`` is the node with index ``i`` and ``index_of[node]`` inverts
+    it; the adjacency of index ``u`` is ``targets[offsets[u]:offsets[u + 1]]``.
+    All BFS primitives work on flat integer arrays with an epoch-stamped
+    ``visited`` scratch vector, so a query touching only a small ball costs
+    only that ball — no O(n) per-query (re)initialisation.
+    """
+
+    def __init__(self, graph: nx.Graph) -> None:
+        nodes: List[Node] = list(graph.nodes)
+        n = len(nodes)
+        self.n = n
+        self.m = graph.number_of_edges()
+        self.nodes = nodes
+        index_of: Dict[Node, int] = {}
+        for i, v in enumerate(nodes):
+            index_of[v] = i
+        self.index_of = index_of
+
+        offsets = [0] * (n + 1)
+        for u, v in graph.edges():
+            offsets[index_of[u] + 1] += 1
+            offsets[index_of[v] + 1] += 1
+        for i in range(n):
+            offsets[i + 1] += offsets[i]
+        cursor = list(offsets)
+        targets = [0] * (2 * self.m)
+        for u, v in graph.edges():
+            ui = index_of[u]
+            vi = index_of[v]
+            targets[cursor[ui]] = vi
+            cursor[ui] += 1
+            targets[cursor[vi]] = ui
+            cursor[vi] += 1
+        self._offsets = offsets
+        self._targets = targets
+
+        # Epoch-stamped scratch vector shared by all single-source queries.
+        self._visited = [0] * n
+        self._epoch = 0
+
+        # Lazily filled analytics caches.
+        self._connected: Optional[bool] = None
+        self._diameter: Optional[int] = None
+        self._diam_lb = 0  # largest eccentricity any full sweep has observed
+        self._nq_cache: Dict[float, int] = {}
+
+    # ------------------------------------------------------------------
+    # Flat BFS primitives
+    # ------------------------------------------------------------------
+    def _require(self, node: Node) -> int:
+        index = self.index_of.get(node)
+        if index is None:
+            raise KeyError(f"source {node!r} not in graph")
+        return index
+
+    def _sweep(self, s: int):
+        """Full BFS from index ``s``: ``(eccentricity, component_size, farthest)``."""
+        self._epoch += 1
+        epoch = self._epoch
+        visited = self._visited
+        offsets = self._offsets
+        targets = self._targets
+        visited[s] = epoch
+        frontier = [s]
+        size = 1
+        ecc = 0
+        last = s
+        while frontier:
+            nxt = []
+            for u in frontier:
+                for j in range(offsets[u], offsets[u + 1]):
+                    v = targets[j]
+                    if visited[v] != epoch:
+                        visited[v] = epoch
+                        nxt.append(v)
+            if not nxt:
+                break
+            ecc += 1
+            size += len(nxt)
+            last = nxt[0]
+            frontier = nxt
+        return ecc, size, last
+
+    def _distances_idx(self, sources: Sequence[int]) -> List[int]:
+        """Multi-source BFS over indices; ``-1`` marks unreachable nodes."""
+        dist = [-1] * self.n
+        offsets = self._offsets
+        targets = self._targets
+        frontier: List[int] = []
+        for s in sources:
+            if dist[s] < 0:
+                dist[s] = 0
+                frontier.append(s)
+        d = 0
+        while frontier:
+            d += 1
+            nxt = []
+            for u in frontier:
+                for j in range(offsets[u], offsets[u + 1]):
+                    v = targets[j]
+                    if dist[v] < 0:
+                        dist[v] = d
+                        nxt.append(v)
+            frontier = nxt
+        return dist
+
+    def hop_distances(self, sources: Iterable[Node]) -> List[int]:
+        """Multi-source hop distances as a flat list aligned with :attr:`nodes`.
+
+        ``result[i]`` is ``min_{s in sources} hop(s, nodes[i])`` or ``-1`` when
+        no source reaches ``nodes[i]``.
+        """
+        return self._distances_idx([self._require(node) for node in sources])
+
+    # ------------------------------------------------------------------
+    # Classic structural queries
+    # ------------------------------------------------------------------
+    def eccentricity(self, node: Node) -> int:
+        """Maximum hop distance from ``node`` to any reachable node."""
+        return self._sweep(self._require(node))[0]
+
+    def ball_sizes_all_radii(self, center: Node) -> List[int]:
+        """``[|B_0(v)|, |B_1(v)|, ..., |B_ecc(v)|]`` from one level BFS."""
+        s = self._require(center)
+        self._epoch += 1
+        epoch = self._epoch
+        visited = self._visited
+        offsets = self._offsets
+        targets = self._targets
+        visited[s] = epoch
+        frontier = [s]
+        size = 1
+        sizes = [1]
+        while frontier:
+            nxt = []
+            for u in frontier:
+                for j in range(offsets[u], offsets[u + 1]):
+                    v = targets[j]
+                    if visited[v] != epoch:
+                        visited[v] = epoch
+                        nxt.append(v)
+            if not nxt:
+                break
+            size += len(nxt)
+            sizes.append(size)
+            frontier = nxt
+        return sizes
+
+    def is_connected(self) -> bool:
+        """Whether the graph is connected (empty graphs count as connected)."""
+        if self._connected is None:
+            if self.n <= 1:
+                self._connected = True
+            else:
+                ecc, size, _ = self._sweep(0)
+                self._connected = size == self.n
+                if self._connected and ecc > self._diam_lb:
+                    self._diam_lb = ecc
+        return self._connected
+
+    def diameter(self) -> int:
+        """Exact hop diameter via double sweep + iFUB eccentricity pruning.
+
+        Raises ``ValueError`` on empty or disconnected graphs (mirroring the
+        reference implementation in :mod:`repro.graphs.properties`).
+        """
+        if self._diameter is not None:
+            return self._diameter
+        if self.n == 0:
+            raise ValueError("diameter of empty graph is undefined")
+        if not self.is_connected():
+            raise ValueError("graph is disconnected; diameter undefined")
+        if self.n == 1:
+            self._diameter = 0
+            return 0
+        self._diameter = self._ifub()
+        if self._diameter > self._diam_lb:
+            self._diam_lb = self._diameter
+        return self._diameter
+
+    def _ifub(self) -> int:
+        offsets = self._offsets
+        # Double sweep from a max-degree node: BFS to the farthest node a,
+        # then from a to the farthest node b; d(a, b) is a strong diameter
+        # lower bound and the a-b path supplies the iFUB midpoint.
+        r = max(range(self.n), key=lambda i: offsets[i + 1] - offsets[i])
+        ecc_r, _, a = self._sweep(r)
+        dist_a = self._distances_idx([a])
+        ecc_a = max(dist_a)
+        b = dist_a.index(ecc_a)
+        dist_b = self._distances_idx([b])
+        ecc_b = max(dist_b)
+        lb = max(ecc_r, ecc_a, ecc_b)
+
+        half = ecc_a // 2
+        mid = a
+        for u in range(self.n):
+            if dist_a[u] == half and dist_a[u] + dist_b[u] == ecc_a:
+                mid = u
+                break
+        dist_m = self._distances_idx([mid])
+        ecc_m = max(dist_m)
+        if ecc_m > lb:
+            lb = ecc_m
+
+        levels: List[List[int]] = [[] for _ in range(ecc_m + 1)]
+        for u, d in enumerate(dist_m):
+            levels[d].append(u)
+
+        # Scan levels outward-in.  Any pair realising a diameter > lb has an
+        # endpoint at level > lb / 2 (its distance to mid is at least half the
+        # diameter), so once 2 * i <= lb every unscanned node is irrelevant.
+        i = ecc_m
+        while 2 * i > lb:
+            for u in levels[i]:
+                ecc_u, _, _ = self._sweep(u)
+                if ecc_u > lb:
+                    lb = ecc_u
+                    if 2 * i <= lb:
+                        break
+            i -= 1
+        return lb
+
+    # ------------------------------------------------------------------
+    # Neighborhood quality (Definition 3.1) — incremental ball growers
+    # ------------------------------------------------------------------
+    def _require_nq_preconditions(self) -> None:
+        # The reference implementation computes diameter(graph) up front, which
+        # raises on empty and disconnected graphs; preserve those errors
+        # without paying for the eager diameter.
+        if self.n == 0:
+            raise ValueError("diameter of empty graph is undefined")
+        if not self.is_connected():
+            raise ValueError("graph is disconnected; diameter undefined")
+
+    def _nq_grow(self, s: int, k: float, cap: Optional[int]) -> int:
+        """First radius ``t`` with ``|B_t(s)| >= k / t``, capped by the diameter.
+
+        ``cap`` is an explicit diameter (when the caller supplied one);
+        ``cap=None`` resolves the diameter lazily and only in the rare
+        saturated case.
+        """
+        self._epoch += 1
+        epoch = self._epoch
+        visited = self._visited
+        offsets = self._offsets
+        targets = self._targets
+        visited[s] = epoch
+        frontier = [s]
+        size = 1
+        t = 0
+        while True:
+            t += 1
+            if cap is not None and t > cap:
+                return cap
+            nxt = []
+            for u in frontier:
+                for j in range(offsets[u], offsets[u + 1]):
+                    v = targets[j]
+                    if visited[v] != epoch:
+                        visited[v] = epoch
+                        nxt.append(v)
+            if not nxt:
+                ecc = t - 1
+                break
+            size += len(nxt)
+            if size >= k / t:
+                return t
+            frontier = nxt
+        if self._connected and ecc > self._diam_lb:
+            self._diam_lb = ecc
+        return self._saturated_nq(size, ecc, k, cap)
+
+    def _saturated_nq(self, size: int, ecc: int, k: float, cap: Optional[int]) -> int:
+        """Resolve ``NQ_k(v)`` once the BFS exhausted v's component unmet.
+
+        The ball is pinned at ``size`` for every radius beyond ``ecc``, so the
+        smallest satisfying radius solves ``size >= k / t`` directly; the
+        definition caps the answer at the diameter.
+        """
+        if math.isinf(k) or math.isnan(k):
+            # Threshold never satisfiable: the definition falls back to D.
+            return cap if cap is not None else self.diameter()
+        t1 = ecc + 1
+        if size < k / t1:
+            jump = int(k / size) - 2
+            if jump > t1:
+                t1 = jump
+            while size < k / t1:
+                t1 += 1
+        if cap is not None:
+            return t1 if t1 <= cap else cap
+        if t1 <= self._diam_lb:
+            return t1
+        d = self.diameter()
+        return t1 if t1 <= d else d
+
+    def nq_of_node(
+        self, node: Node, k: float, graph_diameter: Optional[int] = None
+    ) -> int:
+        """``NQ_k(node)`` (Definition 3.1) with early termination."""
+        if graph_diameter is None:
+            self._require_nq_preconditions()
+            if self.n == 1:
+                return 0
+            if k <= 0:
+                raise ValueError("k must be positive")
+            return self._nq_grow(self._require(node), k, None)
+        if graph_diameter == 0:
+            return 0
+        if k <= 0:
+            raise ValueError("k must be positive")
+        return self._nq_grow(self._require(node), k, graph_diameter)
+
+    def nq_per_node(self, k: float) -> Dict[Node, int]:
+        """``NQ_k(v)`` for every node; each BFS stops at its certifying ball."""
+        self._require_nq_preconditions()
+        if self.n == 1:
+            return {self.nodes[0]: 0}
+        if k <= 0:
+            raise ValueError("k must be positive")
+        grow = self._nq_grow
+        return {node: grow(i, k, None) for i, node in enumerate(self.nodes)}
+
+    def nq_value(self, k: float) -> int:
+        """``NQ_k(G) = max_v NQ_k(v)``, memoised per ``k``."""
+        cached = self._nq_cache.get(k)
+        if cached is not None:
+            return cached
+        self._require_nq_preconditions()
+        if self.n == 1:
+            value = 0
+        else:
+            if k <= 0:
+                raise ValueError("k must be positive")
+            grow = self._nq_grow
+            value = 0
+            for i in range(self.n):
+                candidate = grow(i, k, None)
+                if candidate > value:
+                    value = candidate
+        self._nq_cache[k] = value
+        return value
+
+    def nq_profile(self, ks: Iterable[float]) -> Dict[float, int]:
+        """``NQ_k(G)`` for several workloads, sharing one exploration per node.
+
+        The satisfying radius is monotone in ``k`` (a larger workload needs a
+        larger ball), so one ball grower per node answers every ``k`` on its
+        way out: it checks the sorted thresholds smallest-first and stops at
+        the largest one.
+        """
+        ks_list = list(ks)
+        self._require_nq_preconditions()
+        if self.n == 1:
+            return {k: 0 for k in ks_list}
+        for k in ks_list:
+            if k <= 0:
+                raise ValueError("k must be positive")
+        if not ks_list:
+            return {}
+        distinct = sorted(set(ks_list))
+        best = [0] * len(distinct)
+        for s in range(self.n):
+            values = self._nq_profile_grow(s, distinct)
+            for j, value in enumerate(values):
+                if value > best[j]:
+                    best[j] = value
+        result = {k: best[j] for j, k in enumerate(distinct)}
+        for k, value in result.items():
+            self._nq_cache.setdefault(k, value)
+        return {k: result[k] for k in ks_list}
+
+    def _nq_profile_grow(self, s: int, ks_asc: Sequence[float]) -> List[int]:
+        """One shared ball growth answering every ``k`` in ascending order."""
+        self._epoch += 1
+        epoch = self._epoch
+        visited = self._visited
+        offsets = self._offsets
+        targets = self._targets
+        visited[s] = epoch
+        frontier = [s]
+        size = 1
+        t = 0
+        nk = len(ks_asc)
+        idx = 0
+        values: List[int] = [0] * nk
+        while True:
+            t += 1
+            nxt = []
+            for u in frontier:
+                for j in range(offsets[u], offsets[u + 1]):
+                    v = targets[j]
+                    if visited[v] != epoch:
+                        visited[v] = epoch
+                        nxt.append(v)
+            if not nxt:
+                ecc = t - 1
+                break
+            size += len(nxt)
+            while idx < nk and size >= ks_asc[idx] / t:
+                values[idx] = t
+                idx += 1
+            if idx == nk:
+                return values
+            frontier = nxt
+        if self._connected and ecc > self._diam_lb:
+            self._diam_lb = ecc
+        for j in range(idx, nk):
+            values[j] = self._saturated_nq(size, ecc, ks_asc[j], None)
+        return values
+
+
+# ----------------------------------------------------------------------
+# Per-graph cache
+# ----------------------------------------------------------------------
+_INDEX_CACHE: "weakref.WeakKeyDictionary[nx.Graph, GraphIndex]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def get_index(graph: nx.Graph) -> GraphIndex:
+    """The shared :class:`GraphIndex` of ``graph`` (built on first use).
+
+    Rebuilds automatically when the graph's node or edge count changed since
+    the index was built; see the module docstring for the (intentional)
+    rewiring caveat.
+    """
+    try:
+        cached = _INDEX_CACHE.get(graph)
+    except TypeError:  # unhashable graph-like object
+        return GraphIndex(graph)
+    if (
+        cached is not None
+        and cached.n == graph.number_of_nodes()
+        and cached.m == graph.number_of_edges()
+    ):
+        return cached
+    index = GraphIndex(graph)
+    try:
+        _INDEX_CACHE[graph] = index
+    except TypeError:  # graphs that cannot be weak-referenced
+        pass
+    return index

@@ -19,6 +19,8 @@ from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
 
 import networkx as nx
 
+from repro.graphs.index import get_index
+
 Node = Hashable
 
 __all__ = [
@@ -73,11 +75,28 @@ def hop_distances_from(graph: nx.Graph, source: Node) -> Dict[Node, int]:
 
 
 def hop_distance(graph: nx.Graph, u: Node, v: Node) -> int:
-    """Hop distance between ``u`` and ``v``; ``math.inf`` if disconnected."""
+    """Hop distance between ``u`` and ``v``; ``math.inf`` if disconnected.
+
+    The BFS stops the moment ``v`` is discovered instead of exploring the rest
+    of ``u``'s component (the full component is only traversed when ``v`` is
+    unreachable, where that is unavoidable).
+    """
     if u == v:
         return 0
-    dist = hop_distances_from(graph, u)
-    return dist.get(v, math.inf)
+    if u not in graph:
+        raise KeyError(f"source {u!r} not in graph")
+    dist: Dict[Node, int] = {u: 0}
+    queue = deque([u])
+    while queue:
+        x = queue.popleft()
+        dx = dist[x]
+        for y in graph.neighbors(x):
+            if y not in dist:
+                if y == v:
+                    return dx + 1
+                dist[y] = dx + 1
+                queue.append(y)
+    return math.inf
 
 
 def all_hop_distances(graph: nx.Graph) -> Dict[Node, Dict[Node, int]]:
@@ -152,7 +171,15 @@ def ball_size(graph: nx.Graph, center: Node, radius: int) -> int:
 
 
 def ball_sizes_all_radii(graph: nx.Graph, center: Node) -> List[int]:
-    """Return ``[|B_0(v)|, |B_1(v)|, ..., |B_ecc(v)|]`` in one BFS pass."""
+    """Return ``[|B_0(v)|, |B_1(v)|, ..., |B_ecc(v)|]`` in one BFS pass.
+
+    Delegates to the cached :class:`~repro.graphs.index.GraphIndex`.
+    """
+    return get_index(graph).ball_sizes_all_radii(center)
+
+
+def _reference_ball_sizes_all_radii(graph: nx.Graph, center: Node) -> List[int]:
+    """Index-free ground truth for :func:`ball_sizes_all_radii` (tests only)."""
     dist = hop_distances_from(graph, center)
     if not dist:
         return [1]
@@ -169,7 +196,15 @@ def ball_sizes_all_radii(graph: nx.Graph, center: Node) -> List[int]:
 
 
 def eccentricity(graph: nx.Graph, v: Node) -> int:
-    """Maximum hop distance from ``v`` to any reachable node."""
+    """Maximum hop distance from ``v`` to any reachable node.
+
+    Delegates to the cached :class:`~repro.graphs.index.GraphIndex`.
+    """
+    return get_index(graph).eccentricity(v)
+
+
+def _reference_eccentricity(graph: nx.Graph, v: Node) -> int:
+    """Index-free ground truth for :func:`eccentricity` (tests only)."""
     dist = hop_distances_from(graph, v)
     return max(dist.values()) if dist else 0
 
@@ -177,8 +212,16 @@ def eccentricity(graph: nx.Graph, v: Node) -> int:
 def diameter(graph: nx.Graph) -> int:
     """Hop diameter ``D = max_{v,w} hop(v, w)`` (Section 1.2).
 
-    Raises ``ValueError`` on disconnected graphs.
+    Raises ``ValueError`` on disconnected graphs.  Delegates to the cached
+    :class:`~repro.graphs.index.GraphIndex`, which computes the exact value
+    with a double sweep plus iFUB eccentricity pruning instead of ``n`` full
+    BFS passes (and memoises it per graph).
     """
+    return get_index(graph).diameter()
+
+
+def _reference_diameter(graph: nx.Graph) -> int:
+    """Index-free ground truth for :func:`diameter` (tests only): n BFS passes."""
     if graph.number_of_nodes() == 0:
         raise ValueError("diameter of empty graph is undefined")
     best = 0

@@ -1,0 +1,166 @@
+"""Exact-equivalence tests: fast NQ engine vs. the Theta(n*m) reference.
+
+The frontier-based analytics engine (:mod:`repro.graphs.index`) must agree
+*exactly* — not approximately — with the original reference formulations kept
+as ``_reference_*`` in :mod:`repro.core.neighborhood_quality` and
+:mod:`repro.graphs.properties`, across six graph families x three seeds, for
+per-node values, graph-level values, workload profiles, diameters,
+eccentricities and ball-size sequences.  Any divergence is a correctness bug
+in the engine, never an acceptable approximation.
+"""
+
+import math
+
+import pytest
+
+from repro.core.neighborhood_quality import (
+    DistributedNQComputation,
+    _reference_neighborhood_quality,
+    _reference_neighborhood_quality_of_node,
+    _reference_neighborhood_quality_per_node,
+    _reference_nq_profile,
+    neighborhood_quality,
+    neighborhood_quality_of_node,
+    neighborhood_quality_per_node,
+    nq_profile,
+)
+from repro.graphs.generators import GraphSpec, generate_graph
+from repro.graphs.index import GraphIndex, get_index
+from repro.graphs.properties import (
+    _reference_ball_sizes_all_radii,
+    _reference_diameter,
+    _reference_eccentricity,
+    ball_sizes_all_radii,
+    diameter,
+    eccentricity,
+)
+from repro.simulator.config import ModelConfig
+from repro.simulator.network import HybridSimulator
+
+SEEDS = [0, 1, 2]
+
+#: Six graph families; seed-dependent generators consume the seed directly,
+#: deterministic families vary their size with it so each seed still yields a
+#: distinct instance.
+FAMILY_SPECS = {
+    "path": lambda seed: GraphSpec.of("path", n=50 + 7 * seed),
+    "cycle": lambda seed: GraphSpec.of("cycle", n=48 + 5 * seed),
+    "grid": lambda seed: GraphSpec.of("grid", side=6 + seed, dim=2),
+    "erdos_renyi": lambda seed: GraphSpec.of("erdos_renyi", n=60, p=0.08, seed=seed),
+    "random_regular": lambda seed: GraphSpec.of("random_regular", n=60, degree=4, seed=seed),
+    "barbell": lambda seed: GraphSpec.of("barbell", clique_size=6 + seed, path_length=20),
+}
+
+CASES = [
+    pytest.param(family, seed, id=f"{family}-s{seed}")
+    for family in FAMILY_SPECS
+    for seed in SEEDS
+]
+
+
+def _workloads(n):
+    # Integer, fractional, sub-n, super-n and threshold-exhausting workloads;
+    # the last one drives nodes into the saturated (lazy-diameter) code path.
+    return [1, 2, 2.5, 7, max(1, n // 2), n, 3 * n, 10**6]
+
+
+@pytest.mark.parametrize("family,seed", CASES)
+def test_per_node_nq_matches_reference(family, seed):
+    graph = generate_graph(FAMILY_SPECS[family](seed))
+    for k in _workloads(graph.number_of_nodes()):
+        assert neighborhood_quality_per_node(graph, k) == (
+            _reference_neighborhood_quality_per_node(graph, k)
+        ), f"{family} seed={seed} k={k}"
+
+
+@pytest.mark.parametrize("family,seed", CASES)
+def test_graph_level_nq_matches_reference(family, seed):
+    graph = generate_graph(FAMILY_SPECS[family](seed))
+    for k in _workloads(graph.number_of_nodes()):
+        assert neighborhood_quality(graph, k) == _reference_neighborhood_quality(
+            graph, k
+        ), f"{family} seed={seed} k={k}"
+
+
+@pytest.mark.parametrize("family,seed", CASES)
+def test_nq_profile_matches_reference(family, seed):
+    graph = generate_graph(FAMILY_SPECS[family](seed))
+    ks = _workloads(graph.number_of_nodes())
+    assert nq_profile(graph, ks) == _reference_nq_profile(graph, ks)
+
+
+@pytest.mark.parametrize("family,seed", CASES)
+def test_structural_queries_match_reference(family, seed):
+    graph = generate_graph(FAMILY_SPECS[family](seed))
+    assert diameter(graph) == _reference_diameter(graph)
+    for node in graph.nodes:
+        assert eccentricity(graph, node) == _reference_eccentricity(graph, node)
+        assert ball_sizes_all_radii(graph, node) == (
+            _reference_ball_sizes_all_radii(graph, node)
+        )
+
+
+@pytest.mark.parametrize("family,seed", CASES)
+def test_single_node_nq_matches_reference(family, seed):
+    graph = generate_graph(FAMILY_SPECS[family](seed))
+    d = diameter(graph)
+    nodes = sorted(graph.nodes)[:5]
+    for k in (1, 2.5, graph.number_of_nodes(), 10**6):
+        for node in nodes:
+            assert neighborhood_quality_of_node(graph, k, node) == (
+                _reference_neighborhood_quality_of_node(graph, k, node)
+            )
+            # An explicitly supplied diameter must short-circuit identically.
+            assert neighborhood_quality_of_node(graph, k, node, d) == (
+                _reference_neighborhood_quality_of_node(graph, k, node, d)
+            )
+
+
+def test_error_behaviour_matches_reference():
+    import networkx as nx
+
+    disconnected = nx.Graph()
+    disconnected.add_nodes_from([0, 1, 2])
+    disconnected.add_edge(0, 1)
+    with pytest.raises(ValueError):
+        neighborhood_quality(disconnected, 4)
+    with pytest.raises(ValueError):
+        diameter(disconnected)
+    with pytest.raises(ValueError):
+        neighborhood_quality(generate_graph(GraphSpec.of("path", n=5)), 0)
+    # Single-node graphs report 0 without validating k (reference behaviour).
+    single = generate_graph(GraphSpec.of("path", n=1))
+    assert neighborhood_quality(single, 5) == 0
+    assert neighborhood_quality_per_node(single, 5) == {0: 0}
+
+
+def test_index_is_cached_and_invalidated():
+    graph = generate_graph(GraphSpec.of("path", n=20))
+    index = get_index(graph)
+    assert get_index(graph) is index
+    first = neighborhood_quality(graph, 12)
+    # Scalar NQ values are memoised per (graph, k)...
+    assert index._nq_cache[12] == first
+    # ...and the whole index is rebuilt when the topology changes size.
+    graph.add_edge(0, 19)
+    rebuilt = get_index(graph)
+    assert rebuilt is not index
+    assert neighborhood_quality(graph, 12) == _reference_neighborhood_quality(graph, 12)
+
+
+@pytest.mark.parametrize(
+    "family,seed",
+    [pytest.param("grid", 0, id="grid"), pytest.param("erdos_renyi", 1, id="er")],
+)
+def test_distributed_engines_agree_and_match_centralized(family, seed):
+    graph = generate_graph(FAMILY_SPECS[family](seed))
+    k = max(4, graph.number_of_nodes() // 3)
+    results = {}
+    for engine in ("batch", "legacy"):
+        sim = HybridSimulator(graph, ModelConfig.hybrid0(), seed=seed)
+        results[engine] = DistributedNQComputation(sim, k, engine=engine).run()
+    batch, legacy = results["batch"], results["legacy"]
+    assert batch.nq == legacy.nq == neighborhood_quality(graph, k)
+    assert batch.per_node == legacy.per_node
+    assert batch.metrics.measured_rounds == legacy.metrics.measured_rounds
+    assert batch.metrics.total_rounds == legacy.metrics.total_rounds

@@ -126,6 +126,24 @@ class TestNaiveGlobalBroadcast:
             costs.append(sim.metrics.measured_rounds)
         assert costs[1] >= 2 * costs[0]
 
+    def test_batch_and_legacy_engines_agree_exactly(self):
+        g = grid_graph(4, 2)
+        tokens = {0: [("t", i) for i in range(6)], 9: [("u", i) for i in range(3)]}
+
+        def run(engine):
+            sim = HybridSimulator(g, ModelConfig.hybrid(), seed=0)
+            return NaiveGlobalBroadcast(sim, tokens, engine=engine).run()
+
+        batch, legacy = run("batch"), run("legacy")
+        assert batch.known_tokens == legacy.known_tokens
+        assert batch.metrics.summary() == legacy.metrics.summary()
+        assert batch.all_nodes_know_all_tokens()
+
+    def test_rejects_unknown_engine(self):
+        sim = HybridSimulator(path_graph(4), ModelConfig.hybrid(), seed=0)
+        with pytest.raises(ValueError):
+            NaiveGlobalBroadcast(sim, {0: ["x"]}, engine="bogus")
+
 
 class TestSqrtNSkeletonAPSP:
     def test_exact_on_small_weighted_grid(self):

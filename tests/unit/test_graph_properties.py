@@ -50,6 +50,36 @@ class TestHopDistances:
         with pytest.raises(KeyError):
             hop_distances_from(path_graph(3), 99)
 
+    def test_hop_distance_unknown_source_raises(self):
+        with pytest.raises(KeyError):
+            hop_distance(path_graph(3), 99, 0)
+
+    def test_hop_distance_terminates_early(self):
+        # The BFS must stop as soon as the target is found: with the target
+        # adjacent to the source, only the source's neighborhood may be
+        # explored, no matter how large the rest of the component is.
+        g = path_graph(10_000)
+        explored = []
+        original_neighbors = g.neighbors
+
+        def counting_neighbors(node):
+            explored.append(node)
+            return original_neighbors(node)
+
+        g.neighbors = counting_neighbors
+        try:
+            assert hop_distance(g, 5000, 5001) == 1
+        finally:
+            del g.neighbors
+        assert len(explored) <= 1
+
+    def test_hop_distance_values_unchanged(self):
+        g = grid_graph(5, 2)
+        for u in (0, 7, 24):
+            full = hop_distances_from(g, u)
+            for v in (0, 3, 12, 24):
+                assert hop_distance(g, u, v) == full.get(v, math.inf)
+
 
 class TestBalls:
     def test_ball_radius_zero(self):

@@ -15,6 +15,7 @@ import random
 import pytest
 
 from repro.core.dissemination import KDissemination
+from repro.core.neighborhood_quality import DistributedNQComputation
 from repro.core.sssp import ApproxSSSP
 from repro.graphs.generators import grid_graph, path_graph
 from repro.simulator.config import ModelConfig
@@ -26,6 +27,22 @@ DISSEMINATION_PINS = {
     ("grid7", 16, 5): (14, 1175, 192),
 }
 
+# (label, k, seed) -> (nq, measured_rounds, total_rounds, local_messages).
+# nq/measured/total are pinned for BOTH engines — the frontier rewrite must
+# not move them.  local_messages coincide here because no node's ball
+# saturates before the global termination on these instances; on saturating
+# instances the frontier engine sends strictly fewer (see
+# test_distributed_nq_engines_agree_exactly).
+NQ_PINS = {
+    ("path48", 24, 11): (5, 5, 101, 470),
+    ("grid7", 16, 5): (3, 3, 75, 504),
+}
+
+# A saturating instance: k >> n forces exploration to the diameter, so
+# interior nodes exhaust their balls early and the frontier engine goes
+# quiet on them while the legacy engine keeps re-broadcasting.
+NQ_EQUIVALENCE_CASES = sorted(NQ_PINS) + [("path9", 1000, 0)]
+
 # (label, epsilon, seed) -> (measured_rounds, total_rounds)
 SSSP_PINS = {
     ("path48", 0.25, 11): (0, 576),
@@ -35,6 +52,7 @@ SSSP_PINS = {
 GRAPHS = {
     "path48": lambda: path_graph(48),
     "grid7": lambda: grid_graph(7, 2),
+    "path9": lambda: path_graph(9),
 }
 
 
@@ -79,6 +97,50 @@ def test_sssp_round_counts_are_pinned(pin, engine):
     expected = SSSP_PINS[pin]
     actual = (result.metrics.measured_rounds, result.metrics.total_rounds)
     assert actual == expected
+
+
+@pytest.mark.parametrize("engine", ["batch", "legacy"])
+@pytest.mark.parametrize("pin", sorted(NQ_PINS), ids=lambda p: f"{p[0]}-k{p[1]}")
+def test_distributed_nq_round_counts_are_pinned(pin, engine):
+    label, k, seed = pin
+    graph = GRAPHS[label]()
+    sim = HybridSimulator(graph, ModelConfig.hybrid0(), seed=seed)
+    result = DistributedNQComputation(sim, k, engine=engine).run()
+    expected = NQ_PINS[pin]
+    actual = (
+        result.nq,
+        result.metrics.measured_rounds,
+        result.metrics.total_rounds,
+        result.metrics.local_messages,
+    )
+    assert actual == expected, (
+        f"{label} k={k} seed={seed} engine={engine}: NQ rounds/messages {actual} "
+        f"drifted from the pinned {expected}"
+    )
+
+
+@pytest.mark.parametrize("pin", NQ_EQUIVALENCE_CASES, ids=lambda p: f"{p[0]}-k{p[1]}")
+def test_distributed_nq_engines_agree_exactly(pin):
+    """Frontier and whole-ball flooding produce identical results and rounds."""
+    label, k, seed = pin
+    graph = GRAPHS[label]()
+
+    def run(engine):
+        sim = HybridSimulator(graph, ModelConfig.hybrid0(), seed=seed)
+        return DistributedNQComputation(sim, k, engine=engine).run()
+
+    batch, legacy = run("batch"), run("legacy")
+    assert batch.nq == legacy.nq
+    assert batch.per_node == legacy.per_node
+    batch_summary = batch.metrics.summary()
+    legacy_summary = legacy.metrics.summary()
+    # Traffic volume may only shrink: the frontier engine never re-broadcasts
+    # known ball members (fewer words) and skips saturated nodes entirely
+    # (fewer messages).  Everything else — rounds, charges, global traffic —
+    # must coincide exactly.
+    assert batch_summary.pop("local_words") <= legacy_summary.pop("local_words")
+    assert batch_summary.pop("local_messages") <= legacy_summary.pop("local_messages")
+    assert batch_summary == legacy_summary
 
 
 @pytest.mark.parametrize("pin", sorted(DISSEMINATION_PINS), ids=lambda p: f"{p[0]}-k{p[1]}")
