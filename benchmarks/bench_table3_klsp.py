@@ -12,6 +12,8 @@ lower-bound consistency; the round columns show the NQ_k (not sqrt k) scaling.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.analysis.experiments import run_table3_klsp
@@ -43,3 +45,23 @@ def test_table3_klsp(benchmark, save_table):
     path = next(row for name, row in by_graph.items() if name.startswith("path"))
     assert star["NQ_k"] <= path["NQ_k"]
     assert star["rounds (Thm 5, total)"] <= 1.6 * path["rounds (Thm 5, total)"]
+
+
+# ----------------------------------------------------------------------
+# Large tier (scheduled CI, BENCH_SCALE=large): Theorem 5 at n >= 2000
+# ----------------------------------------------------------------------
+LARGE_CASES = [
+    (GraphSpec.of("path", n=2000), 24, 8),
+    (GraphSpec.of("star", n=2000), 24, 8),
+]
+
+
+def test_table3_klsp_large_tier(save_table):
+    """The n >= 2000 Table 3 points; runs in the scheduled CI job."""
+    if os.environ.get("BENCH_SCALE") != "large":
+        pytest.skip("large tier runs in the scheduled CI job (BENCH_SCALE=large)")
+    rows = [run_table3_klsp(spec, k, l, epsilon=0.25, seed=2) for spec, k, l in LARGE_CASES]
+    save_table("table3_klsp_large", rows, "Table 3 - (k,l)-SP at n >= 2000")
+    for row in rows:
+        assert row["stretch measured"] <= row["stretch bound"] + 1e-6
+        assert row["rounds (Thm 5, total)"] >= row["universal LB (Thm 11)"]

@@ -7,7 +7,7 @@ from typing import Dict, Hashable, Iterable, Optional, Tuple
 
 import networkx as nx
 
-from repro.graphs.properties import hop_distances_from
+from repro.graphs.properties import all_hop_distances
 
 Node = Hashable
 
@@ -31,8 +31,14 @@ def exact_apsp(graph: nx.Graph) -> Dict[Node, Dict[Node, float]]:
 
 
 def exact_hop_apsp(graph: nx.Graph) -> Dict[Node, Dict[Node, int]]:
-    """Exact unweighted (hop) all-pairs distances."""
-    return {v: hop_distances_from(graph, v) for v in graph.nodes}
+    """Exact unweighted (hop) all-pairs distances.
+
+    Assembled from the dense :class:`~repro.graphs.index.GraphIndex` sweeps
+    (one flat-array BFS row per node) instead of one Python-dict BFS per node;
+    ``tests/properties/test_apsp_equivalence.py`` pins exact agreement with
+    the dict-BFS reference.
+    """
+    return all_hop_distances(graph)
 
 
 def measure_stretch(

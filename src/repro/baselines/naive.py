@@ -17,7 +17,7 @@ from typing import Any, Dict, Hashable, List, Optional, Sequence, Set
 import networkx as nx
 
 from repro.core.skeleton import build_skeleton
-from repro.graphs.properties import h_hop_limited_distances, hop_distances_from
+from repro.graphs.properties import h_hop_limited_distances
 from repro.simulator.engine import BatchAlgorithm, GlobalTriple
 from repro.simulator.metrics import RoundMetrics
 from repro.simulator.network import HybridSimulator
@@ -136,6 +136,11 @@ class SqrtNSkeletonAPSP:
     exact APSP w.h.p.; the round cost is eTheta(sqrt n) regardless of the graph
     — which is exactly the existential behaviour the universally optimal
     algorithms of Theorems 6-8 improve on when ``NQ_n << sqrt(n)``.
+
+    The per-node ``h``-hop limited tables run on the
+    :class:`~repro.graphs.index.GraphIndex` flat-array Bellman-Ford (via
+    :func:`~repro.graphs.properties.h_hop_limited_distances`), not one
+    Python-dict relaxation per node.
     """
 
     def __init__(self, simulator: HybridSimulator, *, seed: Optional[int] = None):

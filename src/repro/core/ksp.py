@@ -29,6 +29,13 @@ limited local distances, and the combination formulas are all computed for
 real (they produce genuinely approximate distances whose stretch the tests
 check against Dijkstra ground truth); the parallel-scheduling round cost is
 charged per Lemma 9.3.
+
+The implementation is a :class:`~repro.simulator.engine.BatchAlgorithm`: the
+proxy-offset broadcast of the arbitrary-sources case is a physically
+simulated k-dissemination instance riding the batch messaging engine
+(``engine="batch"``, the default) or the legacy per-message transport
+(``engine="legacy"``), both schedule-identical; the h-hop limited tables run
+on the :class:`~repro.graphs.index.GraphIndex` flat-array Bellman-Ford.
 """
 
 from __future__ import annotations
@@ -39,11 +46,13 @@ from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
 import networkx as nx
 
+from repro.core.dissemination import KDissemination
 from repro.core.helper_sets import compute_classic_helper_sets
 from repro.core.skeleton import SkeletonGraph, build_skeleton
 from repro.core.sssp import approx_sssp_distances, sssp_round_cost
 from repro.graphs.properties import h_hop_limited_distances
 from repro.simulator.config import log2_ceil
+from repro.simulator.engine import BatchAlgorithm
 from repro.simulator.metrics import RoundMetrics
 from repro.simulator.network import HybridSimulator
 
@@ -79,7 +88,7 @@ class KSPResult:
         return self.distances.get(node, {}).get(source, math.inf)
 
 
-class KSourceShortestPaths:
+class KSourceShortestPaths(BatchAlgorithm):
     """Theorem 14: approximate k-SSP via parallel SSSP scheduling on a skeleton.
 
     Parameters
@@ -95,6 +104,8 @@ class KSourceShortestPaths:
         scheduling cost — this is the ``HYBRID(infinity, gamma)`` knob of
         Theorem 14.
     seed: randomness for the skeleton sampling and helper sets.
+    engine: ``"batch"`` (default) or ``"legacy"`` transport for the physically
+        simulated proxy-offset broadcast (arbitrary-sources case).
     """
 
     def __init__(
@@ -106,7 +117,9 @@ class KSourceShortestPaths:
         sources_in_skeleton: bool = True,
         gamma_words: Optional[int] = None,
         seed: Optional[int] = None,
+        engine: str = "batch",
     ) -> None:
+        super().__init__(simulator, engine=engine)
         if not sources:
             raise ValueError("sources must be non-empty")
         if epsilon <= 0:
@@ -115,7 +128,6 @@ class KSourceShortestPaths:
         for source in sources:
             if source not in node_set:
                 raise KeyError(f"source {source!r} is not a node of the network")
-        self.simulator = simulator
         self.sources = sorted(set(sources), key=simulator.id_of)
         self.epsilon = epsilon
         self.sources_in_skeleton = sources_in_skeleton
@@ -123,46 +135,69 @@ class KSourceShortestPaths:
             gamma_words if gamma_words is not None else simulator.global_budget_words()
         )
         self.seed = seed
+        # Phase state.
+        self._log_n = log2_ceil(max(simulator.n, 2))
+        self._probability = 1.0
+        self.skeleton: Optional[SkeletonGraph] = None
+        self._skeleton_set: set = set()
+        self._proxy_of: Dict[Node, Node] = {}
+        self._proxy_offset: Dict[Node, float] = {}
+        self._skeleton_estimates: Dict[Node, Dict[Node, float]] = {}
+        self._distances: Dict[Node, Dict[Node, float]] = {}
 
     # ------------------------------------------------------------------
-    def run(self) -> KSPResult:
-        sim = self.simulator
-        graph = sim.graph
-        n = sim.n
-        k = len(self.sources)
-        log_n = log2_ceil(max(n, 2))
-
-        # Step 1: skeleton with sampling probability sqrt(gamma / k).
-        probability = min(1.0, math.sqrt(self.gamma_words / max(k, 1)))
-        forced = self.sources if self.sources_in_skeleton else None
-        skeleton = build_skeleton(
-            graph, probability, seed=self.seed, forced_nodes=forced
+    def phases(self):
+        return (
+            ("skeleton", self._phase_skeleton),
+            ("helper-sets", self._phase_helper_sets),
+            ("proxy-sources", self._phase_proxy_sources),
+            ("skeleton-sssp", self._phase_skeleton_sssp),
+            ("combine", self._phase_combine),
         )
+
+    def _phase_skeleton(self) -> None:
+        """Step 1: skeleton with sampling probability sqrt(gamma / k)."""
+        sim = self.simulator
+        k = len(self.sources)
+        probability = min(1.0, math.sqrt(self.gamma_words / max(k, 1)))
+        self._probability = probability
+        forced = self.sources if self.sources_in_skeleton else None
+        self.skeleton = build_skeleton(
+            sim.graph, probability, seed=self.seed, forced_nodes=forced
+        )
+        self._skeleton_set = set(self.skeleton.skeleton_nodes)
         sim.charge_rounds(
-            skeleton.h,
+            self.skeleton.h,
             "skeleton construction (h-hop local exploration)",
             "Definition 6.2 / Lemma 6.3",
         )
 
-        # Step 2: helper sets + parallel SSSP scheduling on the skeleton.
-        x = max(1, int(round(1.0 / probability)))
-        compute_classic_helper_sets(graph, skeleton.skeleton_nodes, x, seed=self.seed)
+    def _phase_helper_sets(self) -> None:
+        """Step 2a: classic helper sets for the skeleton nodes (charged)."""
+        sim = self.simulator
+        x = max(1, int(round(1.0 / self._probability)))
+        compute_classic_helper_sets(
+            sim.graph, self.skeleton.skeleton_nodes, x, seed=self.seed
+        )
         sim.charge_rounds(
-            2 * x * log_n,
+            2 * x * self._log_n,
             "classic helper-set computation for skeleton nodes",
             "Definition 9.1 / Lemma 9.2",
         )
 
-        # Proxy sources: for arbitrary sources, each source tags the closest
-        # skeleton node within h hops (Lemma 6.3 guarantees one exists w.h.p.).
-        proxy_of: Dict[Node, Node] = {}
-        proxy_offset: Dict[Node, float] = {}
-        h = skeleton.h
-        skeleton_set = set(skeleton.skeleton_nodes)
+    def _phase_proxy_sources(self) -> None:
+        """Proxy sources: for arbitrary sources, each source tags the closest
+        skeleton node within h hops (Lemma 6.3 guarantees one exists w.h.p.)
+        and the proxy offsets are made public with Theorem 1 — a physically
+        simulated k-dissemination instance."""
+        sim = self.simulator
+        graph = sim.graph
+        h = self.skeleton.h
+        skeleton_set = self._skeleton_set
         for source in self.sources:
             if source in skeleton_set:
-                proxy_of[source] = source
-                proxy_offset[source] = 0.0
+                self._proxy_of[source] = source
+                self._proxy_offset[source] = 0.0
                 continue
             limited = h_hop_limited_distances(graph, source, h)
             candidates = {
@@ -176,39 +211,51 @@ class KSourceShortestPaths:
                     node: dist for node, dist in full.items() if node in skeleton_set
                 }
             proxy, offset = min(candidates.items(), key=lambda kv: (kv[1], str(kv[0])))
-            proxy_of[source] = proxy
-            proxy_offset[source] = offset
+            self._proxy_of[source] = proxy
+            self._proxy_offset[source] = offset
         if not self.sources_in_skeleton:
-            # The proxy offsets d^h(u_s, s) are made public with Theorem 1.
-            sim.charge_rounds(
-                max(1, int(math.ceil(math.sqrt(k)))) * log_n,
-                "broadcasting proxy-source offsets (k-dissemination)",
-                "Theorem 14 via Theorem 1",
-            )
+            tokens = {
+                source: [
+                    (
+                        "ksp-proxy",
+                        sim.id_of(source),
+                        sim.id_of(self._proxy_of[source]),
+                        self._proxy_offset[source],
+                    )
+                ]
+                for source in self.sources
+            }
+            KDissemination(sim, tokens, engine=self.engine).run()
 
-        # One SSSP per (proxy) source on the skeleton, scheduled in parallel
-        # (Lemma 9.3); the estimates are computed for real, the scheduling
-        # rounds are charged.
-        proxies = sorted({proxy_of[source] for source in self.sources}, key=str)
-        skeleton_estimates: Dict[Node, Dict[Node, float]] = {}
+    def _phase_skeleton_sssp(self) -> None:
+        """One SSSP per (proxy) source on the skeleton, scheduled in parallel
+        (Lemma 9.3); the estimates are computed for real, the scheduling
+        rounds are charged."""
+        sim = self.simulator
+        proxies = sorted({self._proxy_of[source] for source in self.sources}, key=str)
         for proxy in proxies:
-            skeleton_estimates[proxy] = approx_sssp_distances(
-                skeleton.graph, proxy, self.epsilon
+            self._skeleton_estimates[proxy] = approx_sssp_distances(
+                self.skeleton.graph, proxy, self.epsilon
             )
         sim.charge_rounds(
-            ksp_round_cost(n, k, self.gamma_words, self.epsilon),
+            ksp_round_cost(sim.n, len(self.sources), self.gamma_words, self.epsilon),
             f"parallel scheduling of {len(proxies)} SSSP instances on the skeleton",
             "Lemma 9.3 / Theorem 14",
         )
 
-        # Step 3: every node combines its h-hop limited distances to nearby
-        # skeleton nodes with the skeleton estimates (Lemma 9.4 / Theorem 14).
+    def _phase_combine(self) -> None:
+        """Step 3: every node combines its h-hop limited distances to nearby
+        skeleton nodes with the skeleton estimates (Lemma 9.4 / Theorem 14)."""
+        sim = self.simulator
+        graph = sim.graph
+        h = self.skeleton.h
+        skeleton_set = self._skeleton_set
+        skeleton_estimates = self._skeleton_estimates
         sim.charge_rounds(
             h,
             "h-hop limited distance computation over the local mode",
             "Lemma 9.4",
         )
-        distances: Dict[Node, Dict[Node, float]] = {}
         limited_from_node: Dict[Node, Dict[Node, float]] = {}
         for node in sim.nodes:
             limited_from_node[node] = h_hop_limited_distances(graph, node, h)
@@ -217,23 +264,28 @@ class KSourceShortestPaths:
             nearby_skeleton = [u for u in limited if u in skeleton_set]
             per_source: Dict[Node, float] = {}
             for source in self.sources:
-                proxy = proxy_of[source]
-                offset = proxy_offset[source]
+                proxy = self._proxy_of[source]
+                offset = self._proxy_offset[source]
                 best = limited.get(source, math.inf)
                 for u in nearby_skeleton:
                     via = limited[u] + skeleton_estimates[proxy].get(u, math.inf) + offset
                     if via < best:
                         best = via
                 per_source[source] = best
-            distances[node] = per_source
+            self._distances[node] = per_source
 
-        stretch_bound = (1.0 + self.epsilon) if self.sources_in_skeleton else (3.0 + 3 * self.epsilon)
+    def finish(self) -> KSPResult:
+        stretch_bound = (
+            (1.0 + self.epsilon)
+            if self.sources_in_skeleton
+            else (3.0 + 3 * self.epsilon)
+        )
         return KSPResult(
             sources=list(self.sources),
-            distances=distances,
+            distances=self._distances,
             stretch_bound=stretch_bound,
             epsilon=self.epsilon,
-            skeleton=skeleton,
-            proxy_of=proxy_of,
-            metrics=sim.metrics,
+            skeleton=self.skeleton,
+            proxy_of=self._proxy_of,
+            metrics=self.simulator.metrics,
         )

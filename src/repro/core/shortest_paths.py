@@ -23,27 +23,41 @@ results that sit on top of the information-dissemination toolbox:
 Every algorithm returns per-node distance estimate tables plus the metrics of
 the simulator run; the distance *values* are computed exactly as the paper's
 formulas prescribe (so the stretch observed in the tests is the real output of
-the approximation pipeline, not an artefact), while the broadcast / SSSP
-subroutine round costs are charged per their respective theorems.
+the approximation pipeline, not an artefact).
+
+Since the batch-native migration, the whole stack is driven by
+:class:`~repro.simulator.engine.BatchAlgorithm`: every Theorem 1 broadcast
+(node identifiers, spanner edges, closest-leader / closest-skeleton labels,
+and the (k, l)-SP reversal traffic) is *physically simulated* as a
+:class:`~repro.core.dissemination.KDissemination` / routing instance riding
+the batch messaging engine, with ``engine="batch"`` (default) or
+``engine="legacy"`` selecting the transport — both schedule-identical, pinned
+by ``tests/unit/test_round_regression.py``.  The centralized all-pairs table
+assemblies run as :class:`~repro.graphs.index.GraphIndex` flat-array sweeps:
+:class:`UnweightedApproxAPSP` returns a :class:`DenseDistanceTable` whose
+``n``-wide rows are materialised on demand from dense BFS rows instead of one
+Python-dict BFS per node.
 """
 
 from __future__ import annotations
 
-import dataclasses
 import math
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 import networkx as nx
 
 from repro.core.clustering import Clustering, distributed_nq_clustering
+from repro.core.dissemination import KDissemination
 from repro.core.neighborhood_quality import neighborhood_quality
 from repro.core.routing import KLRouting, RoutingScenario
 from repro.core.skeleton import build_skeleton
 from repro.core.spanner import distributed_spanner, greedy_spanner
 from repro.core.sssp import approx_sssp_distances, sssp_round_cost
-from repro.core.ksp import KSourceShortestPaths, ksp_round_cost
-from repro.graphs.properties import h_hop_limited_distances, hop_distances_from
+from repro.core.ksp import KSourceShortestPaths
+from repro.graphs.index import GraphIndex, get_index
+from repro.graphs.properties import h_hop_limited_distances
 from repro.simulator.config import log2_ceil
+from repro.simulator.engine import BatchAlgorithm
 from repro.simulator.metrics import RoundMetrics
 from repro.simulator.network import HybridSimulator
 
@@ -51,6 +65,7 @@ Node = Hashable
 
 __all__ = [
     "DistanceTable",
+    "DenseDistanceTable",
     "KLShortestPaths",
     "UnweightedApproxAPSP",
     "SpannerAPSP",
@@ -58,7 +73,6 @@ __all__ = [
 ]
 
 
-@dataclasses.dataclass
 class DistanceTable:
     """Distance estimates produced by an approximate shortest-paths algorithm.
 
@@ -67,10 +81,17 @@ class DistanceTable:
     producing theorem promises (used by the tests).
     """
 
-    estimates: Dict[Node, Dict[Node, float]]
-    stretch_bound: float
-    metrics: RoundMetrics
-    nq: Optional[int] = None
+    def __init__(
+        self,
+        estimates: Dict[Node, Dict[Node, float]],
+        stretch_bound: float,
+        metrics: RoundMetrics,
+        nq: Optional[int] = None,
+    ) -> None:
+        self.estimates = estimates
+        self.stretch_bound = stretch_bound
+        self.metrics = metrics
+        self.nq = nq
 
     def estimate(self, target: Node, source: Node) -> float:
         return self.estimates.get(target, {}).get(source, math.inf)
@@ -79,10 +100,132 @@ class DistanceTable:
         return list(self.estimates)
 
 
+class DenseDistanceTable(DistanceTable):
+    """A :class:`DistanceTable` backed by dense per-target rows.
+
+    Each target's estimates are one flat ``|columns|``-wide list of floats
+    aligned with a fixed column order, produced lazily by ``row_factory`` from
+    the :class:`~repro.graphs.index.GraphIndex` sweeps and cached.  The
+    dict-of-dicts :attr:`estimates` view of the base class is materialised on
+    first attribute access, so existing consumers (stretch measurement,
+    equivalence tests) see exactly the classic representation while all-pairs
+    producers avoid building ``n^2`` dict entries they may never read.
+    """
+
+    def __init__(
+        self,
+        row_nodes: Sequence[Node],
+        columns: Sequence[Node],
+        row_factory,
+        stretch_bound: float,
+        metrics: RoundMetrics,
+        nq: Optional[int] = None,
+    ) -> None:
+        self._row_nodes = list(row_nodes)
+        self._row_set = set(self._row_nodes)
+        self._columns = list(columns)
+        self._column_position = {node: i for i, node in enumerate(self._columns)}
+        self._row_factory = row_factory
+        self._rows: Dict[Node, List[float]] = {}
+        self._estimates: Optional[Dict[Node, Dict[Node, float]]] = None
+        self.stretch_bound = stretch_bound
+        self.metrics = metrics
+        self.nq = nq
+
+    def columns(self) -> List[Node]:
+        return list(self._columns)
+
+    def row(self, target: Node) -> List[float]:
+        """The dense estimate row of ``target``, aligned with :meth:`columns`."""
+        if target not in self._row_set:
+            raise KeyError(f"target {target!r} has no estimate row")
+        if self._estimates is not None:
+            # The dict view is materialised; read it back instead of re-running
+            # the row factory (and re-growing the dense cache it superseded).
+            row_dict = self._estimates[target]
+            return [row_dict[column] for column in self._columns]
+        cached = self._rows.get(target)
+        if cached is None:
+            cached = self._row_factory(target)
+            self._rows[target] = cached
+        return cached
+
+    def estimate(self, target: Node, source: Node) -> float:
+        if self._estimates is not None:
+            return self._estimates.get(target, {}).get(source, math.inf)
+        position = self._column_position.get(source)
+        if position is None or target not in self._row_set:
+            return math.inf
+        return self.row(target)[position]
+
+    def targets(self) -> List[Node]:
+        return list(self._row_nodes)
+
+    @property
+    def estimates(self) -> Dict[Node, Dict[Node, float]]:
+        if self._estimates is None:
+            columns = self._columns
+            rows = self._rows
+            # Build uncached rows without retaining them: the dict-of-dicts
+            # view supersedes the dense cache, and keeping both would hold two
+            # full n^2 copies alive.  From here on ``row()`` / ``estimate()``
+            # read the materialised view, so the factory (and the index
+            # sweeps its closure pins) can be dropped too.
+            self._estimates = {
+                target: dict(
+                    zip(
+                        columns,
+                        rows[target] if target in rows else self._row_factory(target),
+                    )
+                )
+                for target in self._row_nodes
+            }
+            rows.clear()
+            self._row_factory = None
+        return self._estimates
+
+
+def _graph_is_unit_weighted(graph: nx.Graph) -> bool:
+    """Whether every edge weight is exactly 1 (the unweighted convention)."""
+    return all(data.get("weight", 1) == 1 for _, _, data in graph.edges(data=True))
+
+
+def _identifier_tokens(simulator: HybridSimulator) -> Dict[Node, List[Tuple]]:
+    """One Theorem 1 token per node carrying its identifier (k = n)."""
+    return {v: [("apsp-id", simulator.id_of(v))] for v in simulator.nodes}
+
+
+def _edge_tokens(
+    simulator: HybridSimulator, edges_graph: nx.Graph, tag: str
+) -> Dict[Node, List[Tuple]]:
+    """One Theorem 1 token per edge of ``edges_graph`` (k = m*).
+
+    Each edge is held by its smaller-id endpoint; the token carries both
+    endpoint identifiers and the edge weight.
+    """
+    tokens: Dict[Node, List[Tuple]] = {}
+    for u, v, data in edges_graph.edges(data=True):
+        holder = min(u, v, key=simulator.id_of)
+        tokens.setdefault(holder, []).append(
+            (tag, simulator.id_of(u), simulator.id_of(v), data.get("weight", 1))
+        )
+    return tokens
+
+
+def _label_tokens(
+    simulator: HybridSimulator, labels: Dict[Node, Tuple[Node, float]], tag: str
+) -> Dict[Node, List[Tuple]]:
+    """One Theorem 1 token per node carrying its (label node, distance) pair."""
+    return {
+        v: [(tag, simulator.id_of(v), simulator.id_of(label), distance)]
+        for v, (label, distance) in labels.items()
+    }
+
+
 # ----------------------------------------------------------------------
 # Theorem 5: (k, l)-SP
 # ----------------------------------------------------------------------
-class KLShortestPaths:
+class KLShortestPaths(BatchAlgorithm):
     """Theorem 5: (1+eps)-approximate (k, l)-SP in ``eO(NQ_k)`` rounds.
 
     Every target in ``targets`` must learn its (approximate) distance to every
@@ -91,6 +234,10 @@ class KLShortestPaths:
     of Theorem 14 when there are many targets — after which each *source* knows
     its distance to each target; a (k, l)-routing instance (Theorem 3) then
     ships each label to the target that needs it.
+
+    The reversal traffic rides :class:`~repro.core.routing.KLRouting` on the
+    batch messaging engine; ``engine`` selects the batch or the legacy
+    per-message transport for every physically simulated hop.
     """
 
     def __init__(
@@ -101,33 +248,46 @@ class KLShortestPaths:
         *,
         epsilon: float = 0.25,
         seed: Optional[int] = None,
+        engine: str = "batch",
     ) -> None:
+        super().__init__(simulator, engine=engine)
         if not sources or not targets:
             raise ValueError("sources and targets must be non-empty")
         if epsilon <= 0:
             raise ValueError("epsilon must be positive")
-        self.simulator = simulator
         self.sources = sorted(set(sources), key=simulator.id_of)
         self.targets = sorted(set(targets), key=simulator.id_of)
         self.epsilon = epsilon
         self.seed = seed
+        # Phase state.
+        self.nq = 0
+        self._reversed_estimates: Dict[Node, Dict[Node, float]] = {}
+        self._estimates: Dict[Node, Dict[Node, float]] = {}
 
-    def run(self) -> DistanceTable:
+    def phases(self):
+        return (
+            ("parameters", self._phase_parameters),
+            ("reverse-sssp", self._phase_reverse_sssp),
+            ("reverse-routing", self._phase_reverse_routing),
+        )
+
+    def _phase_parameters(self) -> None:
         sim = self.simulator
         k = len(self.sources)
-        l = len(self.targets)
         # Memoised per (graph, k) by the analytics engine; the KLRouting
         # instance below receives it as a hint, so the whole Theorem 5
         # pipeline evaluates NQ_k exactly once.
-        nq = max(1, neighborhood_quality(sim.graph, max(k, 1)))
-        sim.charge_rounds(nq, "distributed computation of NQ_k", "Lemma 3.3")
+        self.nq = max(1, neighborhood_quality(sim.graph, max(k, 1)))
+        sim.charge_rounds(self.nq, "distributed computation of NQ_k", "Lemma 3.3")
 
-        # Solve l-SSP for the targets acting as SSSP sources ("in reverse").
-        if l <= max(2, nq):
+    def _phase_reverse_sssp(self) -> None:
+        """Solve l-SSP for the targets acting as SSSP sources ("in reverse")."""
+        sim = self.simulator
+        l = len(self.targets)
+        if l <= max(2, self.nq):
             # First claim of Theorem 5: l sequential SSSP instances.
-            reversed_estimates: Dict[Node, Dict[Node, float]] = {}
             for target in self.targets:
-                reversed_estimates[target] = approx_sssp_distances(
+                self._reversed_estimates[target] = approx_sssp_distances(
                     sim.graph, target, self.epsilon
                 )
                 sim.charge_rounds(
@@ -143,179 +303,315 @@ class KLShortestPaths:
                 epsilon=self.epsilon,
                 sources_in_skeleton=True,
                 seed=self.seed,
+                engine=self.engine,
             )
             ksp_result = ksp.run()
-            reversed_estimates = {
+            self._reversed_estimates = {
                 target: {
                     node: ksp_result.estimate(node, target) for node in sim.nodes
                 }
                 for target in self.targets
             }
 
-        # Each source now knows d~(s, t) for every target; reverse with
-        # (k, l)-routing (Theorem 3).
+    def _phase_reverse_routing(self) -> None:
+        """Each source now knows d~(s, t) for every target; reverse with
+        (k, l)-routing (Theorem 3)."""
+        sim = self.simulator
+        l = len(self.targets)
         messages: Dict[Tuple[Node, Node], float] = {}
         for source in self.sources:
             for target in self.targets:
-                messages[(source, target)] = reversed_estimates[target].get(
+                messages[(source, target)] = self._reversed_estimates[target].get(
                     source, math.inf
                 )
         routing = KLRouting(
             sim,
             messages,
             scenario=RoutingScenario.ARBITRARY_SOURCES_RANDOM_TARGETS
-            if l <= nq
+            if l <= self.nq
             else RoutingScenario.RANDOM_SOURCES_RANDOM_TARGETS,
             seed=self.seed,
-            nq=nq,
+            nq=self.nq,
+            engine=self.engine,
         )
         routing_result = routing.run()
-
-        estimates: Dict[Node, Dict[Node, float]] = {
+        self._estimates = {
             target: dict(routing_result.delivered.get(target, {}))
             for target in self.targets
         }
+
+    def finish(self) -> DistanceTable:
         return DistanceTable(
-            estimates=estimates,
+            estimates=self._estimates,
             stretch_bound=1.0 + self.epsilon,
-            metrics=sim.metrics,
-            nq=nq,
+            metrics=self.simulator.metrics,
+            nq=self.nq,
         )
 
 
 # ----------------------------------------------------------------------
 # Theorem 6: unweighted APSP
 # ----------------------------------------------------------------------
-class UnweightedApproxAPSP:
+class UnweightedApproxAPSP(BatchAlgorithm):
     """Theorem 6 / Algorithm 3: (1+eps)-approximate unweighted APSP in
-    ``eO(NQ_n / eps^2)`` rounds, deterministically, in HYBRID_0."""
+    ``eO(NQ_n / eps^2)`` rounds, deterministically, in HYBRID_0.
 
-    def __init__(self, simulator: HybridSimulator, *, epsilon: float = 0.5) -> None:
+    Both Theorem 1 broadcasts — all node identifiers, and every node's
+    (closest leader, distance) pair — are physically simulated
+    :class:`~repro.core.dissemination.KDissemination` instances sharing the
+    NQ_n evaluation and the Lemma 3.5 clustering of the surrounding
+    algorithm; ``engine`` flips them between the batch and the legacy
+    per-message transport with identical schedules.  The centralized table
+    assembly is dense: cluster-leader SSSP rows and the per-node hop rows are
+    flat :class:`~repro.graphs.index.GraphIndex` sweeps, and the resulting
+    :class:`DenseDistanceTable` materialises Algorithm 3's estimate rows on
+    demand.
+    """
+
+    def __init__(
+        self,
+        simulator: HybridSimulator,
+        *,
+        epsilon: float = 0.5,
+        engine: str = "batch",
+        nq: Optional[int] = None,
+        clustering: Optional[Clustering] = None,
+    ) -> None:
+        super().__init__(simulator, engine=engine)
         if not 0 < epsilon < 1:
             raise ValueError("epsilon must lie in (0, 1)")
-        self.simulator = simulator
         self.epsilon = epsilon
+        # ``nq`` / ``clustering`` are precomputation hints with the same
+        # contract as KDissemination's: graph analytics a caller already has
+        # (e.g. a benchmark comparing engines on one instance) are not
+        # recomputed, and a hinted clustering skips the Lemma 3.5 construction
+        # charges exactly like KDissemination's hint does.
+        self._nq_hint = nq
+        self._clustering_hint = clustering
+        # Phase state.
+        self._log_n = log2_ceil(max(simulator.n, 2))
+        self.nq = 0
+        self.x = 0
+        self.clustering: Optional[Clustering] = None
+        self.leaders: List[Node] = []
+        self._index: Optional[GraphIndex] = None
+        self._unit_weighted = True
+        self._leader_rows: Dict[Node, List[int]] = {}
+        self._leader_estimates: Dict[Node, Dict[Node, float]] = {}
+        self._closest_leader: Dict[Node, Tuple[Node, float]] = {}
 
-    def run(self) -> DistanceTable:
+    def phases(self):
+        return (
+            ("parameters", self._phase_parameters),
+            ("identifier-broadcast", self._phase_identifier_broadcast),
+            ("leader-sssp", self._phase_leader_sssp),
+            ("local-exploration", self._phase_local_exploration),
+            ("closest-leader-broadcast", self._phase_closest_leader_broadcast),
+        )
+
+    # ------------------------------------------------------------------
+    def _phase_parameters(self) -> None:
+        """NQ_n (Lemma 3.3, charged) and the Lemma 3.5 clustering, shared with
+        every broadcast instance below."""
         sim = self.simulator
-        graph = sim.graph
-        n = sim.n
-        log_n = log2_ceil(max(n, 2))
-        eps = self.epsilon
+        nq = self._nq_hint
+        if nq is None:
+            nq = neighborhood_quality(sim.graph, sim.n)
+        self.nq = max(1, nq)
+        sim.charge_rounds(self.nq, "distributed computation of NQ_n", "Lemma 3.3")
+        if self._clustering_hint is not None:
+            self.clustering = self._clustering_hint
+        else:
+            self.clustering = distributed_nq_clustering(sim, sim.n, nq=self.nq)
+        self.leaders = self.clustering.leaders()
+        self._index = get_index(sim.graph)
+        self._unit_weighted = _graph_is_unit_weighted(sim.graph)
 
-        nq = max(1, neighborhood_quality(graph, n))
-        sim.charge_rounds(nq, "distributed computation of NQ_n", "Lemma 3.3")
-        sim.charge_rounds(nq * log_n, "broadcast of all node identifiers", "Theorem 1")
+    def _phase_identifier_broadcast(self) -> None:
+        """Theorem 1 with k = n: every node's identifier becomes global
+        knowledge (physically simulated)."""
+        sim = self.simulator
+        KDissemination(
+            sim,
+            _identifier_tokens(sim),
+            nq=self.nq,
+            clustering=self.clustering,
+            engine=self.engine,
+        ).run()
 
-        clustering = distributed_nq_clustering(sim, n, nq=nq)
-        leaders = clustering.leaders()
-
-        # (1+eps)-approximate SSSP from every cluster leader (Theorem 13),
-        # |R| <= NQ_n instances.
-        leader_estimates: Dict[Node, Dict[Node, float]] = {}
-        for leader in leaders:
-            leader_estimates[leader] = approx_sssp_distances(graph, leader, eps)
+    def _phase_leader_sssp(self) -> None:
+        """(1+eps)-approximate SSSP from every cluster leader (Theorem 13),
+        |R| <= NQ_n instances; dense GraphIndex sweeps on unit weights."""
+        sim = self.simulator
+        self._leader_rows = self._index.hop_distance_rows(self.leaders)
+        if not self._unit_weighted:
+            # Theorem 6 assumes unit weights; on a weighted graph fall back to
+            # the weight-rounded Dijkstra so estimates keep the SSSP stretch.
+            for leader in self.leaders:
+                self._leader_estimates[leader] = approx_sssp_distances(
+                    sim.graph, leader, self.epsilon
+                )
         sim.charge_rounds(
-            len(leaders) * sssp_round_cost(n, eps),
-            f"(1+eps)-SSSP from {len(leaders)} cluster leaders",
+            len(self.leaders) * sssp_round_cost(sim.n, self.epsilon),
+            f"(1+eps)-SSSP from {len(self.leaders)} cluster leaders",
             "Theorem 13 via Theorem 6",
         )
 
-        # Every node learns its x-hop neighborhood, x = 4 NQ_n ceil(log n)/eps.
-        x = int(math.ceil(4 * nq * log_n / eps))
-        sim.charge_rounds(x, "x-hop local neighborhood exploration", "Theorem 6")
-        hop_tables: Dict[Node, Dict[Node, int]] = {
-            v: hop_distances_from(graph, v) for v in sim.nodes
-        }
-
-        # Every node broadcasts (closest leader, distance) — n messages, Theorem 1.
-        closest_leader: Dict[Node, Tuple[Node, int]] = {}
+    def _phase_local_exploration(self) -> None:
+        """Every node learns its x-hop neighborhood, x = 4 NQ_n ceil(log n)/eps
+        (charged); each node's closest leader falls out of the leader rows by
+        symmetry of hop distances."""
+        sim = self.simulator
+        self.x = int(math.ceil(4 * self.nq * self._log_n / self.epsilon))
+        sim.charge_rounds(self.x, "x-hop local neighborhood exploration", "Theorem 6")
+        index = self._index
+        leader_rows = self._leader_rows
         for v in sim.nodes:
-            hops = hop_tables[v]
-            best = min(leaders, key=lambda r: (hops.get(r, math.inf), str(r)))
-            closest_leader[v] = (best, hops.get(best, math.inf))
-        sim.charge_rounds(
-            nq * log_n,
-            "broadcast of every node's closest cluster leader and distance",
-            "Theorem 1 via Theorem 6",
-        )
+            iv = index.index_of[v]
 
-        # The Algorithm 3 estimate.
-        estimates: Dict[Node, Dict[Node, float]] = {}
-        for v in sim.nodes:
-            hops_v = hop_tables[v]
-            row: Dict[Node, float] = {}
-            for w in sim.nodes:
-                direct = hops_v.get(w, math.inf)
-                if direct <= x:
-                    row[w] = float(direct)
+            def hop_to(leader: Node, iv=iv) -> float:
+                d = leader_rows[leader][iv]
+                return math.inf if d < 0 else d
+
+            best = min(self.leaders, key=lambda r: (hop_to(r), str(r)))
+            self._closest_leader[v] = (best, hop_to(best))
+
+    def _phase_closest_leader_broadcast(self) -> None:
+        """Every node broadcasts (closest leader, distance) — n messages,
+        Theorem 1, physically simulated."""
+        sim = self.simulator
+        KDissemination(
+            sim,
+            _label_tokens(sim, self._closest_leader, "apsp-cl"),
+            nq=self.nq,
+            clustering=self.clustering,
+            engine=self.engine,
+        ).run()
+
+    # ------------------------------------------------------------------
+    def finish(self) -> DenseDistanceTable:
+        sim = self.simulator
+        index = self._index
+        columns = list(sim.nodes)
+        column_indices = [index.index_of[w] for w in columns]
+        closest_leader = self._closest_leader
+        leader_rows = self._leader_rows
+        leader_estimates = self._leader_estimates
+        unit = self._unit_weighted
+        x = self.x
+
+        def make_row(v: Node) -> List[float]:
+            """The Algorithm 3 estimate row of ``v`` from one dense sweep."""
+            iv = index.index_of[v]
+            dist = index.hop_distance_row(v)
+            row: List[float] = []
+            append = row.append
+            for w, iw in zip(columns, column_indices):
+                direct = dist[iw]
+                if 0 <= direct <= x:
+                    append(float(direct))
+                    continue
+                c_w, d_w_cw = closest_leader[w]
+                if unit:
+                    to_leader = leader_rows[c_w][iv]
+                    estimate = math.inf if to_leader < 0 else float(to_leader)
                 else:
-                    c_w, d_w_cw = closest_leader[w]
-                    row[w] = leader_estimates[c_w].get(v, math.inf) + d_w_cw
-            estimates[v] = row
+                    estimate = leader_estimates[c_w].get(v, math.inf)
+                append(estimate + d_w_cw)
+            return row
 
         # eps' = 3 eps + eps^2 per the Theorem 6 analysis.
-        stretch = 1.0 + 3 * eps + eps * eps
-        return DistanceTable(
-            estimates=estimates, stretch_bound=stretch, metrics=sim.metrics, nq=nq
+        stretch = 1.0 + 3 * self.epsilon + self.epsilon * self.epsilon
+        return DenseDistanceTable(
+            row_nodes=columns,
+            columns=columns,
+            row_factory=make_row,
+            stretch_bound=stretch,
+            metrics=sim.metrics,
+            nq=self.nq,
         )
 
 
 # ----------------------------------------------------------------------
 # Theorem 7: deterministic weighted APSP via a spanner
 # ----------------------------------------------------------------------
-class SpannerAPSP:
+class SpannerAPSP(BatchAlgorithm):
     """Theorem 7: (1 + eps log n)-approximate weighted APSP in
-    ``eO(2^{1/eps} NQ_n)`` rounds by broadcasting a ``(2t-1)``-spanner."""
+    ``eO(2^{1/eps} NQ_n)`` rounds by broadcasting a ``(2t-1)``-spanner.
 
-    def __init__(self, simulator: HybridSimulator, *, epsilon: float = 0.5) -> None:
+    The m*-edge spanner broadcast (Theorem 1 with k = m*) is a physically
+    simulated :class:`~repro.core.dissemination.KDissemination` instance:
+    every spanner edge is one token held by its smaller-id endpoint, and the
+    per-node Dijkstra table assembly runs only once every node knows the full
+    edge list.  ``engine`` selects the transport for the broadcast.
+    """
+
+    def __init__(
+        self, simulator: HybridSimulator, *, epsilon: float = 0.5, engine: str = "batch"
+    ) -> None:
+        super().__init__(simulator, engine=engine)
         if epsilon <= 0:
             raise ValueError("epsilon must be positive")
-        self.simulator = simulator
         self.epsilon = epsilon
+        # Phase state.
+        self._spanner: Optional[nx.Graph] = None
+        self._estimates: Dict[Node, Dict[Node, float]] = {}
+        self._t = 1
 
-    def run(self) -> DistanceTable:
-        sim = self.simulator
-        graph = sim.graph
-        n = sim.n
-        log_n = log2_ceil(max(n, 2))
-        t = max(1, int(math.ceil(self.epsilon * log_n / 2)))
-
-        spanner = distributed_spanner(sim, t)
-        spanner_edges = spanner.number_of_edges()
-
-        # Broadcast the m* spanner edges (Theorem 1 with k = m*).  Both NQ
-        # evaluations in this method hit the per-(graph, k) memo on repeat
-        # runs over the same instance (the Table 2 sweep does exactly that).
-        nq_mstar = max(1, neighborhood_quality(graph, max(spanner_edges, 1)))
-        sim.charge_rounds(
-            nq_mstar * log_n,
-            f"broadcast of the {spanner_edges}-edge spanner",
-            "Theorem 1 via Theorem 7",
+    def phases(self):
+        return (
+            ("spanner", self._phase_spanner),
+            ("spanner-broadcast", self._phase_spanner_broadcast),
+            ("local-apsp", self._phase_local_apsp),
         )
 
-        # Every node locally computes APSP on the (now globally known) spanner.
-        estimates: Dict[Node, Dict[Node, float]] = {}
-        for source in sim.nodes:
-            estimates[source] = nx.single_source_dijkstra_path_length(
-                spanner, source, weight="weight"
+    def _phase_spanner(self) -> None:
+        sim = self.simulator
+        log_n = log2_ceil(max(sim.n, 2))
+        self._t = max(1, int(math.ceil(self.epsilon * log_n / 2)))
+        self._spanner = distributed_spanner(sim, self._t)
+
+    def _phase_spanner_broadcast(self) -> None:
+        """Broadcast the m* spanner edges (Theorem 1 with k = m*, physically
+        simulated).  The NQ evaluation hits the per-(graph, k) memo on repeat
+        runs over the same instance (the Table 2 sweep does exactly that)."""
+        sim = self.simulator
+        spanner_edges = self._spanner.number_of_edges()
+        nq_mstar = max(1, neighborhood_quality(sim.graph, max(spanner_edges, 1)))
+        tokens = _edge_tokens(sim, self._spanner, "spanner-edge")
+        if tokens:
+            KDissemination(sim, tokens, nq=nq_mstar, engine=self.engine).run()
+
+    def _phase_local_apsp(self) -> None:
+        """Every node locally computes APSP on the (now globally known)
+        spanner."""
+        for source in self.simulator.nodes:
+            self._estimates[source] = nx.single_source_dijkstra_path_length(
+                self._spanner, source, weight="weight"
             )
 
-        stretch = float(2 * t - 1)
-        table = DistanceTable(
-            estimates=estimates,
-            stretch_bound=stretch,
+    def finish(self) -> DistanceTable:
+        sim = self.simulator
+        return DistanceTable(
+            estimates=self._estimates,
+            stretch_bound=float(2 * self._t - 1),
             metrics=sim.metrics,
-            nq=neighborhood_quality(graph, n),
+            nq=neighborhood_quality(sim.graph, sim.n),
         )
-        return table
 
 
 # ----------------------------------------------------------------------
 # Theorem 8: randomized weighted APSP via skeleton + spanner
 # ----------------------------------------------------------------------
-class SkeletonAPSP:
-    """Theorem 8 / Algorithm 4: (4 alpha - 1)-approximate weighted APSP."""
+class SkeletonAPSP(BatchAlgorithm):
+    """Theorem 8 / Algorithm 4: (4 alpha - 1)-approximate weighted APSP.
+
+    The three Theorem 1 broadcasts (node identifiers, the skeleton spanner,
+    every node's closest skeleton node) are physically simulated
+    :class:`~repro.core.dissemination.KDissemination` instances; the h-hop
+    limited tables run on the :class:`~repro.graphs.index.GraphIndex`
+    flat-array Bellman-Ford.  ``engine`` selects the broadcast transport.
+    """
 
     def __init__(
         self,
@@ -323,76 +619,122 @@ class SkeletonAPSP:
         *,
         alpha: int = 1,
         seed: Optional[int] = None,
+        engine: str = "batch",
     ) -> None:
+        super().__init__(simulator, engine=engine)
         if alpha < 1:
             raise ValueError("alpha must be a positive integer")
-        self.simulator = simulator
         self.alpha = alpha
         self.seed = seed
+        # Phase state.
+        self._log_n = log2_ceil(max(simulator.n, 2))
+        self.nq = 0
+        self.clustering: Optional[Clustering] = None
+        self._skeleton = None
+        self._spanner: Optional[nx.Graph] = None
+        self._skeleton_estimates: Dict[Node, Dict[Node, float]] = {}
+        self._limited: Dict[Node, Dict[Node, float]] = {}
+        self._closest_skeleton: Dict[Node, Tuple[Node, float]] = {}
 
-    def run(self) -> DistanceTable:
+    def phases(self):
+        return (
+            ("parameters", self._phase_parameters),
+            ("skeleton", self._phase_skeleton),
+            ("skeleton-spanner", self._phase_skeleton_spanner),
+            ("local-exploration", self._phase_local_exploration),
+        )
+
+    def _phase_parameters(self) -> None:
+        """NQ_n, one shared Lemma 3.5 clustering for both k = n broadcasts,
+        plus the Theorem 1 broadcast of all node identifiers (physically
+        simulated)."""
         sim = self.simulator
-        graph = sim.graph
-        n = sim.n
-        log_n = log2_ceil(max(n, 2))
+        self.nq = max(1, neighborhood_quality(sim.graph, sim.n))
+        self.clustering = distributed_nq_clustering(sim, sim.n, nq=self.nq)
+        KDissemination(
+            sim,
+            _identifier_tokens(sim),
+            nq=self.nq,
+            clustering=self.clustering,
+            engine=self.engine,
+        ).run()
+        sim.charge_rounds(self.nq, "distributed computation of NQ_n", "Lemma 3.3")
+
+    def _phase_skeleton(self) -> None:
+        """t = n^{1/(3a+1)} * NQ_n^{2/(3+1/a)} and the Definition 6.2 skeleton."""
+        sim = self.simulator
         alpha = self.alpha
-
-        nq = max(1, neighborhood_quality(graph, n))
-        sim.charge_rounds(nq * log_n, "broadcast of all node identifiers", "Theorem 1")
-        sim.charge_rounds(nq, "distributed computation of NQ_n", "Lemma 3.3")
-
-        # t = n^{1/(3a+1)} * NQ_n^{2/(3+1/a)}.
         t = max(
             1,
             int(
                 round(
-                    n ** (1.0 / (3 * alpha + 1)) * nq ** (2.0 / (3 + 1.0 / alpha))
+                    sim.n ** (1.0 / (3 * alpha + 1))
+                    * self.nq ** (2.0 / (3 + 1.0 / alpha))
                 )
             ),
         )
         sampling_probability = min(1.0, 1.0 / t)
-        skeleton = build_skeleton(graph, sampling_probability, seed=self.seed)
-        sim.charge_rounds(skeleton.h, "skeleton construction", "Lemma 6.3 via Theorem 8")
-
-        # (2 alpha - 1)-spanner of the skeleton, broadcast to everyone.
-        spanner = greedy_spanner(skeleton.graph, alpha)
+        self._skeleton = build_skeleton(sim.graph, sampling_probability, seed=self.seed)
         sim.charge_rounds(
-            alpha * log_n * max(1, skeleton.h),
+            self._skeleton.h, "skeleton construction", "Lemma 6.3 via Theorem 8"
+        )
+
+    def _phase_skeleton_spanner(self) -> None:
+        """(2 alpha - 1)-spanner of the skeleton, broadcast to everyone
+        (Theorem 1, physically simulated)."""
+        sim = self.simulator
+        skeleton = self._skeleton
+        self._spanner = greedy_spanner(skeleton.graph, self.alpha)
+        sim.charge_rounds(
+            self.alpha * self._log_n * max(1, skeleton.h),
             "spanner construction on the skeleton (simulated over local paths)",
             "Lemma 6.1 via Theorem 8",
         )
-        spanner_edges = max(1, spanner.number_of_edges())
-        nq_x = max(1, neighborhood_quality(graph, max(spanner_edges, n)))
-        sim.charge_rounds(
-            nq_x * log_n,
-            f"broadcast of the {spanner_edges}-edge skeleton spanner",
-            "Theorem 1 via Theorem 8",
-        )
-        skeleton_estimates: Dict[Node, Dict[Node, float]] = {
-            s: nx.single_source_dijkstra_path_length(spanner, s, weight="weight")
+        spanner_edges = max(1, self._spanner.number_of_edges())
+        nq_x = max(1, neighborhood_quality(sim.graph, max(spanner_edges, sim.n)))
+        tokens = _edge_tokens(sim, self._spanner, "skeleton-spanner-edge")
+        if tokens:
+            KDissemination(sim, tokens, nq=nq_x, engine=self.engine).run()
+        self._skeleton_estimates = {
+            s: nx.single_source_dijkstra_path_length(self._spanner, s, weight="weight")
             for s in skeleton.skeleton_nodes
         }
 
-        # Every node learns its h-hop neighborhood and its closest skeleton node.
+    def _phase_local_exploration(self) -> None:
+        """Every node learns its h-hop neighborhood (GraphIndex Bellman-Ford)
+        and broadcasts its closest skeleton node (Theorem 1, physical)."""
+        sim = self.simulator
+        skeleton = self._skeleton
         h = skeleton.h
         sim.charge_rounds(h, "h-hop local neighborhood exploration", "Theorem 8")
-        limited: Dict[Node, Dict[Node, float]] = {
-            v: h_hop_limited_distances(graph, v, h) for v in sim.nodes
+        self._limited = {
+            v: h_hop_limited_distances(sim.graph, v, h) for v in sim.nodes
         }
         skeleton_set = set(skeleton.skeleton_nodes)
-        closest_skeleton: Dict[Node, Tuple[Node, float]] = {}
         for v in sim.nodes:
-            candidates = {u: d for u, d in limited[v].items() if u in skeleton_set}
+            candidates = {
+                u: d for u, d in self._limited[v].items() if u in skeleton_set
+            }
             if not candidates:
-                full = nx.single_source_dijkstra_path_length(graph, v, weight="weight")
+                full = nx.single_source_dijkstra_path_length(
+                    sim.graph, v, weight="weight"
+                )
                 candidates = {u: d for u, d in full.items() if u in skeleton_set}
             best, dist = min(candidates.items(), key=lambda kv: (kv[1], str(kv[0])))
-            closest_skeleton[v] = (best, dist)
-        sim.charge_rounds(
-            nq * log_n,
-            "broadcast of every node's closest skeleton node and distance",
-            "Theorem 1 via Theorem 8",
-        )
+            self._closest_skeleton[v] = (best, dist)
+        KDissemination(
+            sim,
+            _label_tokens(sim, self._closest_skeleton, "apsp-cs"),
+            nq=self.nq,
+            clustering=self.clustering,
+            engine=self.engine,
+        ).run()
+
+    def finish(self) -> DistanceTable:
+        sim = self.simulator
+        limited = self._limited
+        closest_skeleton = self._closest_skeleton
+        skeleton_estimates = self._skeleton_estimates
 
         # Algorithm 4 estimate.
         estimates: Dict[Node, Dict[Node, float]] = {}
@@ -410,7 +752,9 @@ class SkeletonAPSP:
                 row[w] = min(direct, via)
             estimates[v] = row
 
-        stretch = float(4 * alpha - 1)
         return DistanceTable(
-            estimates=estimates, stretch_bound=stretch, metrics=sim.metrics, nq=nq
+            estimates=estimates,
+            stretch_bound=float(4 * self.alpha - 1),
+            metrics=sim.metrics,
+            nq=self.nq,
         )

@@ -44,9 +44,12 @@ so graphs are collected normally).  Scalar ``NQ_k`` values are additionally
 memoised per ``(index, k)`` — repeated ``neighborhood_quality(graph, k)``
 calls inside one experiment (routing + shortest paths + lower bounds on the
 same instance) cost one computation.  The cache is invalidated when the
-graph's node or edge count changes; *rewiring* a graph while keeping both
-counts constant is not detected — treat analysed graphs as frozen (every
-generator in :mod:`repro.graphs.generators` does).
+graph's node or edge count changes; *rewiring* or *re-weighting* a graph
+while keeping both counts constant is not detected — treat analysed graphs
+as frozen (every generator in :mod:`repro.graphs.generators` does), use the
+:mod:`repro.graphs.weighted` helpers for weight assignment (they call
+:func:`invalidate_index`), or call :func:`invalidate_index` yourself after a
+manual mutation.
 """
 
 from __future__ import annotations
@@ -59,7 +62,7 @@ import networkx as nx
 
 Node = Hashable
 
-__all__ = ["GraphIndex", "get_index"]
+__all__ = ["GraphIndex", "get_index", "invalidate_index"]
 
 
 class GraphIndex:
@@ -91,18 +94,26 @@ class GraphIndex:
             offsets[i + 1] += offsets[i]
         cursor = list(offsets)
         targets = [0] * (2 * self.m)
-        for u, v in graph.edges():
+        # Edge weights ride along in a CSR array parallel to ``targets`` so the
+        # weighted primitives (h-hop limited Bellman-Ford) share the adjacency.
+        weights: List[float] = [1] * (2 * self.m)
+        for u, v, data in graph.edges(data=True):
+            w = data.get("weight", 1)
             ui = index_of[u]
             vi = index_of[v]
             targets[cursor[ui]] = vi
+            weights[cursor[ui]] = w
             cursor[ui] += 1
             targets[cursor[vi]] = ui
+            weights[cursor[vi]] = w
             cursor[vi] += 1
         self._offsets = offsets
         self._targets = targets
+        self._weights = weights
 
-        # Epoch-stamped scratch vector shared by all single-source queries.
+        # Epoch-stamped scratch vectors shared by all single-source queries.
         self._visited = [0] * n
+        self._fdist = [0.0] * n  # float distances, valid iff stamped this epoch
         self._epoch = 0
 
         # Lazily filled analytics caches.
@@ -178,6 +189,124 @@ class GraphIndex:
         no source reaches ``nodes[i]``.
         """
         return self._distances_idx([self._require(node) for node in sources])
+
+    def hop_distance_row(self, source: Node) -> List[int]:
+        """One dense hop-distance row: ``row[i] = hop(source, nodes[i])``.
+
+        ``-1`` marks unreachable nodes.  This is the flat-array replacement for
+        ``hop_distances_from`` when the caller wants a dense (n-wide) row
+        instead of a sparse dict — the building block of the all-pairs table
+        assemblies in the shortest-paths pipeline.
+        """
+        return self._distances_idx([self._require(source)])
+
+    def hop_distance_rows(self, sources: Iterable[Node]) -> Dict[Node, List[int]]:
+        """Dense (|sources| x n) distance table: one flat BFS row per source."""
+        return {source: self.hop_distance_row(source) for source in sources}
+
+    def h_hop_limited_distances(self, source: Node, h: int) -> Dict[Node, float]:
+        """``h``-hop limited weighted distances ``d^h(source, .)`` (Section 1.2).
+
+        Flat-array Bellman-Ford over the CSR adjacency: ``h`` relaxation rounds
+        with an epoch-stamped distance scratch vector, touching only the nodes
+        the relaxation actually reaches.  Produces exactly the same values as
+        the dict-based reference (the candidate path sums are identical
+        floating-point operations); only the key order of the returned dict may
+        differ.  Unreached nodes are omitted.
+        """
+        if h < 0:
+            raise ValueError("h must be non-negative")
+        s = self._require(source)
+        offsets = self._offsets
+        targets = self._targets
+        weights = self._weights
+        self._epoch += 1
+        epoch = self._epoch
+        stamp = self._visited
+        dist = self._fdist
+        stamp[s] = epoch
+        dist[s] = 0.0
+        reached = [s]
+        frontier = [s]
+        for _ in range(h):
+            updates: Dict[int, float] = {}
+            for u in frontier:
+                du = dist[u]
+                for j in range(offsets[u], offsets[u + 1]):
+                    v = targets[j]
+                    cand = du + weights[j]
+                    if stamp[v] == epoch and cand >= dist[v]:
+                        continue
+                    if cand < updates.get(v, math.inf):
+                        updates[v] = cand
+            if not updates:
+                break
+            frontier = []
+            for v, d in updates.items():
+                if stamp[v] != epoch:
+                    stamp[v] = epoch
+                    reached.append(v)
+                elif d >= dist[v]:
+                    continue
+                dist[v] = d
+                frontier.append(v)
+            if not frontier:
+                break
+        nodes = self.nodes
+        return {nodes[i]: dist[i] for i in reached}
+
+    def weak_diameter(self, members: Iterable[Node]):
+        """Weak diameter of a member set: max pairwise hop distance *in G*.
+
+        One BFS per distinct member with **unreached-target early exit**: each
+        BFS stops the moment every other member has been discovered (the max
+        member-to-member distance from that source is then known), and returns
+        ``math.inf`` immediately when a BFS exhausts its component with members
+        still missing — no per-source scan over the target set.  Members that
+        are not nodes of the graph raise ``KeyError`` regardless of their
+        position in the iteration order (the reference implementation's
+        inf-vs-raise behaviour depended on it).
+        """
+        sources: List[int] = []
+        seen: set = set()
+        for member in members:
+            i = self._require(member)
+            if i not in seen:
+                seen.add(i)
+                sources.append(i)
+        if len(sources) <= 1:
+            return 0
+        member_set = seen
+        offsets = self._offsets
+        targets = self._targets
+        visited = self._visited
+        best = 0
+        for s in sources:
+            self._epoch += 1
+            epoch = self._epoch
+            visited[s] = epoch
+            remaining = len(sources) - 1
+            frontier = [s]
+            depth = 0
+            farthest = 0
+            while frontier and remaining:
+                depth += 1
+                nxt = []
+                for u in frontier:
+                    for j in range(offsets[u], offsets[u + 1]):
+                        v = targets[j]
+                        if visited[v] != epoch:
+                            visited[v] = epoch
+                            nxt.append(v)
+                            if v in member_set:
+                                remaining -= 1
+                                farthest = depth
+                frontier = nxt
+            if remaining:
+                return math.inf
+            if farthest > best:
+                best = farthest
+        return best
 
     # ------------------------------------------------------------------
     # Classic structural queries
@@ -509,3 +638,18 @@ def get_index(graph: nx.Graph) -> GraphIndex:
     except TypeError:  # graphs that cannot be weak-referenced
         pass
     return index
+
+
+def invalidate_index(graph: nx.Graph) -> None:
+    """Drop ``graph``'s cached :class:`GraphIndex` (if any).
+
+    The count-based staleness check in :func:`get_index` cannot see mutations
+    that keep the node and edge counts constant — rewiring, and since the index
+    carries a weighted CSR, *re-weighting*.  The weight-assignment helpers in
+    :mod:`repro.graphs.weighted` call this after mutating a graph in place;
+    code that edits ``graph[u][v]["weight"]`` by hand must do the same.
+    """
+    try:
+        _INDEX_CACHE.pop(graph, None)
+    except TypeError:
+        pass

@@ -100,7 +100,23 @@ def hop_distance(graph: nx.Graph, u: Node, v: Node) -> int:
 
 
 def all_hop_distances(graph: nx.Graph) -> Dict[Node, Dict[Node, int]]:
-    """All-pairs hop distances (BFS from every node)."""
+    """All-pairs hop distances as dicts, assembled from dense index rows.
+
+    Delegates to the cached :class:`~repro.graphs.index.GraphIndex`: one flat
+    multi-source sweep per node instead of one Python-dict BFS per node.
+    Unreachable nodes are omitted from each row, matching
+    :func:`hop_distances_from`; only the key order inside a row differs.
+    """
+    index = get_index(graph)
+    nodes = index.nodes
+    return {
+        v: {nodes[i]: d for i, d in enumerate(index.hop_distance_row(v)) if d >= 0}
+        for v in nodes
+    }
+
+
+def _reference_all_hop_distances(graph: nx.Graph) -> Dict[Node, Dict[Node, int]]:
+    """Index-free ground truth for :func:`all_hop_distances` (tests only)."""
     return {v: hop_distances_from(graph, v) for v in graph.nodes}
 
 
@@ -120,9 +136,19 @@ def h_hop_limited_distances(
     """``h``-hop limited weighted distances ``d^h(source, .)`` (Section 1.2).
 
     ``d^h(u, v)`` is the weight of a shortest ``u``-``v`` path among all paths
-    using at most ``h`` edges; nodes with no such path are omitted.  Computed by
-    ``h`` rounds of Bellman-Ford relaxation.
+    using at most ``h`` edges; nodes with no such path are omitted.  Delegates
+    to the cached :class:`~repro.graphs.index.GraphIndex` flat-array
+    Bellman-Ford (identical values to the reference; ``KeyError`` on a missing
+    source, like the other BFS primitives).
     """
+    return get_index(graph).h_hop_limited_distances(source, h)
+
+
+def _reference_h_hop_limited_distances(
+    graph: nx.Graph, source: Node, h: int
+) -> Dict[Node, float]:
+    """Index-free ground truth for :func:`h_hop_limited_distances` (tests only):
+    ``h`` rounds of dict-based Bellman-Ford relaxation."""
     if h < 0:
         raise ValueError("h must be non-negative")
     dist: Dict[Node, float] = {source: 0.0}
@@ -235,7 +261,28 @@ def _reference_diameter(graph: nx.Graph) -> int:
 
 
 def weak_diameter(graph: nx.Graph, nodes: Iterable[Node]) -> int:
-    """Weak diameter of a node set: max pairwise hop distance *in G* (Section 1.2)."""
+    """Weak diameter of a node set: max pairwise hop distance *in G* (Section 1.2).
+
+    Empty and singleton sets have weak diameter 0; a member set spanning
+    several components returns ``math.inf`` (in contrast to :func:`diameter`,
+    which raises on disconnected graphs — pinned by the tests).  A member that
+    is not a node of the graph raises ``KeyError`` no matter where it appears
+    in the iteration order.  Delegates to the cached
+    :class:`~repro.graphs.index.GraphIndex`, whose per-member BFS stops as
+    soon as every other member is discovered instead of sweeping the whole
+    component and re-scanning the target set.
+    """
+    node_list = list(nodes)
+    if not node_list:
+        return 0
+    return get_index(graph).weak_diameter(node_list)
+
+
+def _reference_weak_diameter(graph: nx.Graph, nodes: Iterable[Node]) -> int:
+    """Index-free ground truth for :func:`weak_diameter` (tests only): one full
+    BFS per member plus a target-set scan.  Kept verbatim — including the
+    historical quirk that a member missing from the graph surfaces as ``inf``
+    or ``KeyError`` depending on iteration order, which the fast path fixes."""
     node_list = list(nodes)
     if not node_list:
         return 0
@@ -251,7 +298,11 @@ def weak_diameter(graph: nx.Graph, nodes: Iterable[Node]) -> int:
 
 
 def strong_diameter(graph: nx.Graph, nodes: Iterable[Node]) -> int:
-    """Strong diameter: diameter of the subgraph induced by ``nodes``."""
+    """Strong diameter: diameter of the subgraph induced by ``nodes``.
+
+    Runs on the induced subgraph's own (ephemeral) :class:`GraphIndex` via
+    :func:`diameter`; a disconnected induced subgraph yields ``math.inf``.
+    """
     sub = graph.subgraph(set(nodes))
     if sub.number_of_nodes() == 0:
         return 0
@@ -259,6 +310,17 @@ def strong_diameter(graph: nx.Graph, nodes: Iterable[Node]) -> int:
         return 0
     try:
         return diameter(sub)
+    except ValueError:
+        return math.inf
+
+
+def _reference_strong_diameter(graph: nx.Graph, nodes: Iterable[Node]) -> int:
+    """Index-free ground truth for :func:`strong_diameter` (tests only)."""
+    sub = graph.subgraph(set(nodes))
+    if sub.number_of_nodes() <= 1:
+        return 0
+    try:
+        return _reference_diameter(sub)
     except ValueError:
         return math.inf
 

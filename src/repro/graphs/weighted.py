@@ -6,6 +6,11 @@ so they compose with the generators:
 
     >>> from repro.graphs import grid_graph, assign_random_weights
     >>> g = assign_random_weights(grid_graph(4), max_weight=10, seed=0)
+
+Each helper invalidates the graph's cached
+:class:`~repro.graphs.index.GraphIndex` (which carries a weighted CSR):
+re-weighting keeps the node/edge counts constant, so the index's count-based
+staleness check alone would keep serving the old weights.
 """
 
 from __future__ import annotations
@@ -14,6 +19,8 @@ import random
 from typing import Optional
 
 import networkx as nx
+
+from repro.graphs.index import invalidate_index
 
 __all__ = [
     "unit_weights",
@@ -27,6 +34,7 @@ def unit_weights(graph: nx.Graph) -> nx.Graph:
     """Set every edge weight to 1 (the unweighted convention ``w == 1``)."""
     for u, v in graph.edges:
         graph[u][v]["weight"] = 1
+    invalidate_index(graph)
     return graph
 
 
@@ -36,6 +44,7 @@ def assign_uniform_weights(graph: nx.Graph, weight: int) -> nx.Graph:
         raise ValueError("weight must be positive")
     for u, v in graph.edges:
         graph[u][v]["weight"] = int(weight)
+    invalidate_index(graph)
     return graph
 
 
@@ -48,6 +57,7 @@ def assign_random_weights(
     rng = random.Random(seed)
     for u, v in sorted(graph.edges, key=lambda e: (str(e[0]), str(e[1]))):
         graph[u][v]["weight"] = rng.randint(1, max_weight)
+    invalidate_index(graph)
     return graph
 
 

@@ -1,9 +1,11 @@
 """Cross-validation of the batch-migrated algorithms against centralized truth.
 
 Every algorithm migrated onto the batch messaging engine (KDissemination,
-KAggregation, KLRouting, ApproxSSSP) is checked against
-:mod:`repro.baselines.centralized` reference solvers on a corpus of six graph
-families (path, cycle, grid, barbell, broom, Erdos-Renyi) x three seeds each.
+KAggregation, KLRouting, ApproxSSSP, and — since PR 3 — the shortest-paths
+stack: UnweightedApproxAPSP, KSourceShortestPaths, KLShortestPaths and the
+BCC bridge) is checked against :mod:`repro.baselines.centralized` reference
+solvers on a corpus of six graph families (path, cycle, grid, barbell, broom,
+Erdos-Renyi) x three seeds each.
 """
 
 import math
@@ -11,10 +13,13 @@ import random
 
 import pytest
 
-from repro.baselines.centralized import exact_sssp
+from repro.baselines.centralized import exact_hop_apsp, exact_sssp, max_stretch_of_table
 from repro.core.aggregation import KAggregation
+from repro.core.bcc import BCCSimulator
 from repro.core.dissemination import KDissemination
+from repro.core.ksp import KSourceShortestPaths
 from repro.core.routing import KLRouting
+from repro.core.shortest_paths import KLShortestPaths, UnweightedApproxAPSP
 from repro.core.sssp import ApproxSSSP
 from repro.graphs.generators import (
     barbell_graph,
@@ -24,7 +29,7 @@ from repro.graphs.generators import (
     grid_graph,
     path_graph,
 )
-from repro.graphs.weighted import assign_random_weights
+from repro.graphs.weighted import assign_random_weights, unit_weights
 from repro.simulator.config import ModelConfig
 from repro.simulator.network import HybridSimulator
 
@@ -123,3 +128,80 @@ def test_sssp_matches_centralized_dijkstra(case):
         # Never underestimates, overestimates by at most (1 + eps).
         assert estimate >= true_distance - 1e-9
         assert estimate <= (1.0 + epsilon) * true_distance + 1e-9
+
+
+@pytest.mark.parametrize("engine", ["batch", "legacy"])
+@pytest.mark.parametrize("case", CASES, ids=_ids)
+def test_apsp_matches_centralized_hop_truth(case, engine):
+    family, seed = case
+    graph = unit_weights(GRAPH_FAMILIES[family](seed))
+    truth = {
+        v: {w: float(d) for w, d in row.items()}
+        for v, row in exact_hop_apsp(graph).items()
+    }
+
+    sim = HybridSimulator(graph, ModelConfig.hybrid0(), seed=seed)
+    table = UnweightedApproxAPSP(sim, epsilon=0.5, engine=engine).run()
+
+    stretch = max_stretch_of_table(truth, table.estimates)
+    assert stretch <= table.stretch_bound + 1e-6
+    assert sim.metrics.capacity_violations == 0
+
+
+@pytest.mark.parametrize("engine", ["batch", "legacy"])
+@pytest.mark.parametrize("case", CASES, ids=_ids)
+def test_ksp_matches_centralized_dijkstra(case, engine):
+    family, seed = case
+    graph = assign_random_weights(GRAPH_FAMILIES[family](seed), max_weight=9, seed=seed)
+    rng = random.Random(400 + seed)
+    sources = rng.sample(sorted(graph.nodes), 4)
+    truth = {s: exact_sssp(graph, s) for s in sources}
+
+    sim = HybridSimulator(graph, ModelConfig.hybrid(), seed=seed)
+    result = KSourceShortestPaths(
+        sim, sources, epsilon=0.25, sources_in_skeleton=True, seed=seed, engine=engine
+    ).run()
+
+    for node in graph.nodes:
+        for s in sources:
+            true_distance = truth[s].get(node, math.inf)
+            estimate = result.estimate(node, s)
+            assert estimate >= true_distance - 1e-6
+            if true_distance > 0:
+                assert estimate <= result.stretch_bound * true_distance + 1e-6
+
+
+@pytest.mark.parametrize("engine", ["batch", "legacy"])
+@pytest.mark.parametrize("case", CASES, ids=_ids)
+def test_klsp_matches_centralized_dijkstra(case, engine):
+    family, seed = case
+    graph = assign_random_weights(GRAPH_FAMILIES[family](seed), max_weight=9, seed=seed)
+    rng = random.Random(500 + seed)
+    nodes = sorted(graph.nodes)
+    sources = rng.sample(nodes, 4)
+    targets = rng.sample(nodes, 3)
+    truth = {t: exact_sssp(graph, t) for t in targets}
+
+    sim = HybridSimulator(graph, ModelConfig.hybrid(), seed=seed)
+    table = KLShortestPaths(
+        sim, sources, targets, epsilon=0.25, seed=seed, engine=engine
+    ).run()
+
+    pairs = [(t, s) for t in targets for s in sources]
+    stretch = max_stretch_of_table(truth, table.estimates, pairs=pairs)
+    assert stretch <= table.stretch_bound + 1e-6
+
+
+@pytest.mark.parametrize("engine", ["batch", "legacy"])
+@pytest.mark.parametrize("case", CASES, ids=_ids)
+def test_bcc_round_delivers_every_broadcast(case, engine):
+    family, seed = case
+    graph = GRAPH_FAMILIES[family](seed)
+    broadcasts = {v: ("bcast", v, seed) for v in graph.nodes}
+
+    sim = HybridSimulator(graph, ModelConfig.hybrid0(), seed=seed)
+    result = BCCSimulator(sim, engine=engine).simulate_round(broadcasts)
+
+    assert result.all_nodes_received_everything()
+    assert result.rounds_used > 0
+    assert sim.metrics.capacity_violations == 0

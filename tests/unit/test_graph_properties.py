@@ -6,7 +6,10 @@ import networkx as nx
 import pytest
 
 from repro.graphs.generators import cycle_graph, grid_graph, path_graph, star_graph
+from repro.graphs.weighted import assign_random_weights, unit_weights
 from repro.graphs.properties import (
+    _reference_diameter,
+    _reference_h_hop_limited_distances,
     ball,
     ball_size,
     ball_sizes_all_radii,
@@ -144,6 +147,59 @@ class TestDiameters:
         g = path_graph(4)
         assert weak_diameter(g, []) == 0
         assert weak_diameter(g, [2]) == 0
+        # Duplicated members are one member.
+        assert weak_diameter(g, [2, 2, 2]) == 0
+
+    def test_weak_diameter_disconnected_members_is_inf(self):
+        g = nx.Graph()
+        g.add_edges_from([(0, 1), (2, 3)])
+        assert weak_diameter(g, [0, 2]) == math.inf
+        assert weak_diameter(g, [2, 0]) == math.inf
+        # Members within one component stay finite.
+        assert weak_diameter(g, [0, 1]) == 1
+
+    def test_weak_diameter_missing_member_raises_regardless_of_order(self):
+        # The reference implementation surfaced a member that is not a graph
+        # node as `inf` or `KeyError` depending on its position in the
+        # iteration order; the GraphIndex path always raises.
+        g = path_graph(4)
+        with pytest.raises(KeyError):
+            weak_diameter(g, [99, 0])
+        with pytest.raises(KeyError):
+            weak_diameter(g, [0, 99])
+
+    def test_weak_diameter_of_all_nodes_is_the_diameter(self):
+        for g in (path_graph(9), cycle_graph(12), grid_graph(4, 2), star_graph(7)):
+            assert weak_diameter(g, g.nodes) == diameter(g)
+
+    def test_weak_diameter_inf_where_diameter_raises(self):
+        # The documented contract split on disconnected graphs: weak_diameter
+        # over all nodes reports `inf`, diameter raises ValueError — and the
+        # GraphIndex path raises exactly the reference's error.
+        g = nx.Graph()
+        g.add_nodes_from(range(4))
+        g.add_edges_from([(0, 1), (2, 3)])
+        assert weak_diameter(g, g.nodes) == math.inf
+        with pytest.raises(ValueError, match="disconnected"):
+            diameter(g)
+        with pytest.raises(ValueError, match="disconnected"):
+            _reference_diameter(g)
+
+    def test_index_diameter_error_matches_reference_error(self):
+        g = nx.Graph()
+        g.add_nodes_from([0, 1, 2])
+        g.add_edge(0, 1)
+        with pytest.raises(ValueError) as fast_error:
+            diameter(g)
+        with pytest.raises(ValueError) as reference_error:
+            _reference_diameter(g)
+        assert str(fast_error.value) == str(reference_error.value)
+        empty = nx.Graph()
+        with pytest.raises(ValueError) as fast_empty:
+            diameter(empty)
+        with pytest.raises(ValueError) as reference_empty:
+            _reference_diameter(empty)
+        assert str(fast_empty.value) == str(reference_empty.value)
 
 
 class TestWeightedDistances:
@@ -183,6 +239,19 @@ class TestWeightedDistances:
     def test_h_hop_negative_raises(self):
         with pytest.raises(ValueError):
             h_hop_limited_distances(path_graph(3), 0, -1)
+
+    def test_reweighting_invalidates_cached_index(self):
+        # Re-weighting keeps node/edge counts constant, so the GraphIndex
+        # count-based staleness check alone would keep serving the weights the
+        # index was built with; the weighted helpers must invalidate it.
+        g = path_graph(6)
+        assert h_hop_limited_distances(g, 0, 5)[5] == 5.0  # caches the index
+        assign_random_weights(g, max_weight=9, seed=1)
+        reweighted = h_hop_limited_distances(g, 0, 5)
+        assert reweighted == _reference_h_hop_limited_distances(g, 0, 5)
+        assert reweighted[5] == sum(g[u][v]["weight"] for u, v in g.edges)
+        unit_weights(g)
+        assert h_hop_limited_distances(g, 0, 5)[5] == 5.0
 
 
 class TestPowerGraph:

@@ -14,8 +14,11 @@ import random
 
 import pytest
 
+from repro.core.bcc import BCCBroadcast
 from repro.core.dissemination import KDissemination
+from repro.core.ksp import KSourceShortestPaths
 from repro.core.neighborhood_quality import DistributedNQComputation
+from repro.core.shortest_paths import KLShortestPaths, UnweightedApproxAPSP
 from repro.core.sssp import ApproxSSSP
 from repro.graphs.generators import grid_graph, path_graph
 from repro.simulator.config import ModelConfig
@@ -47,6 +50,40 @@ NQ_EQUIVALENCE_CASES = sorted(NQ_PINS) + [("path9", 1000, 0)]
 SSSP_PINS = {
     ("path48", 0.25, 11): (0, 576),
     ("grid7", 0.5, 5): (0, 144),
+}
+
+# The shortest-paths stack (PR 3): the schedule-identical guarantee of the
+# batch migration.  Each pin is (measured_rounds, total_rounds,
+# global_messages) and must hold for BOTH engines — the Theorem 1 broadcasts
+# inside these algorithms are physically simulated KDissemination instances,
+# so any scheduling drift in the batch engine shows up here first.
+#
+# (label, epsilon, seed) -> pin
+APSP_PINS = {
+    ("path48", 0.5, 11): (35, 6116, 668),
+    ("grid7", 0.5, 11): (24, 2736, 388),
+}
+
+# (label, sources_in_skeleton, seed) -> pin.  The skeleton case moves no
+# global traffic (everything is charged); the arbitrary-sources case
+# physically broadcasts the proxy offsets via Theorem 1.
+KSP_PINS = {
+    ("path48", True, 11): (0, 612, 0),
+    ("grid7", True, 11): (0, 612, 0),
+    ("path48", False, 11): (14, 1618, 139),
+    ("grid7", False, 11): (19, 1815, 181),
+}
+
+# (label, rounds, seed) -> pin for the pipelined BCC bridge.
+BCC_PINS = {
+    ("path48", 2, 11): (42, 4916, 668),
+    ("grid7", 2, 11): (26, 2110, 388),
+}
+
+# (label, epsilon, seed) -> pin for the Theorem 5 reversal pipeline.
+KLSP_PINS = {
+    ("path48", 0.25, 11): (9, 985, 144),
+    ("grid7", 0.25, 11): (7, 983, 144),
 }
 
 GRAPHS = {
@@ -157,3 +194,103 @@ def test_batch_and_legacy_engines_agree_exactly(pin):
     batch, legacy = run("batch"), run("legacy")
     assert batch.metrics.summary() == legacy.metrics.summary()
     assert batch.known_tokens == legacy.known_tokens
+
+
+# ----------------------------------------------------------------------
+# PR 3: the shortest-paths stack (APSP / k-SP / BCC)
+# ----------------------------------------------------------------------
+def _metrics_triple(sim):
+    return (
+        sim.metrics.measured_rounds,
+        sim.metrics.total_rounds,
+        sim.metrics.global_messages,
+    )
+
+
+@pytest.mark.parametrize("engine", ["batch", "legacy"])
+@pytest.mark.parametrize("pin", sorted(APSP_PINS), ids=lambda p: f"{p[0]}-eps{p[1]}")
+def test_apsp_round_counts_are_pinned(pin, engine):
+    label, epsilon, seed = pin
+    graph = GRAPHS[label]()
+    sim = HybridSimulator(graph, ModelConfig.hybrid0(), seed=seed)
+    UnweightedApproxAPSP(sim, epsilon=epsilon, engine=engine).run()
+    assert _metrics_triple(sim) == APSP_PINS[pin], (
+        f"{label} eps={epsilon} engine={engine}: APSP rounds/messages "
+        f"{_metrics_triple(sim)} drifted from the pinned {APSP_PINS[pin]}"
+    )
+    assert sim.metrics.capacity_violations == 0
+
+
+@pytest.mark.parametrize("engine", ["batch", "legacy"])
+@pytest.mark.parametrize(
+    "pin", sorted(KSP_PINS), ids=lambda p: f"{p[0]}-{'skel' if p[1] else 'arb'}"
+)
+def test_ksp_round_counts_are_pinned(pin, engine):
+    label, in_skeleton, seed = pin
+    graph = GRAPHS[label]()
+    nodes = sorted(graph.nodes)
+    sources = nodes[::7] if in_skeleton else nodes[:5]
+    sim = HybridSimulator(graph, ModelConfig.hybrid(), seed=seed)
+    KSourceShortestPaths(
+        sim,
+        sources,
+        epsilon=0.25,
+        sources_in_skeleton=in_skeleton,
+        seed=seed,
+        engine=engine,
+    ).run()
+    assert _metrics_triple(sim) == KSP_PINS[pin], (
+        f"{label} in_skeleton={in_skeleton} engine={engine}: k-SP rounds "
+        f"{_metrics_triple(sim)} drifted from the pinned {KSP_PINS[pin]}"
+    )
+    assert sim.metrics.capacity_violations == 0
+
+
+@pytest.mark.parametrize("engine", ["batch", "legacy"])
+@pytest.mark.parametrize("pin", sorted(BCC_PINS), ids=lambda p: f"{p[0]}-r{p[1]}")
+def test_bcc_broadcast_round_counts_are_pinned(pin, engine):
+    label, bcc_rounds, seed = pin
+    graph = GRAPHS[label]()
+    schedule = [
+        {v: (f"round{i}", v) for v in graph.nodes} for i in range(bcc_rounds)
+    ]
+    sim = HybridSimulator(graph, ModelConfig.hybrid0(), seed=seed)
+    result = BCCBroadcast(sim, schedule, engine=engine).run()
+    assert result.all_rounds_complete()
+    assert _metrics_triple(sim) == BCC_PINS[pin], (
+        f"{label} rounds={bcc_rounds} engine={engine}: BCC rounds "
+        f"{_metrics_triple(sim)} drifted from the pinned {BCC_PINS[pin]}"
+    )
+
+
+@pytest.mark.parametrize("engine", ["batch", "legacy"])
+@pytest.mark.parametrize("pin", sorted(KLSP_PINS), ids=lambda p: f"{p[0]}-eps{p[1]}")
+def test_klsp_round_counts_are_pinned(pin, engine):
+    label, epsilon, seed = pin
+    graph = GRAPHS[label]()
+    nodes = sorted(graph.nodes)
+    sim = HybridSimulator(graph, ModelConfig.hybrid(), seed=seed)
+    KLShortestPaths(
+        sim, nodes[:6], nodes[-8:], epsilon=epsilon, seed=seed, engine=engine
+    ).run()
+    assert _metrics_triple(sim) == KLSP_PINS[pin], (
+        f"{label} eps={epsilon} engine={engine}: (k,l)-SP rounds "
+        f"{_metrics_triple(sim)} drifted from the pinned {KLSP_PINS[pin]}"
+    )
+    assert sim.metrics.capacity_violations == 0
+
+
+@pytest.mark.parametrize("pin", sorted(APSP_PINS), ids=lambda p: f"{p[0]}-eps{p[1]}")
+def test_apsp_engines_agree_exactly(pin):
+    """Beyond the pins: both engines agree on the full metrics summary and on
+    every materialised estimate."""
+    label, epsilon, seed = pin
+    graph = GRAPHS[label]()
+
+    def run(engine):
+        sim = HybridSimulator(graph, ModelConfig.hybrid0(), seed=seed)
+        return UnweightedApproxAPSP(sim, epsilon=epsilon, engine=engine).run()
+
+    batch, legacy = run("batch"), run("legacy")
+    assert batch.metrics.summary() == legacy.metrics.summary()
+    assert batch.estimates == legacy.estimates
