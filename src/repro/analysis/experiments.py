@@ -39,7 +39,7 @@ from repro.core.shortest_paths import (
 )
 from repro.core.sssp import ApproxSSSP, sssp_round_cost
 from repro.graphs.generators import GraphSpec, generate_graph
-from repro.graphs.properties import diameter, weak_diameter
+from repro.graphs.properties import diameter, weak_diameter, weighted_distances_from
 from repro.graphs.weighted import assign_random_weights, unit_weights
 from repro.lowerbounds.universal import (
     dissemination_lower_bound,
@@ -64,6 +64,7 @@ __all__ = [
     "run_fig2_broadcast_structure",
     "run_nq_family_point",
     "run_nq_scale_point",
+    "run_clustering_scale_point",
 ]
 
 
@@ -345,7 +346,7 @@ def run_table3_klsp(
     sim = _fresh_simulator(graph, hybrid0=False, seed=seed)
     table = KLShortestPaths(sim, sources, targets, epsilon=epsilon, seed=seed).run()
 
-    truth = {t: nx.single_source_dijkstra_path_length(graph, t, weight="weight") for t in targets}
+    truth = {t: weighted_distances_from(graph, t) for t in targets}
     pairs = [(t, s) for t in targets for s in sources]
     stretch = max_stretch_of_table(truth, table.estimates, pairs=pairs)
 
@@ -378,7 +379,7 @@ def run_table4_sssp(
     source = sorted(graph.nodes, key=str)[0]
     sim = _fresh_simulator(graph, hybrid0=True, seed=seed)
     result = ApproxSSSP(sim, source, epsilon=epsilon).run()
-    truth = nx.single_source_dijkstra_path_length(graph, source, weight="weight")
+    truth = weighted_distances_from(graph, source)
     worst = 1.0
     for node, true_distance in truth.items():
         if true_distance == 0:
@@ -414,7 +415,7 @@ def run_fig1_ksp_point(
         sim, sources, epsilon=epsilon, sources_in_skeleton=True, seed=seed
     ).run()
 
-    truth = {s: nx.single_source_dijkstra_path_length(graph, s, weight="weight") for s in sources}
+    truth = {s: weighted_distances_from(graph, s) for s in sources}
     worst = 1.0
     for node in graph.nodes:
         for s in sources:
@@ -503,6 +504,43 @@ def run_nq_family_point(spec: GraphSpec, k: int) -> Dict[str, Any]:
         "upper bound min(D, sqrt k)": round(TheoryPredictions.nq_upper_bound(k, d), 2),
         "lower bound sqrt(Dk/3n)": round(TheoryPredictions.nq_lower_bound(k, d, n), 2),
     }
+
+
+def run_clustering_scale_point(
+    spec: GraphSpec, k: float, *, check_bounds: bool = True
+) -> Dict[str, Any]:
+    """One large-scale Lemma 3.5 clustering row: construction timed end to end.
+
+    Exercises the weighted analytics engine at production scale: the NQ_k
+    evaluation, the flat ruling-set growth, and the single closest-ruler
+    sweep of :func:`~repro.core.clustering.nq_clustering` all run on one
+    shared :class:`~repro.graphs.index.GraphIndex`.  With ``check_bounds``
+    the row also verifies the Lemma 3.5 size bounds and reports the maximum
+    weak cluster diameter (one shared-index BFS per cluster member).
+    """
+    graph = generate_graph(spec)
+    n = graph.number_of_nodes()
+    nq = max(1, neighborhood_quality(graph, k))
+    start = time.perf_counter()
+    clustering = nq_clustering(graph, k, nq=nq)
+    elapsed = time.perf_counter() - start
+    sizes = [len(cluster) for cluster in clustering.clusters]
+    row: Dict[str, Any] = {
+        "graph": spec.label(),
+        "n": n,
+        "k": k,
+        "NQ_k": nq,
+        "clusters": len(clustering.clusters),
+        "min size": min(sizes),
+        "max size": max(sizes),
+        "clustering seconds": round(elapsed, 3),
+    }
+    if check_bounds:
+        log_n = log2_ceil(max(n, 2))
+        row["max weak diameter"] = clustering.max_weak_diameter(graph)
+        row["weak diameter bound"] = 4 * nq * log_n
+        row["size bound [k/NQ, 2k/NQ]"] = f"[{k / nq:.1f}, {2 * k / nq:.1f}]"
+    return row
 
 
 def run_nq_scale_point(

@@ -7,6 +7,7 @@ from typing import Dict, Hashable, Iterable, Optional, Tuple
 
 import networkx as nx
 
+from repro.graphs.index import get_index
 from repro.graphs.properties import all_hop_distances
 
 Node = Hashable
@@ -21,13 +22,20 @@ __all__ = [
 
 
 def exact_sssp(graph: nx.Graph, source: Node) -> Dict[Node, float]:
-    """Exact weighted single-source distances (Dijkstra)."""
-    return nx.single_source_dijkstra_path_length(graph, source, weight="weight")
+    """Exact weighted single-source distances (Dijkstra).
+
+    Runs on the cached :class:`~repro.graphs.index.GraphIndex` flat-array
+    Dijkstra; agreement with ``networkx`` is pinned exactly by
+    ``tests/properties/test_weighted_equivalence.py``, so this stays valid
+    ground truth for the stretch measurements.
+    """
+    return get_index(graph).sssp_dict(source)
 
 
 def exact_apsp(graph: nx.Graph) -> Dict[Node, Dict[Node, float]]:
-    """Exact weighted all-pairs distances."""
-    return {v: exact_sssp(graph, v) for v in graph.nodes}
+    """Exact weighted all-pairs distances (one flat Dijkstra row per node)."""
+    index = get_index(graph)
+    return {v: index.sssp_dict(v) for v in graph.nodes}
 
 
 def exact_hop_apsp(graph: nx.Graph) -> Dict[Node, Dict[Node, int]]:

@@ -14,9 +14,8 @@ import dataclasses
 import math
 from typing import Any, Dict, Hashable, List, Optional, Sequence, Set
 
-import networkx as nx
-
 from repro.core.skeleton import build_skeleton
+from repro.graphs.index import get_index
 from repro.graphs.properties import h_hop_limited_distances
 from repro.simulator.engine import BatchAlgorithm, GlobalTriple
 from repro.simulator.metrics import RoundMetrics
@@ -158,10 +157,10 @@ class SqrtNSkeletonAPSP:
             "making the skeleton graph globally known",
             "[KS20] / [AHK+20]",
         )
-        skeleton_distances = {
-            s: nx.single_source_dijkstra_path_length(skeleton.graph, s, weight="weight")
-            for s in skeleton.skeleton_nodes
-        }
+        # One GraphIndex over the skeleton serves every skeleton-node Dijkstra.
+        skeleton_distances = get_index(skeleton.graph).sssp_dicts(
+            skeleton.skeleton_nodes
+        )
         h = skeleton.h
         sim.charge_rounds(h, "h-hop local distance computation", "[KS20]")
         skeleton_set = set(skeleton.skeleton_nodes)

@@ -15,18 +15,37 @@ Observation 3.2 guarantees the lower size bound before splitting.
 The size guarantee is stated for ``k <= n`` (for ``k > n`` the paper runs the
 same clustering with the cluster-size target capped at ``n``); we cap the
 target size at ``n`` accordingly.
+
+Since the weighted-engine migration, :func:`nq_clustering` runs on the cached
+:class:`~repro.graphs.index.GraphIndex`: the closest-ruler assignment *and*
+the per-cluster BFS order both come out of a single flat multi-source sweep
+(:meth:`~repro.graphs.index.GraphIndex.closest_sources`, deterministic
+minimum-identifier tie-breaking) instead of two full dict BFS passes per
+ruler, and the ruling set grows from flat truncated frontiers.  The pre-index
+formulation survives as :func:`_reference_nq_clustering` ground truth;
+``tests/properties/test_weighted_equivalence.py`` pins byte-identical output
+(assignment, leaders, member order) across graph families.  Clusterings are
+built for a frozen graph: :class:`Cluster` memoises its member set for
+``in`` checks and :meth:`Clustering.max_weak_diameter` reuses one shared
+index across all clusters, so mutating a clustered graph (or a cluster's
+``members`` list) afterwards is not supported.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Hashable, List, Optional, Set
 
 import networkx as nx
 
 from repro.core.neighborhood_quality import neighborhood_quality
-from repro.core.ruling_sets import distributed_ruling_set, greedy_ruling_set
+from repro.core.ruling_sets import (
+    _reference_greedy_ruling_set,
+    distributed_ruling_set,
+    greedy_ruling_set,
+)
+from repro.graphs.index import get_index
 from repro.graphs.properties import hop_distances_from, weak_diameter
 from repro.simulator.config import log2_ceil
 from repro.simulator.network import HybridSimulator
@@ -38,17 +57,29 @@ __all__ = ["Cluster", "Clustering", "nq_clustering", "distributed_nq_clustering"
 
 @dataclasses.dataclass
 class Cluster:
-    """One cluster of the Lemma 3.5 partition."""
+    """One cluster of the Lemma 3.5 partition.
+
+    ``members`` is treated as frozen once the cluster is built: membership
+    checks are served from a lazily created :class:`frozenset` that is
+    materialised exactly once, not rebuilt per ``in`` check.
+    """
 
     leader: Node
     members: List[Node]
     index: int
+    _member_set: Optional[FrozenSet[Node]] = dataclasses.field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __len__(self) -> int:
         return len(self.members)
 
     def __contains__(self, node: Node) -> bool:
-        return node in set(self.members)
+        cached = self._member_set
+        if cached is None:
+            cached = frozenset(self.members)
+            self._member_set = cached
+        return node in cached
 
 
 @dataclasses.dataclass
@@ -70,7 +101,14 @@ class Clustering:
         return [cluster.leader for cluster in self.clusters]
 
     def max_weak_diameter(self, graph: nx.Graph) -> int:
-        return max(weak_diameter(graph, cluster.members) for cluster in self.clusters)
+        """Largest per-cluster weak diameter, on one shared graph index.
+
+        The index is resolved once and reused for every cluster's
+        member-to-member BFS instead of re-resolving (and re-validating the
+        cache) once per ``weak_diameter`` call.
+        """
+        index = get_index(graph)
+        return max(index.weak_diameter(cluster.members) for cluster in self.clusters)
 
 
 def _split_cluster(members: List[Node], lower: float, upper: float) -> List[List[Node]]:
@@ -78,6 +116,9 @@ def _split_cluster(members: List[Node], lower: float, upper: float) -> List[List
 
     ``members`` is assumed to have size at least ``lower``; chunks are taken in
     the given order (BFS order from the leader) so the pieces remain local.
+    When ``lower`` and ``upper`` conflict (no chunk count satisfies both), the
+    upper bound wins: no chunk ever exceeds ``upper``, even if that forces a
+    chunk below ``lower``.
     """
     total = len(members)
     if total <= upper:
@@ -98,7 +139,12 @@ def _split_cluster(members: List[Node], lower: float, upper: float) -> List[List
 
 
 def _bfs_order_from(graph: nx.Graph, root: Node, members: Set[Node]) -> List[Node]:
-    """Members of a cluster ordered by BFS (in G) from the leader."""
+    """Members of a cluster ordered by BFS (in G) from the leader.
+
+    Reference machinery: :func:`nq_clustering` now reads the same order out of
+    the shared multi-source sweep; only :func:`_reference_nq_clustering` still
+    runs this per-ruler BFS.
+    """
     dist = hop_distances_from(graph, root)
     inside = [m for m in members if m in dist]
     inside.sort(key=lambda m: (dist[m], str(m)))
@@ -113,6 +159,12 @@ def nq_clustering(
     id_of=None,
 ) -> Clustering:
     """Centralized construction of the Lemma 3.5 clustering.
+
+    One flat multi-source BFS (over rulers sorted by identifier) yields both
+    the closest-ruler assignment — ties to the minimum identifier, exactly as
+    the per-ruler formulation resolved them — and each node's hop distance to
+    its ruler, which is the BFS order the splitting step chunks by.  Output is
+    byte-identical to :func:`_reference_nq_clustering`.
 
     Parameters
     ----------
@@ -131,7 +183,67 @@ def nq_clustering(
     if id_of is None:
         id_of = lambda node: node  # noqa: E731 - trivial default
 
+    index = get_index(graph)
     rulers = greedy_ruling_set(graph, alpha=2 * nq + 1)
+    sorted_rulers = sorted(rulers, key=lambda r: (id_of(r), str(r)))
+
+    # Every node joins the cluster of its closest ruler (ties by min
+    # identifier) — one multi-source sweep; ``owner`` ranks point into
+    # ``sorted_rulers``, so the min-rank tie-break IS the min-identifier rule.
+    dist, owner = index.closest_sources(sorted_rulers)
+    members_by_rank: List[List[int]] = [[] for _ in sorted_rulers]
+    for i, rank in enumerate(owner):
+        if rank >= 0:
+            members_by_rank[rank].append(i)
+
+    lower = min(float(n), k / nq)
+    upper = 2 * lower if lower >= 1 else 2.0
+
+    nodes = index.nodes
+    clusters: List[Cluster] = []
+    cluster_of: Dict[Node, int] = {}
+    for rank, ruler in enumerate(sorted_rulers):
+        member_indices = members_by_rank[rank]
+        if not member_indices:
+            continue
+        # The sweep distance to the closest ruler equals the hop distance from
+        # the assigned ruler, so sorting by it reproduces the per-ruler BFS
+        # order of the reference construction.
+        ordered = [
+            nodes[i]
+            for i in sorted(member_indices, key=lambda i: (dist[i], str(nodes[i])))
+        ]
+        for chunk in _split_cluster(ordered, lower, upper):
+            leader = ruler if ruler in chunk else chunk[0]
+            cluster_index = len(clusters)
+            clusters.append(
+                Cluster(leader=leader, members=list(chunk), index=cluster_index)
+            )
+            for node in chunk:
+                cluster_of[node] = cluster_index
+
+    return Clustering(clusters=clusters, nq=nq, k=k, cluster_of=cluster_of)
+
+
+def _reference_nq_clustering(
+    graph: nx.Graph,
+    k: float,
+    nq: Optional[int] = None,
+    id_of=None,
+) -> Clustering:
+    """Index-free ground truth for :func:`nq_clustering` (tests only): one
+    full dict BFS per ruler for the assignment plus one per-ruler re-BFS for
+    the member order — the pre-sweep formulation, kept verbatim."""
+    if k <= 0:
+        raise ValueError("k must be positive")
+    n = graph.number_of_nodes()
+    if nq is None:
+        nq = neighborhood_quality(graph, k)
+    nq = max(1, nq)
+    if id_of is None:
+        id_of = lambda node: node  # noqa: E731 - trivial default
+
+    rulers = _reference_greedy_ruling_set(graph, alpha=2 * nq + 1)
 
     # Every node joins the cluster of its closest ruler (ties by min identifier).
     # Multi-source BFS, processing rulers in identifier order so ties resolve

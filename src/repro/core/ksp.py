@@ -44,13 +44,11 @@ import dataclasses
 import math
 from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
-import networkx as nx
-
 from repro.core.dissemination import KDissemination
 from repro.core.helper_sets import compute_classic_helper_sets
 from repro.core.skeleton import SkeletonGraph, build_skeleton
 from repro.core.sssp import approx_sssp_distances, sssp_round_cost
-from repro.graphs.properties import h_hop_limited_distances
+from repro.graphs.properties import h_hop_limited_distances, weighted_distances_from
 from repro.simulator.config import log2_ceil
 from repro.simulator.engine import BatchAlgorithm
 from repro.simulator.metrics import RoundMetrics
@@ -206,7 +204,7 @@ class KSourceShortestPaths(BatchAlgorithm):
             if not candidates:
                 # Fall back to the globally closest skeleton node (can only
                 # happen on tiny or pathological instances).
-                full = nx.single_source_dijkstra_path_length(graph, source, weight="weight")
+                full = weighted_distances_from(graph, source)
                 candidates = {
                     node: dist for node, dist in full.items() if node in skeleton_set
                 }

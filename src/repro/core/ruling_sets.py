@@ -18,6 +18,7 @@ from typing import Dict, Hashable, List, Optional, Set
 
 import networkx as nx
 
+from repro.graphs.index import get_index
 from repro.graphs.properties import hop_distances_from
 from repro.simulator.config import log2_ceil
 from repro.simulator.network import HybridSimulator
@@ -45,7 +46,22 @@ def greedy_ruling_set(
       would have been added itself), which is at most ``mu * ceil(log n)`` for
       ``alpha = mu + 1`` and ``n >= 2`` — i.e. it is also a valid
       ``(mu + 1, mu * ceil(log n))``-ruling set in the paper's sense.
+
+    Delegates to the cached :class:`~repro.graphs.index.GraphIndex`: each new
+    ruler grows a flat truncated frontier over the CSR adjacency and marks its
+    radius-``alpha - 1`` ball in a shared flat ``covered`` array, instead of
+    one Python-set BFS per ruler.  Output is identical to the set-based
+    reference (:func:`_reference_greedy_ruling_set`).
     """
+    if alpha < 1:
+        raise ValueError("alpha must be at least 1")
+    return set(get_index(graph).ruling_set(alpha, order))
+
+
+def _reference_greedy_ruling_set(
+    graph: nx.Graph, alpha: int, order: Optional[List[Node]] = None
+) -> Set[Node]:
+    """Index-free ground truth for :func:`greedy_ruling_set` (tests only)."""
     if alpha < 1:
         raise ValueError("alpha must be at least 1")
     nodes = order if order is not None else sorted(graph.nodes, key=str)

@@ -42,6 +42,7 @@ Python-dict BFS per node.
 from __future__ import annotations
 
 import math
+from array import array
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 import networkx as nx
@@ -55,7 +56,7 @@ from repro.core.spanner import distributed_spanner, greedy_spanner
 from repro.core.sssp import approx_sssp_distances, sssp_round_cost
 from repro.core.ksp import KSourceShortestPaths
 from repro.graphs.index import GraphIndex, get_index
-from repro.graphs.properties import h_hop_limited_distances
+from repro.graphs.properties import h_hop_limited_distances, weighted_distances_from
 from repro.simulator.config import log2_ceil
 from repro.simulator.engine import BatchAlgorithm
 from repro.simulator.metrics import RoundMetrics
@@ -103,13 +104,20 @@ class DistanceTable:
 class DenseDistanceTable(DistanceTable):
     """A :class:`DistanceTable` backed by dense per-target rows.
 
-    Each target's estimates are one flat ``|columns|``-wide list of floats
+    Each target's estimates are one flat ``|columns|``-wide sequence of floats
     aligned with a fixed column order, produced lazily by ``row_factory`` from
     the :class:`~repro.graphs.index.GraphIndex` sweeps and cached.  The
     dict-of-dicts :attr:`estimates` view of the base class is materialised on
     first attribute access, so existing consumers (stretch measurement,
     equivalence tests) see exactly the classic representation while all-pairs
     producers avoid building ``n^2`` dict entries they may never read.
+
+    ``row_store`` selects the cached-row container: ``"list"`` keeps plain
+    Python lists; ``"array"`` packs each cached row into an
+    ``array('d', ...)`` of C doubles — 8 bytes per entry instead of a pointer
+    to a boxed float, which shrinks a fully-cached ``n x n`` weighted table
+    several-fold.  Values are exactly preserved (Python floats are C
+    doubles); indexing and iteration behave identically.
     """
 
     def __init__(
@@ -120,13 +128,17 @@ class DenseDistanceTable(DistanceTable):
         stretch_bound: float,
         metrics: RoundMetrics,
         nq: Optional[int] = None,
+        row_store: str = "list",
     ) -> None:
+        if row_store not in ("list", "array"):
+            raise ValueError("row_store must be 'list' or 'array'")
         self._row_nodes = list(row_nodes)
         self._row_set = set(self._row_nodes)
         self._columns = list(columns)
         self._column_position = {node: i for i, node in enumerate(self._columns)}
         self._row_factory = row_factory
-        self._rows: Dict[Node, List[float]] = {}
+        self._rows: Dict[Node, Sequence[float]] = {}
+        self._pack = (lambda row: array("d", row)) if row_store == "array" else None
         self._estimates: Optional[Dict[Node, Dict[Node, float]]] = None
         self.stretch_bound = stretch_bound
         self.metrics = metrics
@@ -135,7 +147,7 @@ class DenseDistanceTable(DistanceTable):
     def columns(self) -> List[Node]:
         return list(self._columns)
 
-    def row(self, target: Node) -> List[float]:
+    def row(self, target: Node) -> Sequence[float]:
         """The dense estimate row of ``target``, aligned with :meth:`columns`."""
         if target not in self._row_set:
             raise KeyError(f"target {target!r} has no estimate row")
@@ -147,6 +159,8 @@ class DenseDistanceTable(DistanceTable):
         cached = self._rows.get(target)
         if cached is None:
             cached = self._row_factory(target)
+            if self._pack is not None:
+                cached = self._pack(cached)
             self._rows[target] = cached
         return cached
 
@@ -544,6 +558,12 @@ class SpannerAPSP(BatchAlgorithm):
     every spanner edge is one token held by its smaller-id endpoint, and the
     per-node Dijkstra table assembly runs only once every node knows the full
     edge list.  ``engine`` selects the transport for the broadcast.
+
+    The table assembly runs on the spanner's own
+    :class:`~repro.graphs.index.GraphIndex`: one flat-array Dijkstra row per
+    node over a CSR built once for the whole sweep, returned as an
+    array-backed :class:`DenseDistanceTable` (rows materialise lazily, cached
+    as C-double arrays) instead of ``n`` eager ``networkx`` Dijkstra dicts.
     """
 
     def __init__(
@@ -555,7 +575,7 @@ class SpannerAPSP(BatchAlgorithm):
         self.epsilon = epsilon
         # Phase state.
         self._spanner: Optional[nx.Graph] = None
-        self._estimates: Dict[Node, Dict[Node, float]] = {}
+        self._spanner_index: Optional[GraphIndex] = None
         self._t = 1
 
     def phases(self):
@@ -584,19 +604,33 @@ class SpannerAPSP(BatchAlgorithm):
 
     def _phase_local_apsp(self) -> None:
         """Every node locally computes APSP on the (now globally known)
-        spanner."""
-        for source in self.simulator.nodes:
-            self._estimates[source] = nx.single_source_dijkstra_path_length(
-                self._spanner, source, weight="weight"
-            )
+        spanner.
 
-    def finish(self) -> DistanceTable:
+        Builds the spanner's :class:`~repro.graphs.index.GraphIndex` once;
+        the per-node Dijkstra rows are pulled lazily by the returned dense
+        table, so a consumer that reads only a few rows never pays for the
+        full n x n sweep.
+        """
+        self._spanner_index = get_index(self._spanner)
+
+    def finish(self) -> DenseDistanceTable:
         sim = self.simulator
-        return DistanceTable(
-            estimates=self._estimates,
+        index = self._spanner_index
+        columns = list(sim.nodes)
+        positions = [index.index_of[node] for node in columns]
+
+        def make_row(source: Node) -> List[float]:
+            row = index.sssp_row(source)
+            return [row[i] for i in positions]
+
+        return DenseDistanceTable(
+            row_nodes=columns,
+            columns=columns,
+            row_factory=make_row,
             stretch_bound=float(2 * self._t - 1),
             metrics=sim.metrics,
             nq=neighborhood_quality(sim.graph, sim.n),
+            row_store="array",
         )
 
 
@@ -695,10 +729,11 @@ class SkeletonAPSP(BatchAlgorithm):
         tokens = _edge_tokens(sim, self._spanner, "skeleton-spanner-edge")
         if tokens:
             KDissemination(sim, tokens, nq=nq_x, engine=self.engine).run()
-        self._skeleton_estimates = {
-            s: nx.single_source_dijkstra_path_length(self._spanner, s, weight="weight")
-            for s in skeleton.skeleton_nodes
-        }
+        # One index over the skeleton spanner serves every skeleton-node
+        # Dijkstra row (flat CSR shared across the whole batch).
+        self._skeleton_estimates = get_index(self._spanner).sssp_dicts(
+            skeleton.skeleton_nodes
+        )
 
     def _phase_local_exploration(self) -> None:
         """Every node learns its h-hop neighborhood (GraphIndex Bellman-Ford)
@@ -716,9 +751,7 @@ class SkeletonAPSP(BatchAlgorithm):
                 u: d for u, d in self._limited[v].items() if u in skeleton_set
             }
             if not candidates:
-                full = nx.single_source_dijkstra_path_length(
-                    sim.graph, v, weight="weight"
-                )
+                full = weighted_distances_from(sim.graph, v)
                 candidates = {u: d for u, d in full.items() if u in skeleton_set}
             best, dist = min(candidates.items(), key=lambda kv: (kv[1], str(kv[0])))
             self._closest_skeleton[v] = (best, dist)

@@ -29,6 +29,7 @@ from typing import Dict, Hashable, List, Optional, Set, Tuple
 
 import networkx as nx
 
+from repro.graphs.index import get_index
 from repro.graphs.properties import edge_weight
 from repro.simulator.config import log2_ceil
 from repro.simulator.network import HybridSimulator
@@ -176,9 +177,11 @@ def spanner_stretch(graph: nx.Graph, spanner: nx.Graph, sample: Optional[int] = 
     else:
         sources = nodes
     worst = 1.0
+    graph_index = get_index(graph)
+    spanner_index = get_index(spanner)
     for source in sources:
-        original = nx.single_source_dijkstra_path_length(graph, source, weight="weight")
-        in_spanner = nx.single_source_dijkstra_path_length(spanner, source, weight="weight")
+        original = graph_index.sssp_dict(source)
+        in_spanner = spanner_index.sssp_dict(source)
         for target, dist in original.items():
             if target == source or dist == 0:
                 continue

@@ -16,6 +16,18 @@ computation, which over-estimates every distance by at most a factor
 ``ceil(1/eps^2) * polylog(n)``, is charged.  All downstream users (Theorems 5,
 6, 14) only rely on (a) the stretch guarantee and (b) the charged round count,
 both of which are preserved.
+
+Since the weighted-engine migration, :func:`exact_sssp_distances` and
+:func:`approx_sssp_distances` are thin wrappers over the cached
+:class:`~repro.graphs.index.GraphIndex`: the Dijkstra runs on flat CSR arrays
+with precomputed tie keys, and the power-of-``(1 + eps)`` rounding is applied
+to the whole weight array once per ``(graph, epsilon)`` and memoised instead
+of once per edge relaxation per query — the per-leader (Theorem 6) and
+per-skeleton (Theorems 8/14) SSSP sweeps share one rounded CSR.  The
+historical dict+heapq implementation survives as
+:func:`_reference_exact_sssp_distances` / :func:`_reference_approx_sssp_distances`
+ground truth; ``tests/properties/test_weighted_equivalence.py`` pins exact
+agreement (and agreement with ``networkx``) across graph families.
 """
 
 from __future__ import annotations
@@ -27,6 +39,7 @@ from typing import Dict, Hashable, List, Optional, Tuple
 
 import networkx as nx
 
+from repro.graphs.index import get_index, round_weight_up
 from repro.graphs.properties import edge_weight
 from repro.simulator.config import log2_ceil
 from repro.simulator.engine import BatchAlgorithm
@@ -45,27 +58,14 @@ __all__ = [
 ]
 
 
-def round_weight_up(weight: float, epsilon: float) -> float:
-    """Round ``weight`` up to the nearest integer power of ``(1 + epsilon)``.
-
-    Weights of 0 or less are rejected (the paper assumes positive weights).
-    """
-    if weight <= 0:
-        raise ValueError("edge weights must be positive")
-    if epsilon <= 0:
-        return float(weight)
-    base = 1.0 + epsilon
-    exponent = math.ceil(math.log(weight, base) - 1e-12)
-    rounded = base**exponent
-    # Guard against floating point dipping below the original weight.
-    if rounded < weight:
-        rounded *= base
-    return rounded
-
-
 def exact_sssp_distances(graph: nx.Graph, source: Node) -> Dict[Node, float]:
-    """Exact Dijkstra distances (ground truth / stretch-1 special case)."""
-    return _dijkstra(graph, source, lambda w: float(w))
+    """Exact Dijkstra distances (ground truth / stretch-1 special case).
+
+    Delegates to the cached :class:`~repro.graphs.index.GraphIndex` flat-array
+    Dijkstra; identical values to :func:`_reference_exact_sssp_distances`,
+    only the key order of the returned dict may differ.
+    """
+    return get_index(graph).sssp_dict(source)
 
 
 def approx_sssp_distances(
@@ -74,16 +74,39 @@ def approx_sssp_distances(
     """(1+eps)-approximate SSSP distances via weight rounding.
 
     Every returned estimate ``d~`` satisfies ``d <= d~ <= (1 + eps) d`` where
-    ``d`` is the true weighted distance.
+    ``d`` is the true weighted distance.  Runs on the index's cached
+    rounded-weight CSR (rounded once per ``(graph, epsilon)``, not once per
+    query).
     """
     if epsilon < 0:
         raise ValueError("epsilon must be non-negative")
+    return get_index(graph).sssp_dict(source, epsilon)
+
+
+def _reference_exact_sssp_distances(
+    graph: nx.Graph, source: Node
+) -> Dict[Node, float]:
+    """Index-free ground truth for :func:`exact_sssp_distances` (tests only)."""
+    return _dijkstra(graph, source, lambda w: float(w))
+
+
+def _reference_approx_sssp_distances(
+    graph: nx.Graph, source: Node, epsilon: float
+) -> Dict[Node, float]:
+    """Index-free ground truth for :func:`approx_sssp_distances` (tests only)."""
+    if epsilon < 0:
+        raise ValueError("epsilon must be non-negative")
     if epsilon == 0:
-        return exact_sssp_distances(graph, source)
+        return _reference_exact_sssp_distances(graph, source)
     return _dijkstra(graph, source, lambda w: round_weight_up(w, epsilon))
 
 
 def _dijkstra(graph: nx.Graph, source: Node, transform) -> Dict[Node, float]:
+    """The pre-index dict+heapq Dijkstra (reference machinery, tests only).
+
+    The flat-array Dijkstra in :mod:`repro.graphs.index` replicates this
+    routine's tie-break keys and relaxation tolerance exactly.
+    """
     if source not in graph:
         raise KeyError(f"source {source!r} not in graph")
     # Tie-break keys are precomputed once per node: str() per heap push is a

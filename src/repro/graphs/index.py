@@ -35,34 +35,86 @@ is exact; on paths/grids/barbells it needs only a handful of BFS passes.  A
 running diameter *lower* bound (the largest eccentricity any full sweep has
 seen) often answers ``min(t1, D)`` without computing ``D`` at all.
 
+The weighted engine
+-------------------
+
+The index carries a weighted CSR (a ``weights`` array parallel to
+``targets``), and since the weighted-analytics migration it is the single
+substrate for every centralized weighted computation:
+
+* :meth:`GraphIndex.sssp_row` / :meth:`GraphIndex.sssp_rows` — flat-array
+  Dijkstra producing dense ``n``-wide distance rows.  The heap holds
+  ``(distance, tie_rank)`` pairs whose precomputed integer ranks order ties
+  exactly like the ``str`` tie keys of the historical dict+heapq
+  implementation (kept as ``_reference_*`` in :mod:`repro.core.sssp`), with
+  the same relaxation tolerance, so the produced distances are identical —
+  only the containers are flat.
+* A cached *rounded-weight* CSR per ``epsilon``: the power-of-``(1 + eps)``
+  rounding behind ``approx_sssp_distances`` (Theorem 13's functional
+  substitution) is applied to the whole weight array **once per (graph,
+  epsilon)** and memoised, instead of once per edge relaxation per query —
+  the per-leader / per-skeleton SSSP sweeps of Theorems 5/6/14 share it.
+* :meth:`GraphIndex.closest_sources` — one flat multi-source BFS returning
+  ``(distance, argmin-source)`` per node with deterministic minimum-rank
+  tie-breaking, which is exactly the "closest ruler, ties by minimum
+  identifier" assignment of the Lemma 3.5 clustering; the distances double
+  as the per-cluster BFS order, so :func:`repro.core.clustering.nq_clustering`
+  needs a single sweep where it used to run one BFS per ruler twice.
+* :meth:`GraphIndex.ruling_set` — the greedy (alpha, alpha-1)-ruling set
+  grown from flat truncated frontiers over the CSR.
+
 Caching
 -------
 
 :func:`get_index` memoises one :class:`GraphIndex` per graph object in a
 ``WeakKeyDictionary`` (the index holds no strong reference back to the graph,
 so graphs are collected normally).  Scalar ``NQ_k`` values are additionally
-memoised per ``(index, k)`` — repeated ``neighborhood_quality(graph, k)``
-calls inside one experiment (routing + shortest paths + lower bounds on the
-same instance) cost one computation.  The cache is invalidated when the
-graph's node or edge count changes; *rewiring* or *re-weighting* a graph
-while keeping both counts constant is not detected — treat analysed graphs
-as frozen (every generator in :mod:`repro.graphs.generators` does), use the
-:mod:`repro.graphs.weighted` helpers for weight assignment (they call
-:func:`invalidate_index`), or call :func:`invalidate_index` yourself after a
-manual mutation.
+memoised per ``(index, k)``, and rounded-weight CSR arrays per ``epsilon`` —
+repeated ``neighborhood_quality(graph, k)`` / ``approx_sssp_distances(graph,
+s, eps)`` calls inside one experiment (routing + shortest paths + lower
+bounds on the same instance) cost one computation each.  The cache is
+invalidated when the graph's node or edge count changes; *rewiring* or
+*re-weighting* a graph while keeping both counts constant is not detected —
+treat analysed graphs as frozen (every generator in
+:mod:`repro.graphs.generators` does), use the :mod:`repro.graphs.weighted`
+helpers for weight assignment (they call :func:`invalidate_index`), or call
+:func:`invalidate_index` yourself after a manual mutation.
 """
 
 from __future__ import annotations
 
+import heapq
 import math
 import weakref
-from typing import Dict, Hashable, Iterable, List, Optional, Sequence
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
 import networkx as nx
 
 Node = Hashable
 
-__all__ = ["GraphIndex", "get_index", "invalidate_index"]
+__all__ = ["GraphIndex", "get_index", "invalidate_index", "round_weight_up"]
+
+
+def round_weight_up(weight: float, epsilon: float) -> float:
+    """Round ``weight`` up to the nearest integer power of ``(1 + epsilon)``.
+
+    The classical weight-rounding scheme behind the paper's Theorem 13
+    substitution (see :mod:`repro.core.sssp`, which re-exports this function):
+    running an exact shortest-path computation on the rounded weights
+    over-estimates every distance by at most a factor ``(1 + epsilon)``.
+    Weights of 0 or less are rejected (the paper assumes positive weights).
+    """
+    if weight <= 0:
+        raise ValueError("edge weights must be positive")
+    if epsilon <= 0:
+        return float(weight)
+    base = 1.0 + epsilon
+    exponent = math.ceil(math.log(weight, base) - 1e-12)
+    rounded = base**exponent
+    # Guard against floating point dipping below the original weight.
+    if rounded < weight:
+        rounded *= base
+    return rounded
 
 
 class GraphIndex:
@@ -121,6 +173,14 @@ class GraphIndex:
         self._diameter: Optional[int] = None
         self._diam_lb = 0  # largest eccentricity any full sweep has observed
         self._nq_cache: Dict[float, int] = {}
+        # Weighted-engine caches: per-node tie ranks (shared by every Dijkstra
+        # query for deterministic heap ordering) and one rounded weight array
+        # per epsilon (power-of-(1+eps) rounding applied once per graph, not
+        # once per edge relaxation per query).
+        self._tie_ranks: Optional[List[int]] = None
+        self._by_tie_rank: Optional[List[int]] = None
+        self._rounded_weights: Dict[float, List[float]] = {}
+        self._adjacency_pairs: Dict[float, List[Tuple[int, float]]] = {}
 
     # ------------------------------------------------------------------
     # Flat BFS primitives
@@ -307,6 +367,230 @@ class GraphIndex:
             if farthest > best:
                 best = farthest
         return best
+
+    # ------------------------------------------------------------------
+    # Weighted engine: flat-array Dijkstra over the (rounded-)weight CSR
+    # ------------------------------------------------------------------
+    def _weight_array(self, epsilon: float) -> List[float]:
+        """The CSR weight array for ``epsilon``; rounded arrays are memoised.
+
+        ``epsilon <= 0`` selects the original weights.  Rounded arrays apply
+        :func:`round_weight_up` to every CSR entry exactly once per
+        ``(graph, epsilon)`` — every subsequent approximate-SSSP query on this
+        graph reuses the cached array.
+        """
+        if epsilon <= 0:
+            return self._weights
+        cached = self._rounded_weights.get(epsilon)
+        if cached is None:
+            cached = [round_weight_up(w, epsilon) for w in self._weights]
+            self._rounded_weights[epsilon] = cached
+        return cached
+
+    def _pair_array(self, epsilon: float) -> List[Tuple[int, float]]:
+        """CSR adjacency as ``(target, weight)`` pairs, memoised per epsilon.
+
+        The Dijkstra inner loop slices this list per settled node and unpacks
+        the pairs directly — one sequence traversal per edge instead of two
+        indexed reads from the parallel ``targets`` / ``weights`` arrays.
+        """
+        key = epsilon if epsilon > 0 else 0.0
+        cached = self._adjacency_pairs.get(key)
+        if cached is None:
+            cached = list(zip(self._targets, self._weight_array(epsilon)))
+            self._adjacency_pairs[key] = cached
+        return cached
+
+    def _tie_rank_arrays(self) -> Tuple[List[int], List[int]]:
+        """``(rank, by_rank)``: each node's position in ``str``-sorted order.
+
+        The historical dict+heapq Dijkstra breaks distance ties by the nodes'
+        ``str`` keys; comparing precomputed integer *ranks* in that same order
+        reproduces the identical pop order at a fraction of the comparison
+        cost (and sidesteps comparing raw node objects on exact collisions).
+        """
+        if self._tie_ranks is None:
+            nodes = self.nodes
+            by_rank = sorted(range(self.n), key=lambda i: str(nodes[i]))
+            ranks = [0] * self.n
+            for position, i in enumerate(by_rank):
+                ranks[i] = position
+            self._tie_ranks = ranks
+            self._by_tie_rank = by_rank
+        return self._tie_ranks, self._by_tie_rank
+
+    def _dijkstra_idx(self, s: int, epsilon: float) -> List[float]:
+        """One dense Dijkstra row over indices; ``math.inf`` marks unreachable.
+
+        Heap entries are ``(distance, tie_rank)`` pairs whose integer ranks
+        order ties exactly like the ``str`` tie keys of the historical
+        dict+heapq implementation (kept as ``_reference_*`` in
+        :mod:`repro.core.sssp`); the relaxation tolerance matches too, so the
+        produced distance values are identical floating-point results.
+        """
+        offsets = self._offsets
+        pairs = self._pair_array(epsilon)
+        rank, by_rank = self._tie_rank_arrays()
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        self._epoch += 1
+        epoch = self._epoch
+        settled = self._visited
+        dist = [math.inf] * self.n
+        dist[s] = 0.0
+        heap: List[Tuple[float, int]] = [(0.0, rank[s])]
+        while heap:
+            d, r = heappop(heap)
+            u = by_rank[r]
+            if settled[u] == epoch:
+                continue
+            settled[u] = epoch
+            for v, w in pairs[offsets[u] : offsets[u + 1]]:
+                candidate = d + w
+                if candidate < dist[v] - 1e-15:
+                    dist[v] = candidate
+                    heappush(heap, (candidate, rank[v]))
+        return dist
+
+    def sssp_row(self, source: Node, epsilon: float = 0.0) -> List[float]:
+        """One dense weighted-distance row: ``row[i] = d~(source, nodes[i])``.
+
+        ``epsilon = 0`` yields exact Dijkstra distances; ``epsilon > 0`` runs
+        the same Dijkstra over the cached power-of-``(1 + epsilon)`` rounded
+        weights (``d <= d~ <= (1 + eps) d``, Theorem 13's functional
+        substitution).  ``math.inf`` marks unreachable nodes.
+        """
+        return self._dijkstra_idx(self._require(source), epsilon)
+
+    def sssp_rows(
+        self, sources: Iterable[Node], epsilon: float = 0.0
+    ) -> Dict[Node, List[float]]:
+        """Dense (|sources| x n) weighted table: one flat Dijkstra per source.
+
+        All rows share the tie-key and (rounded-)weight arrays, so a batch
+        over many sources pays the per-graph setup once.
+        """
+        return {source: self.sssp_row(source, epsilon) for source in sources}
+
+    def sssp_dict(self, source: Node, epsilon: float = 0.0) -> Dict[Node, float]:
+        """Weighted distances from ``source`` as a dict over *reached* nodes.
+
+        The sparse view of :meth:`sssp_row` matching the historical
+        ``exact_sssp_distances`` / ``approx_sssp_distances`` contract:
+        unreachable nodes are omitted (only the key order may differ from the
+        dict-based reference).
+        """
+        row = self._dijkstra_idx(self._require(source), epsilon)
+        nodes = self.nodes
+        return {
+            nodes[i]: d for i, d in enumerate(row) if d != math.inf
+        }
+
+    def sssp_dicts(
+        self, sources: Iterable[Node], epsilon: float = 0.0
+    ) -> Dict[Node, Dict[Node, float]]:
+        """Sparse per-source weighted distance dicts (see :meth:`sssp_dict`)."""
+        return {source: self.sssp_dict(source, epsilon) for source in sources}
+
+    # ------------------------------------------------------------------
+    # Multi-source sweeps for clustering / ruling sets (Lemma 3.5)
+    # ------------------------------------------------------------------
+    def closest_sources(
+        self, sources: Sequence[Node]
+    ) -> Tuple[List[int], List[int]]:
+        """One multi-source BFS returning ``(dist, owner)`` flat arrays.
+
+        ``dist[i]`` is the hop distance from ``nodes[i]`` to the closest
+        source and ``owner[i]`` the *position in ``sources``* of that source;
+        ties are broken deterministically towards the smallest position, so a
+        caller that passes sources sorted by identifier gets exactly the
+        "closest ruler, ties by minimum identifier" assignment of Lemma 3.5.
+        ``-1`` marks nodes no source reaches.
+
+        The tie-break is exact, not an artefact of expansion order: a node
+        first reached at level ``d`` takes the minimum owner over *all* its
+        level-``d - 1`` neighbours (finalised at the end of the level), and by
+        induction that minimum is the least-ranked source among all sources at
+        distance ``d`` — every closest source reaches ``v`` through some
+        shortest-path parent, whose own owner is already the minimum over the
+        closest sources of that parent.
+        """
+        dist = [-1] * self.n
+        owner = [-1] * self.n
+        offsets = self._offsets
+        targets = self._targets
+        frontier: List[int] = []
+        for rank, source in enumerate(sources):
+            s = self._require(source)
+            if dist[s] < 0:
+                dist[s] = 0
+                owner[s] = rank  # duplicates keep their first (smallest) rank
+                frontier.append(s)
+        d = 0
+        while frontier:
+            d += 1
+            nxt = []
+            for u in frontier:
+                ou = owner[u]
+                for j in range(offsets[u], offsets[u + 1]):
+                    v = targets[j]
+                    if dist[v] < 0:
+                        dist[v] = d
+                        owner[v] = ou
+                        nxt.append(v)
+                    elif dist[v] == d and ou < owner[v]:
+                        owner[v] = ou
+            frontier = nxt
+        return dist, owner
+
+    def ruling_set(
+        self, alpha: int, order: Optional[Sequence[Node]] = None
+    ) -> List[Node]:
+        """Greedy (alpha, alpha - 1)-ruling set grown from flat frontiers.
+
+        Scans nodes in the given order (default: sorted by ``str`` label,
+        matching :func:`repro.core.ruling_sets.greedy_ruling_set`) and adds a
+        node whenever no earlier ruler covered it; each new ruler marks its
+        radius-``alpha - 1`` ball in a shared flat ``covered`` array via an
+        epoch-stamped truncated BFS.  Returns the rulers in scan order.
+        """
+        if alpha < 1:
+            raise ValueError("alpha must be at least 1")
+        if order is None:
+            # The default scan order (sorted by str label) is exactly the
+            # cached Dijkstra tie-rank order — reuse it instead of re-sorting.
+            _, order_idx = self._tie_rank_arrays()
+        else:
+            order_idx = [self._require(node) for node in order]
+        offsets = self._offsets
+        targets = self._targets
+        visited = self._visited
+        covered = bytearray(self.n)
+        ruling: List[Node] = []
+        for s in order_idx:
+            if covered[s]:
+                continue
+            ruling.append(self.nodes[s])
+            covered[s] = 1
+            # Truncated BFS with a private epoch: coverage by earlier rulers
+            # must not block the traversal, only the addability test.
+            self._epoch += 1
+            epoch = self._epoch
+            visited[s] = epoch
+            frontier = [s]
+            for _ in range(1, alpha):
+                nxt = []
+                for u in frontier:
+                    for j in range(offsets[u], offsets[u + 1]):
+                        v = targets[j]
+                        if visited[v] != epoch:
+                            visited[v] = epoch
+                            covered[v] = 1
+                            nxt.append(v)
+                if not nxt:
+                    break
+                frontier = nxt
+        return ruling
 
     # ------------------------------------------------------------------
     # Classic structural queries

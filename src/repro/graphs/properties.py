@@ -121,13 +121,28 @@ def _reference_all_hop_distances(graph: nx.Graph) -> Dict[Node, Dict[Node, int]]
 
 
 def weighted_distances_from(graph: nx.Graph, source: Node) -> Dict[Node, float]:
-    """Weighted single-source distances via Dijkstra (unit weights by default)."""
+    """Weighted single-source distances via Dijkstra (unit weights by default).
+
+    Delegates to the cached :class:`~repro.graphs.index.GraphIndex` flat-array
+    Dijkstra — identical values to ``networkx`` (pinned by
+    ``tests/properties/test_weighted_equivalence.py``), with the CSR adjacency
+    and tie keys shared across queries on the same graph.  Unreachable nodes
+    are omitted; a missing source raises ``KeyError``.
+    """
+    return get_index(graph).sssp_dict(source)
+
+
+def _reference_weighted_distances_from(
+    graph: nx.Graph, source: Node
+) -> Dict[Node, float]:
+    """Index-free ground truth for :func:`weighted_distances_from` (tests only)."""
     return nx.single_source_dijkstra_path_length(graph, source, weight="weight")
 
 
 def all_weighted_distances(graph: nx.Graph) -> Dict[Node, Dict[Node, float]]:
-    """All-pairs weighted distances."""
-    return {v: weighted_distances_from(graph, v) for v in graph.nodes}
+    """All-pairs weighted distances, one flat index Dijkstra row per node."""
+    index = get_index(graph)
+    return {v: index.sssp_dict(v) for v in graph.nodes}
 
 
 def h_hop_limited_distances(

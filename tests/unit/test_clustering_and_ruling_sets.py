@@ -4,7 +4,12 @@ import math
 
 import pytest
 
-from repro.core.clustering import Cluster, distributed_nq_clustering, nq_clustering
+from repro.core.clustering import (
+    Cluster,
+    _split_cluster,
+    distributed_nq_clustering,
+    nq_clustering,
+)
 from repro.core.neighborhood_quality import neighborhood_quality
 from repro.core.ruling_sets import (
     distributed_ruling_set,
@@ -171,3 +176,144 @@ class TestClusteringLemma35:
         # Charge scales with NQ_k * log n (three components in the construction).
         log_n = log2_ceil(g.number_of_nodes())
         assert sim.metrics.charged_rounds <= 10 * clustering.nq * log_n + log_n
+
+
+class TestClusterMembership:
+    class _Probe:
+        """Hashable node that counts how often its hash is taken."""
+
+        hashes = 0
+
+        def __init__(self, value):
+            self.value = value
+
+        def __hash__(self):
+            TestClusterMembership._Probe.hashes += 1
+            return hash(self.value)
+
+        def __eq__(self, other):
+            return isinstance(other, type(self)) and self.value == other.value
+
+        def __repr__(self):  # pragma: no cover - debug aid
+            return f"Probe({self.value})"
+
+    def test_repeated_contains_does_not_rematerialise_member_set(self):
+        Probe = self._Probe
+        members = [Probe(i) for i in range(50)]
+        cluster = Cluster(leader=members[0], members=members, index=0)
+        Probe.hashes = 0
+        assert members[10] in cluster
+        after_first = Probe.hashes
+        # The first check materialises the frozenset: one hash per member
+        # plus the probe itself.
+        assert after_first >= len(members)
+        for _ in range(20):
+            assert members[7] in cluster
+            assert Probe(999) not in cluster
+        # 40 further probes must cost O(1) hashes each — a per-check rebuild
+        # of the 50-element set would add >= 20 * 50 hashes here.
+        assert Probe.hashes - after_first < len(members)
+
+    def test_contains_served_from_cached_frozenset(self):
+        cluster = Cluster(leader=1, members=[1, 2, 3], index=0)
+        assert 2 in cluster
+        first = cluster._member_set
+        assert isinstance(first, frozenset)
+        assert 4 not in cluster
+        assert cluster._member_set is first
+
+    def test_contains_semantics_unchanged(self):
+        cluster = Cluster(leader="a", members=["a", "b", "c"], index=3)
+        assert "a" in cluster and "c" in cluster
+        assert "z" not in cluster
+        assert len(cluster) == 3
+
+
+class TestSplitCluster:
+    """Boundary cases pinning the size-bound contract of Lemma 3.5's split."""
+
+    def _check_partition(self, chunks, members):
+        flat = [node for chunk in chunks for node in chunk]
+        assert flat == list(members)  # order-preserving exact partition
+        assert all(chunk for chunk in chunks)
+
+    def test_total_exactly_upper_is_single_chunk(self):
+        members = list(range(8))
+        chunks = _split_cluster(members, lower=4, upper=8)
+        assert chunks == [members]
+
+    def test_total_exactly_lower_is_single_chunk(self):
+        members = list(range(4))
+        chunks = _split_cluster(members, lower=4, upper=8)
+        assert chunks == [members]
+
+    def test_just_above_upper_splits_within_bounds(self):
+        members = list(range(9))
+        chunks = _split_cluster(members, lower=4, upper=8)
+        self._check_partition(chunks, members)
+        assert len(chunks) == 2
+        assert all(4 <= len(chunk) <= 8 for chunk in chunks)
+
+    def test_lower_below_one_is_treated_as_one(self):
+        members = list(range(5))
+        chunks = _split_cluster(members, lower=0.5, upper=2.0)
+        self._check_partition(chunks, members)
+        # lower < 1 clamps to 1: as many parts as members, each within bounds.
+        assert all(0.5 <= len(chunk) <= 2.0 for chunk in chunks)
+
+    def test_infeasible_bounds_upper_wins(self):
+        # No chunk count puts every piece in [4, 6] for 7 members; the split
+        # must respect the upper bound even if a chunk dips below lower.
+        members = list(range(7))
+        chunks = _split_cluster(members, lower=4, upper=6)
+        self._check_partition(chunks, members)
+        assert all(len(chunk) <= 6 for chunk in chunks)
+        assert any(len(chunk) < 4 for chunk in chunks)
+
+    def test_upper_smaller_than_lower_still_respects_upper(self):
+        members = list(range(7))
+        chunks = _split_cluster(members, lower=5, upper=3)
+        self._check_partition(chunks, members)
+        assert all(len(chunk) <= 3 for chunk in chunks)
+
+    def test_fractional_bounds_from_lemma_parameters(self):
+        # The call sites pass lower = k / NQ_k, upper = 2 * lower, which are
+        # generally fractional; balanced chunking guarantees the *floored*
+        # lower bound (the contract the Lemma 3.5 size tests assert) and the
+        # exact upper bound.
+        members = list(range(11))
+        lower, upper = 2.5, 5.0
+        chunks = _split_cluster(members, lower, upper)
+        self._check_partition(chunks, members)
+        assert all(
+            math.floor(lower) <= len(chunk) <= math.ceil(upper) for chunk in chunks
+        )
+
+
+class TestMaxWeakDiameter:
+    def test_matches_per_cluster_weak_diameter(self):
+        g = grid_graph(6, 2)
+        clustering = nq_clustering(g, 24)
+        expected = max(
+            weak_diameter(g, cluster.members) for cluster in clustering.clusters
+        )
+        assert clustering.max_weak_diameter(g) == expected
+
+    def test_uses_one_shared_index(self, monkeypatch):
+        import repro.core.clustering as clustering_module
+        from repro.graphs.index import get_index
+
+        g = path_graph(40)
+        clustering = nq_clustering(g, 20)
+        assert len(clustering.clusters) > 1
+        calls = []
+        real_get_index = clustering_module.get_index
+
+        def counting_get_index(graph):
+            calls.append(graph)
+            return real_get_index(graph)
+
+        monkeypatch.setattr(clustering_module, "get_index", counting_get_index)
+        clustering.max_weak_diameter(g)
+        # One index resolution for the whole clustering, not one per cluster.
+        assert len(calls) == 1
