@@ -1,0 +1,183 @@
+"""Vectorised round engine benchmark: token planes vs the retained tuple engine.
+
+Acceptance check for the id-native round engine at production scale
+(n >= 10^4): two end-to-end workloads run through ``engine="batch"`` (token
+planes: two-tier scheduler, bulk id-native sends, direct shard harvest) and
+``engine="batch-reference"`` (the previous engine's hot path, retained
+verbatim: tuple workloads, greedy tuple scanning, per-token sends, full inbox
+harvest every shard):
+
+* ``KDissemination`` — Theorem 1 on an n=10^4 path with k=4096 tokens
+  (HYBRID_0, so the run includes the full knowledge bookkeeping).  NQ_k and
+  the Lemma 3.5 clustering are precomputed once and shared by both engines
+  (they are centralized analytics, not message traffic).
+* ``ApproxSSSP`` + label dissemination — the Theorem 13 SSSP deployment
+  pipeline: compute the (1+eps)-approximate distances (ApproxSSSP itself
+  moves no global traffic — its round cost is charged per the substitution
+  policy), then physically disseminate k=2048 ``(node, distance)`` labels
+  with Theorem 1 so every node holds the SSSP results.
+
+Both engines must produce identical round counts, identical metric summaries
+(hence identical delivered words/messages — the inbox contents), zero
+capacity violations, and complete dissemination; the plane engine must be at
+least ``ROUND_ENGINE_MIN_SPEEDUP`` times faster end-to-end.  Engines are
+interleaved across repeats so cpu-frequency drift on shared runners biases
+neither side.
+
+Measured on a quiet machine: ~2.3-2.5x end-to-end on both workloads (the
+residue is shared phase work — clustering bookkeeping, charged-round
+accounting, workload assembly — plus the exact-schedule constraint; the
+schedule/send/harvest layers in isolation run >10x faster than the tuple
+engine, and the whole pipeline ~15x faster than the per-message legacy
+transport).  The default floor is set below the quiet-machine measurement to
+keep the check meaningful without being flaky.
+
+Run directly (``python benchmarks/bench_round_engine.py``) or through pytest
+(``pytest benchmarks/bench_round_engine.py``).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from typing import Any, Dict, List, Tuple
+
+from repro.core.clustering import nq_clustering
+from repro.core.dissemination import KDissemination
+from repro.core.neighborhood_quality import neighborhood_quality
+from repro.core.sssp import ApproxSSSP
+from repro.graphs.generators import path_graph
+from repro.simulator.config import ModelConfig
+from repro.simulator.network import HybridSimulator
+
+N = 10_000
+K_DISSEMINATION = 4096
+K_LABELS = 2048
+EPSILON = 0.25
+SEED = 7
+REPEATS = 3
+#: The acceptance bar on a quiet machine.  Shared CI runners have wall-clock
+#: variance that can unfairly fail a ratio assertion, so CI may relax the
+#: floor via ROUND_ENGINE_MIN_SPEEDUP (the correctness checks — identical
+#: rounds, identical metrics, zero violations, completeness — are never
+#: relaxed).
+REQUIRED_SPEEDUP = float(os.environ.get("ROUND_ENGINE_MIN_SPEEDUP", "2.0"))
+
+
+def _token_workload() -> Dict[int, List[Tuple[str, int]]]:
+    rng = random.Random(SEED)
+    tokens: Dict[int, List[Tuple[str, int]]] = {}
+    for index in range(K_DISSEMINATION):
+        tokens.setdefault(rng.randrange(N), []).append(("tok", index))
+    return tokens
+
+
+def _run_dissemination(graph, tokens, nq, engine: str):
+    simulator = HybridSimulator(graph, ModelConfig.hybrid0(), seed=3)
+    clustering = nq_clustering(graph, K_DISSEMINATION, nq=nq, id_of=simulator.id_of)
+    algorithm = KDissemination(
+        simulator, tokens, nq=nq, clustering=clustering, engine=engine
+    )
+    start = time.perf_counter()
+    result = algorithm.run()
+    return time.perf_counter() - start, result, simulator
+
+
+def _run_sssp_pipeline(graph, nq, engine: str):
+    """ApproxSSSP from node 0, then Theorem 1 broadcast of k distance labels."""
+    simulator = HybridSimulator(graph, ModelConfig.hybrid0(), seed=3)
+    start = time.perf_counter()
+    sssp = ApproxSSSP(simulator, 0, epsilon=EPSILON, engine=engine).run()
+    labels = [
+        ("sssp-label", node, sssp.distances[node]) for node in range(K_LABELS)
+    ]
+    tokens = {0: labels}
+    result = KDissemination(simulator, tokens, nq=nq, engine=engine).run()
+    return time.perf_counter() - start, result, simulator
+
+
+def _compare(label: str, runner, engines=("batch", "batch-reference")) -> Dict[str, Any]:
+    times: Dict[str, float] = {engine: float("inf") for engine in engines}
+    outcomes: Dict[str, Tuple[Any, Any]] = {}
+    for _ in range(REPEATS):
+        for engine in engines:  # interleave to average out machine drift
+            elapsed, result, simulator = runner(engine)
+            times[engine] = min(times[engine], elapsed)
+            outcomes[engine] = (result, simulator)
+    plane_result, plane_sim = outcomes["batch"]
+    reference_result, reference_sim = outcomes["batch-reference"]
+    return {
+        "workload": label,
+        "n": N,
+        "plane seconds (best)": round(times["batch"], 4),
+        "reference seconds (best)": round(times["batch-reference"], 4),
+        "speedup": round(times["batch-reference"] / times["batch"], 2),
+        "measured rounds": plane_sim.metrics.measured_rounds,
+        "total rounds": plane_sim.metrics.total_rounds,
+        "identical rounds": plane_sim.metrics.measured_rounds
+        == reference_sim.metrics.measured_rounds
+        and plane_sim.metrics.total_rounds == reference_sim.metrics.total_rounds,
+        "identical metrics": plane_sim.metrics.summary()
+        == reference_sim.metrics.summary(),
+        "identical results": plane_result.known_tokens == reference_result.known_tokens,
+        "capacity violations": plane_sim.metrics.capacity_violations,
+        "complete": plane_result.all_nodes_know_all_tokens(),
+    }
+
+
+def run_round_engine_comparison() -> List[Dict[str, Any]]:
+    graph = path_graph(N)
+    tokens = _token_workload()
+    nq_dissemination = max(1, neighborhood_quality(graph, K_DISSEMINATION))
+    nq_labels = max(1, neighborhood_quality(graph, K_LABELS))
+    rows = [
+        _compare(
+            f"KDissemination k={K_DISSEMINATION}",
+            lambda engine: _run_dissemination(graph, tokens, nq_dissemination, engine),
+        ),
+        _compare(
+            f"ApproxSSSP(eps={EPSILON}) + label broadcast k={K_LABELS}",
+            lambda engine: _run_sssp_pipeline(graph, nq_labels, engine),
+        ),
+    ]
+    return rows
+
+
+def _check(rows: List[Dict[str, Any]]) -> None:
+    for row in rows:
+        label = row["workload"]
+        assert row["complete"], f"{label}: dissemination failed to deliver all tokens"
+        assert row["identical rounds"], f"{label}: round counts diverge between engines"
+        assert row["identical metrics"], f"{label}: metric summaries diverge"
+        assert row["identical results"], f"{label}: delivered contents diverge"
+        assert row["capacity violations"] == 0, f"{label}: capacity violated"
+        assert row["speedup"] >= REQUIRED_SPEEDUP, (
+            f"{label}: round engine speedup {row['speedup']}x below the "
+            f"required {REQUIRED_SPEEDUP}x"
+        )
+
+
+def test_round_engine_speedup(save_table):
+    rows = run_round_engine_comparison()
+    save_table(
+        "round_engine_speedup",
+        rows,
+        f"Vectorised round engine - n={N} path, token planes vs tuple reference",
+    )
+    _check(rows)
+
+
+def main() -> None:
+    rows = run_round_engine_comparison()
+    for row in rows:
+        width = max(len(key) for key in row)
+        for key, value in row.items():
+            print(f"{key:<{width}}  {value}")
+        print()
+    _check(rows)
+    print(f"OK: round engine meets the >= {REQUIRED_SPEEDUP}x bar on both workloads.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,11 +1,32 @@
 """Setup shim.
 
-The project metadata lives in ``pyproject.toml``; this file exists so that
-``pip install -e .`` and ``python setup.py develop`` work on environments whose
-setuptools/pip combination predates full PEP 660 editable-install support
-(such as offline machines without the ``wheel`` package).
+This file exists so that ``pip install -e .`` and ``python setup.py develop``
+work on environments whose setuptools/pip combination predates full PEP 660
+editable-install support (such as offline machines without the ``wheel``
+package).
+
+The ``[fast]`` extra pulls in NumPy, the optional accelerator behind the
+vectorised round engine (:mod:`repro.simulator._accel`).  Without it every
+code path still works — the engine falls back to pure-Python array sweeps
+with bit-for-bit identical schedules — so the hard dependency surface stays
+``networkx`` only.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-hybrid-nq",
+    version="0.5.0",
+    description=(
+        "Reproduction of conf_podc_ChangHLS24: universally optimal information "
+        "dissemination in the HYBRID model, with a batch round-engine simulator"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.9",
+    install_requires=["networkx"],
+    extras_require={
+        "fast": ["numpy"],
+        "test": ["pytest", "pytest-benchmark", "hypothesis"],
+    },
+)

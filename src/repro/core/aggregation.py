@@ -124,8 +124,9 @@ class KAggregation(BatchAlgorithm):
 
         self.clustering = distributed_nq_clustering(sim, self.k, nq=self.nq)
         self.cluster_tree = build_cluster_tree(self.clustering)
+        identifier_of = sim.node_identifiers()
         self._sorted_members = {
-            cluster.index: sorted(cluster.members, key=sim.id_of)
+            cluster.index: sorted(cluster.members, key=identifier_of.__getitem__)
             for cluster in self.clustering.clusters
         }
         sim.charge_rounds(
@@ -189,7 +190,9 @@ class KAggregation(BatchAlgorithm):
                 )
                 incoming[parent_index].extend(payloads)
             if triples:
-                self.exchange(triples, "kagg")
+                # Deliveries are folded from the locally-known ``incoming``
+                # pairs below; the result dict would be discarded.
+                self.exchange(triples, "kagg", collect=False)
             for parent_index, pairs in incoming.items():
                 parent_partial = cluster_partials[parent_index]
                 for index, value in pairs:

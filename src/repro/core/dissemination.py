@@ -44,8 +44,9 @@ from repro.core.load_balancing import balance_items, cluster_load_balance
 from repro.core.neighborhood_quality import neighborhood_quality
 from repro.core.overlay import VirtualTree, basic_aggregation, build_virtual_tree
 from repro.core.transport import GlobalTransfer
+from repro.simulator import _accel
 from repro.simulator.config import log2_ceil
-from repro.simulator.engine import BatchAlgorithm
+from repro.simulator.engine import BatchAlgorithm, TokenPlane
 from repro.simulator.messages import payload_words
 from repro.simulator.metrics import RoundMetrics
 from repro.simulator.network import HybridSimulator
@@ -107,22 +108,49 @@ def match_cluster_tree_ids(
     identifier so they can exchange global messages.  The round cost of the
     matching (O(log n), one tree level at a time) is charged by the caller.
     """
+    identifier_of = simulator.node_identifiers()
     learned: Dict[Node, Set[int]] = defaultdict(set)
     for child_index, parent_index in cluster_tree.parent.items():
         if parent_index is None:
             continue
         child = clustering.clusters[child_index]
         parent = clustering.clusters[parent_index]
-        child_members = sorted(child.members, key=simulator.id_of)
-        parent_members = sorted(parent.members, key=simulator.id_of)
+        child_members = sorted(child.members, key=identifier_of.__getitem__)
+        parent_members = sorted(parent.members, key=identifier_of.__getitem__)
         span = max(len(child_members), len(parent_members))
         for position in range(span):
             a = child_members[position % len(child_members)]
             b = parent_members[position % len(parent_members)]
-            learned[a].add(simulator.id_of(b))
-            learned[b].add(simulator.id_of(a))
+            learned[a].add(identifier_of[b])
+            learned[b].add(identifier_of[a])
+    learn_known = simulator.knowledge.learn_known
     for node, identifiers in learned.items():
-        simulator.declare_learned_ids(node, identifiers)
+        learn_known(identifier_of[node], identifiers)
+
+
+def rank_matched_indices(
+    source_indices: Sequence[int],
+    target_indices: Sequence[int],
+    count: int,
+) -> Tuple[List[int], List[int]]:
+    """Id-native :func:`rank_matched_triples`: ``(senders, receivers)`` columns.
+
+    ``source_indices`` / ``target_indices`` are the id-sorted member lists of
+    the two clusters as simulator node indices.  The rank-matching is cyclic
+    with period ``len(source_indices)``, so the columns for ``count`` payloads
+    are whole-pattern repetitions — built with list arithmetic, no per-token
+    index math.
+    """
+    n_source = len(source_indices)
+    n_target = len(target_indices)
+    receiver_pattern = [
+        target_indices[rank % n_target] for rank in range(n_source)
+    ]
+    source_pattern = list(source_indices)
+    full, remainder = divmod(count, n_source)
+    senders = source_pattern * full + source_pattern[:remainder]
+    receivers = receiver_pattern * full + receiver_pattern[:remainder]
+    return senders, receivers
 
 
 def rank_matched_triples(
@@ -227,8 +255,11 @@ class KDissemination(BatchAlgorithm):
         self.clustering: Optional[Clustering] = None
         self.cluster_tree: Optional[ClusterTree] = None
         self._sorted_members: Dict[int, List[Node]] = {}
+        self._member_indices: Dict[int, List[int]] = {}
+        self._member_arrays: Dict[int, Any] = {}
         self._held: Dict[Node, List[Any]] = {}
         self._cluster_tokens: Dict[int, Set[Any]] = {}
+        self._uniform_token_words: Optional[int] = None
         self._known_tokens: Dict[Node, FrozenSet[Any]] = {}
         # Each token crosses many cluster-tree edges; its word size is
         # computed once (tokens are hashable — they live in sets throughout
@@ -262,7 +293,11 @@ class KDissemination(BatchAlgorithm):
         counts = {node: len(tokens) for node, tokens in self.tokens_by_node.items()}
         tree = build_virtual_tree(sim)
         basic_aggregation(
-            sim, counts, lambda a, b: (a or 0) + (b or 0), tree=tree, batch=self.use_batch
+            sim,
+            counts,
+            lambda a, b: (a or 0) + (b or 0),
+            tree=tree,
+            engine=self.engine,
         )
         nq = self._nq_hint
         if nq is None:
@@ -282,10 +317,26 @@ class KDissemination(BatchAlgorithm):
             clustering = distributed_nq_clustering(sim, self.k, nq=self.nq)
         self.clustering = clustering
         self.cluster_tree = build_cluster_tree(clustering)
+        identifier_of = sim.node_identifiers()
         self._sorted_members = {
-            cluster.index: sorted(cluster.members, key=sim.id_of)
+            cluster.index: sorted(cluster.members, key=identifier_of.__getitem__)
             for cluster in clustering.clusters
         }
+        # Id-native member columns for the plane engine: the rank-matched
+        # workloads of phase 5 are built straight from these index lists
+        # (NumPy arrays when the accelerator is active — level planes are
+        # then tiled and concatenated without touching individual tokens).
+        indexer = sim.node_indexer()
+        self._member_indices = {
+            index: [indexer[member] for member in members]
+            for index, members in self._sorted_members.items()
+        }
+        np = _accel.np
+        if np is not None:
+            self._member_arrays = {
+                index: np.asarray(indices, dtype=np.int64)
+                for index, indices in self._member_indices.items()
+            }
         sim.charge_rounds(
             log_n * log_n,
             "cluster-tree construction over cluster leaders",
@@ -297,9 +348,10 @@ class KDissemination(BatchAlgorithm):
             "Theorem 1, cluster chaining subphase 2",
         )
         leader_ids = frozenset(sim.id_of(c.leader) for c in clustering.clusters)
-        for cluster in clustering.clusters:
-            for member in cluster.members:
-                sim.declare_learned_ids(member, leader_ids)
+        sim.declare_learned_ids_bulk(
+            (member for cluster in clustering.clusters for member in cluster.members),
+            leader_ids,
+        )
         match_cluster_tree_ids(sim, clustering, self.cluster_tree)
 
     def _phase_load_balance(self) -> None:
@@ -328,24 +380,22 @@ class KDissemination(BatchAlgorithm):
             cluster_tokens[clustering.cluster_of[node]].update(tokens)
         self._cluster_tokens = cluster_tokens
         self._token_words = {token: payload_words(token) for token in self.all_tokens}
+        distinct_words = set(self._token_words.values())
+        # Homogeneous tokens (the normal case) let the plane builder emit the
+        # words column as one list repetition instead of a per-token lookup.
+        self._uniform_token_words = (
+            distinct_words.pop() if len(distinct_words) == 1 else None
+        )
 
         levels = cluster_tree.levels()
         for level in reversed(levels[1:]):
-            triples: List[Tuple] = []
+            edges: List[Tuple[int, int, List[Any]]] = []
             for cluster_index in level:
                 parent_index = cluster_tree.parent[cluster_index]
                 new_tokens = cluster_tokens[cluster_index] - cluster_tokens[parent_index]
-                triples.extend(
-                    rank_matched_triples(
-                        self._sorted_members[cluster_index],
-                        self._sorted_members[parent_index],
-                        sorted(new_tokens, key=str),
-                        self._token_words,
-                    )
-                )
+                edges.append((cluster_index, parent_index, sorted(new_tokens, key=str)))
                 cluster_tokens[parent_index].update(new_tokens)
-            if triples:
-                self.exchange(triples, "kdiss")
+            self._exchange_level(edges)
             # Load balancing at the receiving clusters before the next level.
             sim.charge_rounds(
                 8 * self.nq * self._log_n,
@@ -369,7 +419,7 @@ class KDissemination(BatchAlgorithm):
         sorted_all = sorted(self.all_tokens, key=str)
         all_tokens = self.all_tokens
         for level in cluster_tree.levels():
-            triples: List[Tuple] = []
+            edges: List[Tuple[int, int, List[Any]]] = []
             for cluster_index in level:
                 for child_index in cluster_tree.children[cluster_index]:
                     have = cluster_tokens[child_index]
@@ -378,17 +428,9 @@ class KDissemination(BatchAlgorithm):
                         if not have
                         else [token for token in sorted_all if token not in have]
                     )
-                    triples.extend(
-                        rank_matched_triples(
-                            self._sorted_members[cluster_index],
-                            self._sorted_members[child_index],
-                            missing,
-                            self._token_words,
-                        )
-                    )
+                    edges.append((cluster_index, child_index, missing))
                     cluster_tokens[child_index] = set(all_tokens)
-            if triples:
-                self.exchange(triples, "kdiss")
+            self._exchange_level(edges)
             sim.charge_rounds(
                 8 * self.nq * self._log_n,
                 "intra-cluster load balancing between down-cast levels",
@@ -435,6 +477,107 @@ class KDissemination(BatchAlgorithm):
         )
 
     # ------------------------------------------------------------------
+    def _exchange_level(self, edges: Sequence[Tuple[int, int, List[Any]]]) -> None:
+        """Move one cluster-tree level of tokens: ``(source, target, tokens)``.
+
+        On the plane engine the whole level is assembled as one id-native
+        :class:`~repro.simulator.engine.TokenPlane` from the precomputed
+        member-index columns (rank-matching is cyclic pattern repetition, word
+        counts come from the shared ``_token_words`` map); the comparison
+        engines build the historical tuple workload.  The token order —
+        level-edge by level-edge, payloads in sorted order, senders cycling by
+        rank — is identical either way, so so are the shard boundaries.
+        """
+        if self.use_plane:
+            plane = self._build_level_plane(edges)
+            if plane is not None:
+                self.exchange(plane, "kdiss", collect=False)
+            return
+        triples: List[Tuple] = []
+        for source_index, target_index, tokens in edges:
+            triples.extend(
+                rank_matched_triples(
+                    self._sorted_members[source_index],
+                    self._sorted_members[target_index],
+                    tokens,
+                    self._token_words,
+                )
+            )
+        if triples:
+            self.exchange(triples, "kdiss", collect=False)
+
+    def _build_level_plane(
+        self, edges: Sequence[Tuple[int, int, List[Any]]]
+    ) -> Optional[TokenPlane]:
+        """Assemble one level's id-native workload.
+
+        With NumPy active the sender/receiver columns are whole-chunk tile
+        operations over the cached per-cluster member arrays (the cyclic
+        rank-matching is exactly ``np.resize``); homogeneous token sizes
+        become one ``np.full`` per edge.  The fallback builds the same columns
+        with list-pattern arithmetic.  Token order is identical to the tuple
+        engines' workload, so the shard boundaries coincide.
+        """
+        np = _accel.np
+        token_words = self._token_words
+        uniform = self._uniform_token_words
+        payloads: List[Any] = []
+        if np is not None:
+            member_arrays = self._member_arrays
+            sender_chunks = []
+            receiver_chunks = []
+            word_chunks = []
+            for source_index, target_index, tokens in edges:
+                count = len(tokens)
+                if not count:
+                    continue
+                source = member_arrays[source_index]
+                target = member_arrays[target_index]
+                pattern = target[np.arange(source.size) % target.size]
+                sender_chunks.append(np.resize(source, count))
+                receiver_chunks.append(np.resize(pattern, count))
+                if uniform is not None:
+                    word_chunks.append(np.full(count, uniform, dtype=np.int64))
+                else:
+                    word_chunks.append(
+                        np.fromiter(
+                            (token_words[token] for token in tokens),
+                            dtype=np.int64,
+                            count=count,
+                        )
+                    )
+                payloads.extend(tokens)
+            if not payloads:
+                return None
+            return TokenPlane(
+                np.concatenate(sender_chunks),
+                np.concatenate(receiver_chunks),
+                np.concatenate(word_chunks),
+                payloads,
+            )
+        senders: List[int] = []
+        receivers: List[int] = []
+        words: List[int] = []
+        member_indices = self._member_indices
+        for source_index, target_index, tokens in edges:
+            if not tokens:
+                continue
+            sender_column, receiver_column = rank_matched_indices(
+                member_indices[source_index],
+                member_indices[target_index],
+                len(tokens),
+            )
+            senders.extend(sender_column)
+            receivers.extend(receiver_column)
+            if uniform is not None:
+                words.extend([uniform] * len(tokens))
+            else:
+                words.extend([token_words[token] for token in tokens])
+            payloads.extend(tokens)
+        if not payloads:
+            return None
+        return TokenPlane(senders, receivers, words, payloads)
+
     def _load_balance_all_clusters(
         self,
         clustering: Clustering,

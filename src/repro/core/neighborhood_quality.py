@@ -40,18 +40,19 @@ This module provides
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Hashable, Optional, Set
+from typing import Dict, Hashable, List, Optional, Set
 
 import networkx as nx
 
 from repro.graphs.index import get_index
+from repro.simulator import _accel
 from repro.graphs.properties import (
     _reference_ball_sizes_all_radii,
     _reference_diameter,
 )
 from repro.simulator.config import log2_ceil
 from repro.simulator.engine import BatchAlgorithm
-from repro.simulator.messages import LOCAL_MODE, payload_words
+from repro.simulator.messages import payload_words
 from repro.simulator.metrics import RoundMetrics
 from repro.simulator.network import HybridSimulator
 
@@ -178,14 +179,18 @@ class DistributedNQComputation(BatchAlgorithm):
     graph is explored first, ``NQ_k = D``.
 
     ``engine="batch"`` (default) floods only each round's *newly discovered*
-    ball members through :meth:`~repro.simulator.network.HybridSimulator.local_send_batch`;
+    ball members as one id-native token plane per round
+    (:meth:`~repro.simulator.network.HybridSimulator.local_send_plane` over a
+    precomputed edge plane); ``engine="batch-reference"`` retains the same
+    frontier flood over the tuple workload API (the previous hot path);
     ``engine="legacy"`` floods every node's whole known ball as a frozenset
-    through the per-message API, as the original implementation did.  The two
+    through the per-message API, as the original implementation did.  All
     engines discover identical balls in identical rounds — a node ``u`` enters
     ``v``'s ball in round ``hop(u, v)`` either way — so per-node values, the
     global value and all round counts and charges coincide exactly.  Message
-    and word *volumes* do not: the frontier engine never re-broadcasts known
-    members, and a node whose ball has saturated sends nothing at all.
+    and word *volumes* differ only for ``legacy``: the frontier engines never
+    re-broadcast known members, and a node whose ball has saturated sends
+    nothing at all.
     """
 
     def __init__(
@@ -216,8 +221,10 @@ class DistributedNQComputation(BatchAlgorithm):
         )
 
     def _phase_explore(self) -> None:
-        if self.use_batch:
+        if self.use_plane:
             self._explore_frontier()
+        elif self.use_batch:
+            self._explore_frontier_tuples()
         else:
             self._explore_legacy()
 
@@ -253,9 +260,112 @@ class DistributedNQComputation(BatchAlgorithm):
         return None
 
     def _explore_frontier(self) -> None:
-        """Frontier-only flooding over the batch engine: each node forwards
-        the ball members it learned in the previous round, never its whole
-        ball."""
+        """Frontier-only flooding over the id-native plane engine: each node
+        forwards the ball members it learned in the previous round, never its
+        whole ball.
+
+        The directed flood edges are precomputed once as index columns; every
+        round selects the rows whose sender still has a non-empty frontier and
+        submits them as one :class:`~repro.simulator.engine.TokenPlane` via
+        ``local_send_plane`` (adjacency validated per unique edge with one
+        array sweep, no per-token record objects).  Deliveries are folded
+        straight from the plane's columns — the round's record buckets are
+        never materialised.
+        """
+        from repro.simulator.engine import TokenPlane
+
+        sim = self.simulator
+        nodes = sim.nodes
+        indexer = sim.node_indexer()
+        known_balls: List[Set[Node]] = [None] * sim.n  # type: ignore[list-item]
+        frontier_of: List[Optional[frozenset]] = [None] * sim.n
+        for v in nodes:
+            i = indexer[v]
+            known_balls[i] = {v}
+            frontier_of[i] = frozenset((v,))
+        # Directed flood edges (v -> u), grouped by sender in node order —
+        # the same (sender, neighbor) enumeration the tuple path used.
+        edge_senders: List[int] = []
+        edge_receivers: List[int] = []
+        for v in nodes:
+            i = indexer[v]
+            for u in sim.neighbors(v):
+                edge_senders.append(i)
+                edge_receivers.append(indexer[u])
+        np = _accel.np
+        if np is not None:
+            edge_senders = np.asarray(edge_senders, dtype=np.int64)
+            edge_receivers = np.asarray(edge_receivers, dtype=np.int64)
+
+        balls_by_node = {v: known_balls[indexer[v]] for v in nodes}
+        t = 0
+        nq_value: Optional[int] = None
+        max_steps = sim.n  # exploration can never exceed n-1 depth
+        while t < max_steps:
+            t += 1
+            # One local round: every node forwards its newest discoveries.
+            if np is not None:
+                active = np.fromiter(
+                    (frontier_of[i] is not None for i in range(sim.n)),
+                    dtype=bool,
+                    count=sim.n,
+                )
+                keep = active[edge_senders]
+                senders = edge_senders[keep]
+                receivers = edge_receivers[keep]
+                sender_list = senders.tolist()
+                receiver_list = receivers.tolist()
+            else:
+                sender_list = [i for i in edge_senders if frontier_of[i] is not None]
+                receiver_list = [
+                    r
+                    for i, r in zip(edge_senders, edge_receivers)
+                    if frontier_of[i] is not None
+                ]
+                senders = sender_list
+                receivers = receiver_list
+            words_of = [0] * sim.n
+            for i, frontier in enumerate(frontier_of):
+                if frontier is not None:
+                    words_of[i] = payload_words(frontier)
+            payloads = [frontier_of[i] for i in sender_list]
+            words = [words_of[i] for i in sender_list]
+            sim.local_send_plane(
+                TokenPlane(senders, receivers, words, payloads), None, "nq-explore"
+            )
+            sim.advance_round()
+            # Fold deliveries from the plane columns (receiver u gets the
+            # frontier its neighbor v sent this round).
+            fresh_of: Dict[int, Set[Node]] = {}
+            for position, receiver in enumerate(receiver_list):
+                ball = known_balls[receiver]
+                fresh = fresh_of.get(receiver)
+                for u in payloads[position]:
+                    if u not in ball:
+                        if fresh is None:
+                            fresh = fresh_of[receiver] = set()
+                        fresh.add(u)
+            next_frontiers: List[Optional[frozenset]] = [None] * sim.n
+            for receiver, fresh in fresh_of.items():
+                known_balls[receiver] |= fresh
+                next_frontiers[receiver] = frozenset(fresh)
+            frontier_of = next_frontiers
+
+            nq_value = self._step_bookkeeping(t, balls_by_node)
+            if nq_value is not None:
+                break
+
+        self._finalize(t if nq_value is None else nq_value, sim)
+
+    def _explore_frontier_tuples(self) -> None:
+        """The retained tuple-workload frontier flood (the previous engine).
+
+        Identical rounds, balls and word accounting to :meth:`_explore_frontier`
+        — only the per-token containers differ; kept as the
+        ``engine="batch-reference"`` comparison baseline.
+        """
+        from repro.simulator.messages import LOCAL_MODE
+
         sim = self.simulator
         known_balls: Dict[Node, Set[Node]] = {v: {v} for v in sim.nodes}
         frontiers: Dict[Node, frozenset] = {v: frozenset((v,)) for v in sim.nodes}

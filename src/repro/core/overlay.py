@@ -24,7 +24,8 @@ import math
 from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.simulator.config import log2_ceil
-from repro.simulator.messages import GLOBAL_MODE
+from repro.simulator.engine import TokenPlane
+from repro.simulator.messages import GLOBAL_MODE, payload_words
 from repro.simulator.network import HybridSimulator
 
 Node = Hashable
@@ -110,7 +111,7 @@ def build_virtual_tree(simulator: HybridSimulator) -> VirtualTree:
     (``declare_learned_ids``), which is exactly the post-condition of
     Lemma 4.3.
     """
-    order = sorted(simulator.nodes, key=simulator.id_of)
+    order = sorted(simulator.nodes, key=simulator.node_identifiers().__getitem__)
     tree = _heap_tree(order)
     log_n = log2_ceil(max(simulator.n, 2))
     simulator.charge_rounds(
@@ -146,11 +147,28 @@ def build_virtual_tree_on_subset(
 
 
 def _teach_tree_ids(simulator: HybridSimulator, tree: VirtualTree) -> None:
+    identifiers = simulator.node_identifiers()
+    learn_known = simulator.knowledge.learn_known
     for node in tree.order:
-        relatives = list(tree.children[node])
-        if tree.parent[node] is not None:
-            relatives.append(tree.parent[node])
-        simulator.declare_learned_ids(node, [simulator.id_of(r) for r in relatives])
+        relatives = {identifiers[child] for child in tree.children[node]}
+        parent = tree.parent[node]
+        if parent is not None:
+            relatives.add(identifiers[parent])
+        if relatives:
+            learn_known(identifiers[node], relatives)
+
+
+def _resolve_tree_engine(batch: bool, engine: Optional[str]) -> str:
+    """Map the historical ``batch`` flag and the driver ``engine`` switch.
+
+    ``engine`` (when given) wins: ``"batch"`` selects the id-native plane
+    path, ``"batch-reference"`` the retained tuple path, ``"legacy"`` the
+    per-message path.  Plain ``batch=True/False`` keeps the historical
+    tuple/legacy behaviour for existing callers.
+    """
+    if engine is not None:
+        return engine
+    return "batch-reference" if batch else "legacy"
 
 
 def aggregate_via_tree(
@@ -160,18 +178,41 @@ def aggregate_via_tree(
     combine: Callable[[Any, Any], Any],
     *,
     batch: bool = True,
+    engine: Optional[str] = None,
 ) -> Any:
     """Converge-cast ``values`` up the tree, combining with ``combine``.
 
     One tree level per round (leaf level first); every node sends a single
     global message to its parent, so the per-node budget is respected.  Returns
-    the aggregate as known by the root.  ``batch=False`` routes the sends
+    the aggregate as known by the root.  ``engine="batch"`` moves each level as
+    one id-native token plane and folds the combine step directly from the
+    plane's columns (no inbox rebuild); ``batch=False`` routes the sends
     through the legacy per-message API (identical rounds and inboxes).
     """
     partial: Dict[Node, Any] = {node: values.get(node) for node in tree.order}
     levels = tree.levels()
+    mode = _resolve_tree_engine(batch, engine)
+    if mode == "batch":
+        indexer = simulator.node_indexer()
+        for level in reversed(levels[1:]):
+            parents = [tree.parent[node] for node in level]
+            payloads = [partial[node] for node in level]
+            plane = TokenPlane(
+                [indexer[node] for node in level],
+                [indexer[parent] for parent in parents],
+                [payload_words(payload) for payload in payloads],
+                payloads,
+            )
+            simulator.global_send_plane(plane, None, "tree-agg")
+            simulator.advance_round()
+            for parent, incoming in zip(parents, payloads):
+                if incoming is None:
+                    continue
+                acc = partial[parent]
+                partial[parent] = incoming if acc is None else combine(acc, incoming)
+        return partial[tree.root]
     for level in reversed(levels[1:]):
-        if batch:
+        if mode == "batch-reference":
             simulator.global_send_batch(
                 [(node, tree.parent[node], partial[node]) for node in level],
                 "tree-agg",
@@ -209,10 +250,45 @@ def aggregate_via_tree(
 
 
 def broadcast_via_tree(
-    simulator: HybridSimulator, tree: VirtualTree, value: Any, *, batch: bool = True
+    simulator: HybridSimulator,
+    tree: VirtualTree,
+    value: Any,
+    *,
+    batch: bool = True,
+    engine: Optional[str] = None,
 ) -> Dict[Node, Any]:
     """Down-cast ``value`` from the root to every tree node (one level per round)."""
     received: Dict[Node, Any] = {tree.root: value}
+    mode = _resolve_tree_engine(batch, engine)
+    if mode == "batch":
+        indexer = simulator.node_indexer()
+        for level in tree.levels():
+            senders: List[int] = []
+            receivers: List[int] = []
+            words: List[int] = []
+            payloads: List[Any] = []
+            children: List[Node] = []
+            for node in level:
+                if node not in received:
+                    continue
+                payload = received[node]
+                size = payload_words(payload)
+                sender_index = indexer[node]
+                for child in tree.children[node]:
+                    senders.append(sender_index)
+                    receivers.append(indexer[child])
+                    words.append(size)
+                    payloads.append(payload)
+                    children.append(child)
+            if not children:
+                continue
+            simulator.global_send_plane(
+                TokenPlane(senders, receivers, words, payloads), None, "tree-bcast"
+            )
+            simulator.advance_round()
+            for child, payload in zip(children, payloads):
+                received[child] = payload
+        return received
     for level in tree.levels():
         sends = [
             (node, child, received[node])
@@ -222,7 +298,7 @@ def broadcast_via_tree(
         ]
         if not sends:
             continue
-        if batch:
+        if mode == "batch-reference":
             simulator.global_send_batch(sends, "tree-bcast")
             simulator.advance_round()
             inbox = simulator.per_node_inbox(GLOBAL_MODE)
@@ -248,6 +324,7 @@ def basic_aggregation(
     tree: Optional[VirtualTree] = None,
     *,
     batch: bool = True,
+    engine: Optional[str] = None,
 ) -> Any:
     """Lemma 4.4 for ``k = 1``: every node learns ``combine`` over all values.
 
@@ -256,8 +333,10 @@ def basic_aggregation(
     """
     if tree is None:
         tree = build_virtual_tree(simulator)
-    aggregate = aggregate_via_tree(simulator, tree, values, combine, batch=batch)
-    broadcast_via_tree(simulator, tree, aggregate, batch=batch)
+    aggregate = aggregate_via_tree(
+        simulator, tree, values, combine, batch=batch, engine=engine
+    )
+    broadcast_via_tree(simulator, tree, aggregate, batch=batch, engine=engine)
     return aggregate
 
 

@@ -267,10 +267,13 @@ class GraphIndex:
     def h_hop_limited_distances(self, source: Node, h: int) -> Dict[Node, float]:
         """``h``-hop limited weighted distances ``d^h(source, .)`` (Section 1.2).
 
-        Flat-array Bellman-Ford over the CSR adjacency: ``h`` relaxation rounds
-        with an epoch-stamped distance scratch vector, touching only the nodes
-        the relaxation actually reaches.  Produces exactly the same values as
-        the dict-based reference (the candidate path sums are identical
+        Flat-array Bellman-Ford over the pre-zipped ``(target, weight)``
+        adjacency pairs (shared with the Dijkstra engine, built once per
+        graph): ``h`` relaxation rounds with an epoch-stamped distance scratch
+        vector, touching only the nodes the relaxation actually reaches — one
+        sequence traversal per relaxed edge instead of two indexed reads from
+        the parallel CSR arrays.  Produces exactly the same values as the
+        dict-based reference (the candidate path sums are identical
         floating-point operations); only the key order of the returned dict may
         differ.  Unreached nodes are omitted.
         """
@@ -278,8 +281,7 @@ class GraphIndex:
             raise ValueError("h must be non-negative")
         s = self._require(source)
         offsets = self._offsets
-        targets = self._targets
-        weights = self._weights
+        pairs = self._pair_array(0.0)
         self._epoch += 1
         epoch = self._epoch
         stamp = self._visited
@@ -292,9 +294,8 @@ class GraphIndex:
             updates: Dict[int, float] = {}
             for u in frontier:
                 du = dist[u]
-                for j in range(offsets[u], offsets[u + 1]):
-                    v = targets[j]
-                    cand = du + weights[j]
+                for v, weight in pairs[offsets[u] : offsets[u + 1]]:
+                    cand = du + weight
                     if stamp[v] == epoch and cand >= dist[v]:
                         continue
                     if cand < updates.get(v, math.inf):

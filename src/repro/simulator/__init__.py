@@ -21,9 +21,12 @@ from repro.simulator.metrics import ChargeRecord, RoundMetrics
 from repro.simulator.network import BatchRecord, HybridSimulator, node_sort_key
 from repro.simulator.engine import (
     BatchAlgorithm,
+    ExchangeTag,
     GlobalTriple,
     PhaseRecord,
+    TokenPlane,
     batched_global_exchange,
+    plan_token_rounds,
     shard_transfers,
 )
 
@@ -51,8 +54,11 @@ __all__ = [
     "BatchRecord",
     "node_sort_key",
     "BatchAlgorithm",
+    "ExchangeTag",
     "GlobalTriple",
     "PhaseRecord",
+    "TokenPlane",
     "batched_global_exchange",
+    "plan_token_rounds",
     "shard_transfers",
 ]

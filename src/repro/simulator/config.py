@@ -112,6 +112,18 @@ class ModelConfig:
         """Per-node, per-round global budget in words (messages x words/message)."""
         return self.resolve_global_message_budget(n) * max(1, self.words_per_message)
 
+    def resolve_local_word_limit(self) -> Optional[int]:
+        """Per-edge, per-round local payload cap in words (``None`` = unlimited).
+
+        CONGEST-style finite bandwidth: ``lambda`` bits per edge buy
+        ``lambda / WORD_BITS`` words, at least one.  Shared by the tuple and
+        plane local send paths so both enforce the identical cap.
+        """
+        limit = self.local_bits_per_edge
+        if limit is None or limit <= 0:
+            return None
+        return max(1, limit // WORD_BITS)
+
     def local_mode_enabled(self) -> bool:
         return self.local_bits_per_edge is None or self.local_bits_per_edge > 0
 

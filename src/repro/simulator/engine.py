@@ -1,32 +1,55 @@
-"""Batch messaging engine: token-sharded exchanges and the phase driver.
+"""Vectorised round engine: id-native token planes, sharding, and the phase driver.
 
 The per-message transport in :mod:`repro.core.transport` schedules one
 :class:`~repro.core.transport.GlobalTransfer` object at a time through
 ``global_send_to_node``; at production scale that is dominated by per-message
-object churn.  This module provides the batch equivalents built on
-:meth:`~repro.simulator.network.HybridSimulator.global_send_batch`:
+object churn.  The first batch engine replaced it with whole-round
+``(sender, receiver, payload, words)`` tuple workloads; this module's *round
+engine* goes one step further and strips the per-token Python work out of the
+schedule/send/harvest cycle entirely:
 
-* :func:`shard_transfers` — split a workload of ``(sender, receiver, payload,
-  words)`` tokens into per-round shards in which every node stays within the
-  per-round global budget on both the sending and the receiving side.  The
-  greedy FIFO policy is *identical* to the legacy
-  :func:`~repro.core.transport.throttled_global_exchange`, so migrating an
-  algorithm from the legacy path to the batch path provably does not change
-  its round counts (asserted by ``tests/unit/test_round_regression.py``).
-* :func:`batched_global_exchange` — run the shards through the simulator, one
-  batch send and one ``advance_round`` per shard, and collect the delivered
-  payloads from the pre-bucketed inboxes.
-* :class:`BatchAlgorithm` — a driver base class for algorithms structured as a
-  sequence of named phases, each of which moves whole rounds of traffic via
-  :meth:`BatchAlgorithm.exchange`.  The driver records per-phase round and
-  message accounting (``phase_log``) and lets callers flip a single ``engine``
-  switch between the batch path and the legacy per-message path (used by the
-  equivalence tests and the speedup benchmarks).
+* :class:`TokenPlane` — the id-native workload representation.  A workload is
+  parallel arrays of integer **node indices** (positions in the simulator's
+  deterministic node order) and word counts; payloads live in a side list that
+  the scheduler never touches.  With NumPy installed the arrays are ``int64``
+  vectors; the pure-Python fallback stores plain lists (see
+  :mod:`repro.simulator._accel` — the dependency surface is unchanged).
+* :func:`plan_token_rounds` — the two-tier scheduler.  The **uncongested fast
+  path** applies one grouped reduction per side (sent/received words per node);
+  when every node fits the per-round budget the whole workload is a single
+  shard — no greedy scanning at all, which is the common case for most phases.
+  Congested workloads fall to a **vectorised greedy-FIFO** that resolves each
+  round with a few whole-array *waves* (upper/lower prefix-sum bounds, see
+  ``_admit_round``) and is schedule-identical, token for token, to the legacy
+  greedy scanner retained as :func:`_reference_shard_transfers`
+  (``tests/properties/test_round_engine.py`` pins the equivalence; the round
+  pins in ``tests/unit/test_round_regression.py`` hold bit-for-bit).
+* :func:`batched_global_exchange` — runs the shards through the simulator's
+  bulk id-native send path
+  (:meth:`~repro.simulator.network.HybridSimulator.global_send_plane`) and
+  harvests deliveries **directly from the per-shard buckets** — the full inbox
+  dict is never rebuilt and never tag-filtered.  Each exchange stamps its
+  records with a unique :class:`ExchangeTag` (the caller's documented ``tag``
+  as the user-visible prefix plus an internal serial), so concurrent protocols
+  sharing a receiver can no longer collide even for observers that read the
+  raw inboxes.
+* :class:`BatchAlgorithm` — the phase driver.  ``engine="batch"`` (default)
+  runs on token planes; ``engine="batch-reference"`` runs the retained tuple
+  path (the previous engine, kept as the comparison baseline for the speedup
+  benchmarks); ``engine="legacy"`` runs the per-message transport.  All three
+  produce identical round counts, inboxes and metrics.
+
+Like the analytics index, the engine treats the simulated graph as **frozen**:
+the simulator caches its node-index maps and adjacency id arrays on first use,
+so mutating the graph mid-simulation is not detected — call
+:meth:`~repro.simulator.network.HybridSimulator.invalidate_index` after a
+deliberate mutation (mirroring :func:`repro.graphs.index.invalidate_index`).
 """
 
 from __future__ import annotations
 
 import dataclasses
+import itertools
 from collections import defaultdict
 from typing import (
     Any,
@@ -38,15 +61,21 @@ from typing import (
     Optional,
     Sequence,
     Tuple,
+    Union,
 )
 
-from repro.simulator.messages import GLOBAL_MODE, payload_words
+from repro.simulator import _accel
+from repro.simulator.errors import UnknownNodeError
+from repro.simulator.messages import payload_words
 from repro.simulator.network import HybridSimulator
 
 Node = Hashable
 
 __all__ = [
     "GlobalTriple",
+    "TokenPlane",
+    "ExchangeTag",
+    "plan_token_rounds",
     "shard_transfers",
     "batched_global_exchange",
     "PhaseRecord",
@@ -59,7 +88,91 @@ GlobalTriple = Tuple[Node, Node, Any]
 #: Internal sharding token: ``(sender, receiver, payload, payload_words)``.
 _Token = Tuple[Node, Node, Any, int]
 
+#: Engine switch values accepted by :class:`BatchAlgorithm`.
+ENGINES = ("batch", "batch-reference", "legacy")
 
+
+# ----------------------------------------------------------------------
+# Token planes
+# ----------------------------------------------------------------------
+class TokenPlane:
+    """An id-native workload: parallel id arrays plus a payload side list.
+
+    ``senders[i]`` / ``receivers[i]`` are integer **node indices** — positions
+    in the simulator's deterministic node order (see
+    :meth:`HybridSimulator.node_indexer`) — and ``words[i]`` is the token's
+    payload size in words (excluding any shared tag).  ``payloads[i]`` is the
+    application object; the scheduler and the capacity accounting never touch
+    it.  With NumPy active the three id/word columns are ``int64`` arrays,
+    otherwise plain lists — either way the schedule they produce is identical.
+    """
+
+    __slots__ = ("senders", "receivers", "words", "payloads")
+
+    def __init__(self, senders, receivers, words, payloads: List[Any]) -> None:
+        np = _accel.np
+        if np is not None:
+            self.senders = np.asarray(senders, dtype=np.int64)
+            self.receivers = np.asarray(receivers, dtype=np.int64)
+            self.words = np.asarray(words, dtype=np.int64)
+        else:
+            self.senders = list(senders)
+            self.receivers = list(receivers)
+            self.words = list(words)
+        self.payloads = payloads
+
+    def __len__(self) -> int:
+        return len(self.payloads)
+
+    @classmethod
+    def from_triples(
+        cls, simulator: HybridSimulator, triples: Iterable[Tuple]
+    ) -> "TokenPlane":
+        """Resolve a tuple workload into a plane (nodes -> indices, sizes once).
+
+        ``triples`` may mix ``(sender, receiver, payload)`` with
+        ``(sender, receiver, payload, words)`` entries whose payload size the
+        caller already knows.  Unknown nodes raise
+        :class:`~repro.simulator.errors.UnknownNodeError` (before anything is
+        queued — the plane path validates whole workloads up front).
+        """
+        index_of = simulator.node_indexer()
+        senders: List[int] = []
+        receivers: List[int] = []
+        words: List[int] = []
+        payloads: List[Any] = []
+        try:
+            for triple in triples:
+                if len(triple) == 4:
+                    sender, receiver, payload, size = triple
+                else:
+                    sender, receiver, payload = triple
+                    size = payload_words(payload)
+                senders.append(index_of[sender])
+                receivers.append(index_of[receiver])
+                words.append(size)
+                payloads.append(payload)
+        except KeyError as exc:
+            raise UnknownNodeError(exc.args[0]) from None
+        return cls(senders, receivers, words, payloads)
+
+    def iter_triples(self, simulator: HybridSimulator) -> Iterable[_Token]:
+        """The plane as ``(sender, receiver, payload, words)`` tuples.
+
+        Used to hand a plane to the tuple-based reference and legacy engines
+        (equivalence tests and speedup baselines only — the hot path never
+        materialises tuples).
+        """
+        nodes = simulator.nodes
+        for sender, receiver, payload, size in zip(
+            self.senders, self.receivers, self.payloads, self.words
+        ):
+            yield (nodes[int(sender)], nodes[int(receiver)], payload, int(size))
+
+
+# ----------------------------------------------------------------------
+# Two-tier scheduler
+# ----------------------------------------------------------------------
 def shard_transfers(
     tokens: Sequence[_Token], budget: int, tag_words: int = 0
 ) -> Iterable[List[_Token]]:
@@ -70,8 +183,14 @@ def shard_transfers(
     ``tag_words`` on top of each token's payload words).  If nothing fits —
     every remaining token is individually larger than the budget — exactly one
     oversized token is forced through (a single oversized message is the
-    sender's problem, and the simulator will flag it).  This mirrors the legacy
-    per-message scheduler exactly, shard for shard.
+    sender's problem, and the simulator will flag it).
+
+    This is the **reference scheduler** (also aliased as
+    ``_reference_shard_transfers``): the vectorised :func:`plan_token_rounds`
+    reproduces its shard boundaries exactly and is what the hot path runs;
+    this tuple formulation is retained as ground truth for the
+    schedule-identity property tests and as the scheduler of the
+    ``engine="batch-reference"`` baseline.
     """
     pending: List[_Token] = list(tokens)
     while pending:
@@ -94,25 +213,437 @@ def shard_transfers(
         pending = deferred
 
 
+#: Retained ground truth for the schedule-identity property tests.
+_reference_shard_transfers = shard_transfers
+
+#: Wave cap for the vectorised admitter: each wave is guaranteed to decide at
+#: least the first undecided token, so the cap only bounds adversarial
+#: workloads — the sequential tail resolver keeps the schedule exact beyond it.
+_MAX_WAVES = 24
+
+#: Below this many tokens the fixed cost of the NumPy machinery exceeds the
+#: per-token cost of the plain greedy scan; tiny workloads (ubiquitous in
+#: tests and per-level tree traffic) take the Python paths even when NumPy is
+#: active.  Both sides of the cutoff produce identical schedules.
+_SMALL_WORKLOAD = 64
+
+
+def _group_starts(np, group, order):
+    """Boolean mask (in sorted order) marking the first token of each group."""
+    sorted_group = group[order]
+    starts = np.empty(order.size, dtype=bool)
+    starts[0] = True
+    starts[1:] = sorted_group[1:] != sorted_group[:-1]
+    return starts
+
+
+def _grouped_prefix(np, order, starts, weights):
+    """Per-group inclusive prefix sums of ``weights``, in token order.
+
+    ``order`` is a stable argsort of the group column and ``starts`` its
+    :func:`_group_starts` mask; one cumulative sum plus a per-group offset
+    (propagated with ``maximum.accumulate`` — the offsets are nondecreasing in
+    sorted order) yields every token's running within-group total in a few C
+    passes.
+    """
+    ws = weights[order]
+    cs = np.cumsum(ws)
+    base = np.where(starts, cs - ws, 0)
+    np.maximum.accumulate(base, out=base)
+    out = np.empty(order.size, dtype=np.int64)
+    out[order] = cs - base
+    return out
+
+
+def _compress_order(np, order, keep):
+    """Restrict a stable sorted-order array to the kept positions.
+
+    ``order`` holds local indices in group-sorted order; ``keep`` is a boolean
+    mask over local indices.  Filtering preserves both the grouping and the
+    FIFO tie order, so the surviving subset never needs re-sorting — one of
+    the two tricks (with the grouped prefix sums) that keeps the whole
+    schedule at a handful of C passes per round instead of a sort per wave.
+    """
+    renumber = np.cumsum(keep) - 1
+    return renumber[order[keep[order]]]
+
+
+def _admit_round_numpy(np, sa, ra, wa, order_s, order_r, budget: int):
+    """One greedy-FIFO round, resolved with compressed bound waves (exact).
+
+    ``sa`` / ``ra`` / ``wa`` are the pending tokens of this round in FIFO
+    order (tag words already folded into ``wa``) and ``order_s`` / ``order_r``
+    their precomputed stable sorted orders.  Returns a boolean admission mask
+    identical to the sequential greedy scan.  Each wave brackets every
+    still-undecided token between two whole-array bounds:
+
+    * *upper*: base (words of already-admitted earlier same-group tokens)
+      plus the grouped prefix sum over the undecided tokens — an overcount of
+      the greedy counters, so fitting under it proves admission;
+    * *lower*: base plus the token's own words — an undercount, so
+      overflowing it proves rejection.
+
+    Decided tokens are then *compressed out*: their admitted words fold into
+    the per-position bases and the next wave runs on the (much smaller)
+    undecided residue only.  The first undecided token's bounds always
+    coincide, so every wave decides at least one token and the loop
+    terminates; ``_MAX_WAVES`` merely caps adversarial workloads before the
+    sequential tail resolver finishes the residue exactly.
+    """
+    m = sa.size
+    admitted = np.zeros(m, dtype=bool)
+    active = np.arange(m, dtype=np.int64)
+    base_s = np.zeros(m, dtype=np.int64)
+    base_r = np.zeros(m, dtype=np.int64)
+    for _ in range(_MAX_WAVES):
+        starts_s = _group_starts(np, sa, order_s)
+        starts_r = _group_starts(np, ra, order_r)
+        upper_s = base_s + _grouped_prefix(np, order_s, starts_s, wa)
+        upper_r = base_r + _grouped_prefix(np, order_r, starts_r, wa)
+        ok = (upper_s <= budget) & (upper_r <= budget)
+        if ok.all():
+            admitted[active] = True
+            return admitted
+        admitted[active[ok]] = True
+        # Fold this wave's admissions, then reject against the folded bases:
+        # a token whose admitted-prefix alone overflows can never be admitted,
+        # so the genuine flip candidates (rejected by the overcount, fitting
+        # under the undercount) are all that survives into the next wave.
+        ok_w = np.where(ok, wa, 0)
+        adm_s = base_s + _grouped_prefix(np, order_s, starts_s, ok_w)
+        adm_r = base_r + _grouped_prefix(np, order_r, starts_r, ok_w)
+        undecided = ~ok & (adm_s + wa <= budget) & (adm_r + wa <= budget)
+        if not undecided.any():
+            return admitted
+        base_s = adm_s[undecided]
+        base_r = adm_r[undecided]
+        order_s = _compress_order(np, order_s, undecided)
+        order_r = _compress_order(np, order_r, undecided)
+        active = active[undecided]
+        sa = sa[undecided]
+        ra = ra[undecided]
+        wa = wa[undecided]
+
+    # Sequential tail: exact greedy over the (rare) undecided residue, seeded
+    # with the admitted-prefix bases the waves already established.
+    extra_s: Dict[int, int] = {}
+    extra_r: Dict[int, int] = {}
+    for k in range(active.size):
+        si = int(sa[k])
+        ri = int(ra[k])
+        wi = int(wa[k])
+        if (
+            int(base_s[k]) + extra_s.get(si, 0) + wi <= budget
+            and int(base_r[k]) + extra_r.get(ri, 0) + wi <= budget
+        ):
+            admitted[int(active[k])] = True
+            extra_s[si] = extra_s.get(si, 0) + wi
+            extra_r[ri] = extra_r.get(ri, 0) + wi
+    return admitted
+
+
+def _pair_round_bounds(np, senders, receivers, wt, budget: int):
+    """Static per-token lower bounds on the round a token can be admitted in.
+
+    Within one (sender, receiver) pair of a uniform-word workload, tokens are
+    admitted in FIFO order (identical constraints, equal words) and at most
+    ``c = budget // words`` of them fit any single round (the sender's cap),
+    so the token with static pair-rank ``q`` cannot move before round
+    ``q // c`` — *whatever* the rest of the schedule does.  The round loop
+    uses this to scan only the handful of currently-admissible tokens per
+    round instead of the whole pending backlog.  Returns ``None`` (no
+    pruning) for mixed-size or oversized workloads.
+    """
+    w0 = int(wt[0])
+    if int(wt.max()) != w0 or int(wt.min()) != w0:
+        return None
+    per_round = budget // w0
+    if per_round <= 0:
+        return None
+    pair = senders * (int(receivers.max()) + 1) + receivers
+    order = np.argsort(pair, kind="stable")
+    starts = _group_starts(np, pair, order)
+    rank = _grouped_prefix(np, order, starts, np.ones(pair.size, dtype=np.int64))
+    return (rank - 1) // per_round
+
+
+def _plan_rounds_numpy(np, senders, receivers, wt, budget: int):
+    """Vectorised :func:`plan_token_rounds` body (NumPy active).
+
+    Tier 1 — uncongested fast path: one grouped reduction per side; when every
+    node's totals fit the budget the whole workload is a single shard and no
+    greedy state is ever built.  Tier 2 — per-round greedy-FIFO waves over the
+    *admissible* tokens only (see :func:`_pair_round_bounds`; tokens whose
+    pair rank proves they cannot move yet are never scanned, which is exact
+    because greedy counters only ever count admitted tokens).
+    """
+    sent = np.bincount(senders, weights=wt, minlength=1)
+    if sent.max() <= budget:
+        recv = np.bincount(receivers, weights=wt, minlength=1)
+        if recv.max() <= budget:
+            return [np.arange(senders.size, dtype=np.int64)]
+    min_round = _pair_round_bounds(np, senders, receivers, wt, budget)
+    shards = []
+    positions = np.arange(senders.size, dtype=np.int64)
+    s = senders
+    r = receivers
+    w = wt
+    # The only sorts of the whole schedule: the pending orders are maintained
+    # by order-preserving boolean compression from here on (and the eligible
+    # sub-orders are filtered out of them the same way).
+    order_s = np.argsort(s, kind="stable")
+    order_r = np.argsort(r, kind="stable")
+    round_index = 0
+    while positions.size:
+        if min_round is not None:
+            eligible = min_round <= round_index
+            if eligible.all():
+                # Every pending token's bound has passed — the filter can
+                # never exclude anything again (bounds are static, rounds
+                # only increase), so drop it for the rest of the schedule.
+                min_round = None
+                eligible = None
+        else:
+            eligible = None
+        if eligible is None:
+            es, er, ew = s, r, w
+            order_es, order_er = order_s, order_r
+        else:
+            es = s[eligible]
+            er = r[eligible]
+            ew = w[eligible]
+            order_es = _compress_order(np, order_s, eligible)
+            order_er = _compress_order(np, order_r, eligible)
+        admitted_e = _admit_round_numpy(np, es, er, ew, order_es, order_er, budget)
+        if eligible is None:
+            admitted = admitted_e
+        else:
+            admitted = np.zeros(positions.size, dtype=bool)
+            admitted[eligible] = admitted_e
+        if admitted.any():
+            shards.append(positions[admitted])
+            deferred = ~admitted
+        else:
+            # Forced-oversized branch: exactly one token pushed through (the
+            # first pending token, which is always admissible: its pair has
+            # at most `c * round_index` admitted predecessors).
+            shards.append(positions[:1])
+            deferred = np.ones(positions.size, dtype=bool)
+            deferred[0] = False
+        if not deferred.any():
+            break
+        positions = positions[deferred]
+        s = s[deferred]
+        r = r[deferred]
+        w = w[deferred]
+        order_s = _compress_order(np, order_s, deferred)
+        order_r = _compress_order(np, order_r, deferred)
+        if min_round is not None:
+            min_round = min_round[deferred]
+        round_index += 1
+    return shards
+
+
+def _plan_rounds_python(senders, receivers, wt, budget: int):
+    """Pure-Python :func:`plan_token_rounds` body (no NumPy).
+
+    The same greedy-FIFO as :func:`_reference_shard_transfers`, over flat int
+    arrays and integer-keyed counters instead of token tuples and node-keyed
+    defaultdicts.
+    """
+    shards = []
+    pending = list(range(len(wt)))
+    while pending:
+        sent: Dict[int, int] = {}
+        received: Dict[int, int] = {}
+        shard: List[int] = []
+        deferred: List[int] = []
+        for i in pending:
+            si = senders[i]
+            w = wt[i]
+            new_sent = sent.get(si, 0) + w
+            if new_sent <= budget:
+                ri = receivers[i]
+                new_recv = received.get(ri, 0) + w
+                if new_recv <= budget:
+                    shard.append(i)
+                    sent[si] = new_sent
+                    received[ri] = new_recv
+                    continue
+            deferred.append(i)
+        if not shard and deferred:
+            shard.append(deferred.pop(0))
+        shards.append(shard)
+        pending = deferred
+    return shards
+
+
+def plan_token_rounds(
+    plane: TokenPlane, budget: int, tag_words: int = 0
+) -> List[Sequence[int]]:
+    """Schedule ``plane`` into per-round shards of token *positions*.
+
+    Two-tier: a workload whose per-node sent/received totals all fit ``budget``
+    is one shard resolved by a single grouped reduction; congested workloads
+    run the vectorised greedy-FIFO.  The shard boundaries are identical to
+    :func:`_reference_shard_transfers` on the same token sequence (including
+    the forced-oversized branch), so round counts never depend on which
+    scheduler — or which array backend — executed the workload.
+    """
+    m = len(plane)
+    if m == 0:
+        return []
+    np = _accel.np
+    if np is not None and m >= _SMALL_WORKLOAD:
+        wt = plane.words + tag_words if tag_words else plane.words
+        return _plan_rounds_numpy(np, plane.senders, plane.receivers, wt, budget)
+    senders = plane.senders
+    receivers = plane.receivers
+    words = plane.words
+    if hasattr(senders, "tolist"):
+        senders = senders.tolist()
+        receivers = receivers.tolist()
+        words = words.tolist()
+    wt = [w + tag_words for w in words] if tag_words else words
+    return _plan_rounds_python(senders, receivers, wt, budget)
+
+
+# ----------------------------------------------------------------------
+# Exchange tags
+# ----------------------------------------------------------------------
+_EXCHANGE_SERIAL = itertools.count(1)
+
+
+class ExchangeTag(str):
+    """A collision-proof routing tag: user prefix plus a unique serial.
+
+    Every :func:`batched_global_exchange` stamps its records with one of
+    these, so two concurrent protocols that share both a receiver and a
+    documented ``tag`` remain distinguishable in the raw inboxes (the
+    historical foreign-traffic caveat).  The string value is
+    ``"<prefix>#<serial>"`` (``"#<serial>"`` for ``tag=None``); equality and
+    hashing are the full unique string.  The *charged* size is that of the
+    user-visible prefix alone — the serial is engine bookkeeping, not protocol
+    payload — via the ``payload_words_override`` hook in
+    :func:`repro.simulator.messages.payload_words`, which keeps every round
+    pin and word count identical to the reference engines.
+    """
+
+    prefix: Optional[str]
+    payload_words_override: int
+
+    def __new__(cls, prefix: Optional[str], serial: Optional[int] = None) -> "ExchangeTag":
+        if serial is None:
+            serial = next(_EXCHANGE_SERIAL)
+        text = f"{prefix}#{serial}" if prefix is not None else f"#{serial}"
+        tag = super().__new__(cls, text)
+        tag.prefix = prefix
+        tag.payload_words_override = payload_words(prefix) if prefix is not None else 0
+        return tag
+
+
+# ----------------------------------------------------------------------
+# Exchanges
+# ----------------------------------------------------------------------
 def batched_global_exchange(
     simulator: HybridSimulator,
-    triples: Iterable[GlobalTriple],
+    triples: Union[TokenPlane, Iterable[Tuple]],
+    *,
+    tag: Optional[str] = None,
+    max_rounds: Optional[int] = None,
+    collect: bool = True,
+) -> Dict[Node, List[Any]]:
+    """Deliver a workload over the global mode without exceeding capacity.
+
+    The plane counterpart of
+    :func:`~repro.core.transport.throttled_global_exchange`: the workload —
+    a :class:`TokenPlane`, or any iterable of ``(sender, receiver, payload[,
+    words])`` tuples, which is resolved into a plane once up front — is
+    scheduled by :func:`plan_token_rounds` and each shard is submitted with one
+    :meth:`~repro.simulator.network.HybridSimulator.global_send_plane` call and
+    one ``advance_round``.  Deliveries are harvested **directly from the shard
+    buckets** (receiver indices and payload positions the scheduler already
+    holds) — the per-round inbox dict is never rebuilt and never tag-filtered,
+    so unrelated traffic queued by the caller in the same rounds can never
+    leak into the result, whatever tag it carries.  Records are stamped with a
+    unique :class:`ExchangeTag` derived from ``tag``.  Returns ``receiver ->
+    [payloads in delivery order]`` — or ``{}`` without assembling anything
+    when ``collect=False`` (several broadcast algorithms track delivery state
+    themselves and ignore the result).  Raises ``RuntimeError`` if
+    ``max_rounds`` is given and the schedule would exceed it.
+    """
+    plane = (
+        triples
+        if isinstance(triples, TokenPlane)
+        else TokenPlane.from_triples(simulator, triples)
+    )
+    if not len(plane):
+        return {}
+    exchange_tag = ExchangeTag(tag)
+    budget = simulator.global_budget_words()
+    shards = plan_token_rounds(plane, budget, exchange_tag.payload_words_override)
+    if (
+        len(shards) == 1
+        and len(shards[0]) == len(plane)
+        and (max_rounds is None or max_rounds >= 1)
+    ):
+        # Uncongested fast path: the whole workload is one shard — hand the
+        # plane's own columns through (no position selection, no copies).
+        simulator.global_send_plane(plane, None, exchange_tag)
+        simulator.advance_round()
+        if not collect:
+            return {}
+        nodes = simulator.nodes
+        receivers = plane.receivers
+        delivered: Dict[Node, List[Any]] = defaultdict(list)
+        for position, payload in enumerate(plane.payloads):
+            delivered[nodes[receivers[position]]].append(payload)
+        return dict(delivered)
+    if max_rounds is not None and len(shards) > max_rounds:
+        # Mirror the reference behaviour: the allowed rounds run before the
+        # overflow is reported, so partial metrics match shard for shard.
+        for shard in shards[:max_rounds]:
+            simulator.global_send_plane(plane, shard, exchange_tag)
+            simulator.advance_round()
+        raise RuntimeError(
+            f"batched exchange exceeded the allowed {max_rounds} rounds"
+        )
+    if not collect:
+        for shard in shards:
+            simulator.global_send_plane(plane, shard, exchange_tag)
+            simulator.advance_round()
+        return {}
+    nodes = simulator.nodes
+    receivers = plane.receivers
+    payloads = plane.payloads
+    delivered: Dict[Node, List[Any]] = defaultdict(list)
+    for shard in shards:
+        simulator.global_send_plane(plane, shard, exchange_tag)
+        simulator.advance_round()
+        positions = shard.tolist() if hasattr(shard, "tolist") else shard
+        for position in positions:
+            delivered[nodes[receivers[position]]].append(payloads[position])
+    return dict(delivered)
+
+
+def _reference_batched_global_exchange(
+    simulator: HybridSimulator,
+    triples: Iterable[Tuple],
     *,
     tag: Optional[str] = None,
     max_rounds: Optional[int] = None,
 ) -> Dict[Node, List[Any]]:
-    """Deliver all ``triples`` over the global mode without exceeding capacity.
+    """The retained tuple-based exchange (the previous engine's hot path).
 
-    The batch counterpart of
-    :func:`~repro.core.transport.throttled_global_exchange`: the workload is
-    token-sharded once up front (payload sizes computed a single time each),
-    then each shard is submitted with one ``global_send_batch`` call and one
-    ``advance_round``.  ``triples`` may mix ``(sender, receiver, payload)``
-    with ``(sender, receiver, payload, words)`` entries whose payload size the
-    caller already knows.  Returns ``receiver -> [payloads in delivery
-    order]``.  Raises ``RuntimeError`` if ``max_rounds`` is given and the
-    schedule would exceed it.
+    Token-shards with :func:`_reference_shard_transfers`, submits each shard
+    with ``global_send_batch`` and harvests by rebuilding the round's inbox
+    dict and tag-filtering per receiver.  Kept as the baseline the speedup
+    benchmarks and equivalence tests compare the plane engine against; do not
+    use in new code.  (It inherits the historical caveat: foreign traffic that
+    shares both the tag and a receiver with a shard is indistinguishable.)
     """
+    from repro.simulator.messages import GLOBAL_MODE
+
     tokens: List[_Token] = [
         triple
         if len(triple) == 4
@@ -125,7 +656,7 @@ def batched_global_exchange(
     budget = simulator.global_budget_words()
     delivered: Dict[Node, List[Any]] = defaultdict(list)
     rounds_used = 0
-    for shard in shard_transfers(tokens, budget, tag_words):
+    for shard in _reference_shard_transfers(tokens, budget, tag_words):
         if max_rounds is not None and rounds_used >= max_rounds:
             raise RuntimeError(
                 f"batched exchange exceeded the allowed {max_rounds} rounds"
@@ -133,13 +664,6 @@ def batched_global_exchange(
         simulator.global_send_batch(shard, tag)
         simulator.advance_round()
         rounds_used += 1
-        # Harvest only this exchange's traffic — receivers scheduled in this
-        # shard, records carrying this exchange's tag.  A caller may have
-        # queued unrelated global messages before the exchange; those must
-        # not leak into its result (they stay readable via per_node_inbox /
-        # global_inbox for the round they were delivered in).  Foreign
-        # traffic that shares BOTH the tag and a receiver with the shard is
-        # indistinguishable — use a distinct tag per concurrent protocol.
         inbox = simulator.per_node_inbox(GLOBAL_MODE)
         for receiver in {token[1] for token in shard}:
             payloads = [record[1] for record in inbox.get(receiver, ()) if record[2] == tag]
@@ -171,16 +695,21 @@ class BatchAlgorithm:
     Parameters
     ----------
     simulator: the network.
-    engine: ``"batch"`` (default) routes exchanges through
-        :func:`batched_global_exchange`; ``"legacy"`` routes them through the
+    engine: ``"batch"`` (default) routes exchanges through the id-native
+        :func:`batched_global_exchange`; ``"batch-reference"`` routes them
+        through the retained tuple engine
+        (:func:`_reference_batched_global_exchange`, the previous hot path,
+        kept as the speedup baseline); ``"legacy"`` routes them through the
         per-message :func:`~repro.core.transport.throttled_global_exchange`.
-        Both produce identical inboxes, metrics and round counts — the legacy
-        path exists so equivalence tests and benchmarks can compare the two.
+        All three produce identical inboxes, metrics and round counts — the
+        slower paths exist so equivalence tests and benchmarks can compare.
     """
 
     def __init__(self, simulator: HybridSimulator, *, engine: str = "batch") -> None:
-        if engine not in ("batch", "legacy"):
-            raise ValueError(f"unknown engine {engine!r}; use 'batch' or 'legacy'")
+        if engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; use one of {', '.join(ENGINES)}"
+            )
         self.simulator = simulator
         self.engine = engine
         self.phase_log: List[PhaseRecord] = []
@@ -216,25 +745,54 @@ class BatchAlgorithm:
     # ------------------------------------------------------------------
     @property
     def use_batch(self) -> bool:
+        """Whether exchanges run on a batch path (plane or tuple reference)."""
+        return self.engine != "legacy"
+
+    @property
+    def use_plane(self) -> bool:
+        """Whether exchanges run on the id-native token-plane path."""
         return self.engine == "batch"
 
     def exchange(
         self,
-        triples: Sequence[GlobalTriple],
+        triples: Union[TokenPlane, Sequence[Tuple]],
         tag: Optional[str] = None,
         *,
         max_rounds: Optional[int] = None,
+        collect: bool = True,
     ) -> Dict[Node, List[Any]]:
-        """Move a workload of (sender, receiver, payload) triples globally.
+        """Move a workload of tokens (a plane, or triples) over the global mode.
 
         Token-shards the workload over as many rounds as the per-node budget
-        requires.  The triple order is the schedule order, so the two engines
-        produce identical shard boundaries and round counts.
+        requires.  The token order is the schedule order, so every engine
+        produces identical shard boundaries and round counts.  Algorithms that
+        already hold id arrays should pass a :class:`TokenPlane`; tuple
+        workloads are resolved into one internally on the plane engine (and
+        planes are lowered to tuples on the comparison engines).  Pass
+        ``collect=False`` when the caller tracks deliveries itself and would
+        discard the result dict — the *plane* engine then skips the harvest
+        entirely, while the comparison engines deliberately keep their
+        historical unconditional harvest so benchmarks measure the real
+        previous hot path.
         """
-        if not triples:
+        if isinstance(triples, TokenPlane):
+            if not len(triples):
+                return {}
+        elif not triples:
             return {}
-        if self.use_batch:
+        if self.use_plane:
             return batched_global_exchange(
+                self.simulator, triples, tag=tag, max_rounds=max_rounds,
+                collect=collect,
+            )
+        # The comparison engines reproduce their historical behaviour —
+        # harvesting unconditionally, exactly as they did before the round
+        # engine learnt to elide it — so speedup benchmarks measure the real
+        # previous hot path; ``collect`` is intentionally not forwarded.
+        if isinstance(triples, TokenPlane):
+            triples = list(triples.iter_triples(self.simulator))
+        if self.engine == "batch-reference":
+            return _reference_batched_global_exchange(
                 self.simulator, triples, tag=tag, max_rounds=max_rounds
             )
         from repro.core.transport import GlobalTransfer, throttled_global_exchange

@@ -11,15 +11,42 @@ The tracker is deliberately explicit: algorithms call
 node new identifiers (e.g. the broadcast of all identifiers used as a
 preprocessing step in Theorem 1's corollary).  Sending to an unknown identifier
 raises :class:`~repro.simulator.errors.UnknownIdentifierError`.
+
+Representation: each node's knowledge is a *personal* mutable set plus a list
+of **shared frozensets** appended by :meth:`KnowledgeTracker.learn_shared` —
+the broadcast idiom ("every cluster member learns all leader identifiers",
+"everyone knows everything" in the dense regime) stores one frozenset object
+referenced by every learner instead of copying it into n per-node sets, which
+keeps the bookkeeping O(n) instead of O(n * |ids|) in both time and memory.
+Membership checks probe the personal set first and then the (short) shared
+list; :meth:`known_ids` materialises the union on demand.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, Set
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Set
 
 from repro.simulator.errors import UnknownNodeError
 
 __all__ = ["KnowledgeTracker"]
+
+
+class _KnownView:
+    """Read-only membership view over a personal set plus shared frozensets."""
+
+    __slots__ = ("_personal", "_shared")
+
+    def __init__(self, personal, shared) -> None:
+        self._personal = personal
+        self._shared = shared
+
+    def __contains__(self, target: Hashable) -> bool:
+        if target in self._personal:
+            return True
+        for ids in self._shared:
+            if target in ids:
+                return True
+        return False
 
 
 class KnowledgeTracker:
@@ -28,6 +55,7 @@ class KnowledgeTracker:
     def __init__(self, all_ids: Iterable[Hashable]) -> None:
         self._all_ids: Set[Hashable] = set(all_ids)
         self._known: Dict[Hashable, Set[Hashable]] = {}
+        self._shared: Dict[Hashable, List[FrozenSet[Hashable]]] = {}
 
     def initialize_node(self, node_id: Hashable, neighbor_ids: Iterable[Hashable]) -> None:
         """A node starts knowing its own identifier and its neighbors' (Section 1.3)."""
@@ -37,26 +65,44 @@ class KnowledgeTracker:
         self._known[node_id] = known
 
     def initialize_all_known(self) -> None:
-        """HYBRID (dense regime): every node knows every identifier from the start."""
+        """HYBRID (dense regime): every node knows every identifier from the start.
+
+        One shared frozenset referenced by all nodes — O(n), not O(n^2).
+        """
+        universe = frozenset(self._all_ids)
         for node_id in self._all_ids:
-            self._known[node_id] = set(self._all_ids)
+            self._shared[node_id] = [universe]
 
     def knows(self, node_id: Hashable, target_id: Hashable) -> bool:
         self._validate(node_id)
-        return target_id in self._known.get(node_id, set())
+        if target_id in self._known.get(node_id, ()):
+            return True
+        for ids in self._shared.get(node_id, ()):
+            if target_id in ids:
+                return True
+        return False
 
     def known_ids(self, node_id: Hashable) -> Set[Hashable]:
         self._validate(node_id)
-        return set(self._known.get(node_id, set()))
+        result = set(self._known.get(node_id, ()))
+        for ids in self._shared.get(node_id, ()):
+            result |= ids
+        return result
 
-    def known_ids_view(self, node_id: Hashable) -> Set[Hashable]:
-        """The node's knowledge set *without* a defensive copy.
+    def known_ids_view(self, node_id: Hashable):
+        """The node's knowledge *without* a defensive copy.
 
-        Used by the batch send path, which probes membership once per queued
-        message; treat the returned set as read-only.
+        Used by the batch send paths, which probe membership once per queued
+        message (or unique pair); supports only the ``in`` operator and must
+        be treated as read-only.  Returns the personal set itself when the
+        node has no shared knowledge.
         """
         self._validate(node_id)
-        return self._known.get(node_id, set())
+        shared = self._shared.get(node_id)
+        personal = self._known.get(node_id, set())
+        if not shared:
+            return personal
+        return _KnownView(personal, shared)
 
     def learn(self, node_id: Hashable, new_ids: Iterable[Hashable]) -> None:
         """Record that ``node_id`` learned the identifiers in ``new_ids``.
@@ -71,9 +117,41 @@ class KnowledgeTracker:
             new_ids = set(new_ids)
         bucket |= new_ids & self._all_ids
 
+    def learn_known(self, node_id: Hashable, new_ids: Set[Hashable]) -> None:
+        """:meth:`learn` for identifier sets already known to be valid.
+
+        The bulk plane paths derive both arguments from the simulator's own
+        identifier table, so the existence validation and the bogus-id
+        intersection of :meth:`learn` would be pure overhead on the hot path.
+        """
+        self._known.setdefault(node_id, {node_id}).update(new_ids)
+
+    def learn_shared(
+        self, node_ids: Iterable[Hashable], ids: FrozenSet[Hashable]
+    ) -> None:
+        """Every node in ``node_ids`` learns the same (validated) frozenset.
+
+        Stored by reference — one append per learner, however large ``ids``
+        is.  The caller is responsible for filtering bogus identifiers (see
+        :meth:`valid_ids`) and for not mutating the set afterwards.
+        """
+        shared = self._shared
+        for node_id in node_ids:
+            shared.setdefault(node_id, []).append(ids)
+
+    def valid_ids(self, ids: Iterable[Hashable]) -> Set[Hashable]:
+        """The subset of ``ids`` that exist in the network.
+
+        Lets a bulk caller apply :meth:`learn`'s bogus-id filtering once per
+        shared identifier set instead of once per learning node (pair with
+        :meth:`learn_known` / :meth:`learn_shared`).
+        """
+        if not isinstance(ids, (set, frozenset)):
+            ids = set(ids)
+        return ids & self._all_ids
+
     def knowledge_count(self, node_id: Hashable) -> int:
-        self._validate(node_id)
-        return len(self._known.get(node_id, set()))
+        return len(self.known_ids(node_id))
 
     def _validate(self, node_id: Hashable) -> None:
         if node_id not in self._all_ids:

@@ -26,7 +26,17 @@ _CHARS_PER_WORD = 8
 
 
 def payload_words(payload: Any) -> int:
-    """Estimate the size of ``payload`` in O(log n)-bit words (at least 1)."""
+    """Estimate the size of ``payload`` in O(log n)-bit words (at least 1).
+
+    Objects may pin their charged size via a ``payload_words_override``
+    attribute (may be 0).  The only in-tree user is the round engine's
+    :class:`~repro.simulator.engine.ExchangeTag`, whose unique demux serial is
+    engine bookkeeping rather than protocol payload: the tag is charged as its
+    user-visible prefix so word accounting is identical across engines.
+    """
+    override = getattr(payload, "payload_words_override", None)
+    if override is not None:
+        return override
     return max(1, _payload_words(payload))
 
 

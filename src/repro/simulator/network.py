@@ -42,6 +42,29 @@ are otherwise recorded in
 accounting is therefore identical to charging each message individually — only
 the bookkeeping is O(#nodes) instead of O(#messages) per round.
 
+Id-native plane API
+-------------------
+
+The round engine (:mod:`repro.simulator.engine`) talks to the simulator in
+**token planes**: parallel arrays of integer node indices (positions in the
+deterministic :attr:`HybridSimulator.nodes` order, see :meth:`node_indexer`)
+plus a payload side list.  :meth:`global_send_plane` /
+:meth:`local_send_plane` (and the array-argument conveniences
+:meth:`global_send_batch_ids` / :meth:`local_send_batch_ids`) queue a whole
+shard at once: membership is a range check, HYBRID_0 knowledge and local
+adjacency are validated on the workload's *unique* (sender, receiver) pairs
+with set/array operations, the capacity counters are updated via grouped
+per-node reductions, and the delivery buckets are built in one sort/group pass
+— **lazily**: plane records are expanded into per-receiver
+``(sender, payload, tag, words)`` tuples only if somebody actually reads the
+round's inbox.  The plane paths validate a workload up front and queue nothing
+on error (the tuple paths abort mid-batch, keeping the already-queued prefix).
+
+Like the analytics index, the plane paths treat the graph as **frozen**: the
+node-index maps, identifier arrays and adjacency keys are cached on first use,
+and mutating the graph mid-simulation is not detected — call
+:meth:`HybridSimulator.invalidate_index` after a deliberate mutation.
+
 Legacy per-message API
 ----------------------
 
@@ -74,6 +97,7 @@ from typing import Any, Dict, Hashable, Iterable, List, Optional, Sequence, Set,
 
 import networkx as nx
 
+from repro.simulator import _accel
 from repro.simulator.config import IdentifierRegime, ModelConfig
 from repro.simulator.errors import (
     CapacityExceededError,
@@ -108,6 +132,102 @@ def node_sort_key(node: Node) -> Tuple[int, Any]:
     if isinstance(node, bool) or not isinstance(node, (int, float)):
         return (1, str(node))
     return (0, node)
+
+
+class _PairMemo:
+    """Monotone memo of flat ``a * n + b`` pair keys with a vectorised filter.
+
+    The plane paths only need per-(sender, receiver)-pair knowledge work the
+    *first* time a pair appears; rank-matched exchanges repeat the same pairs
+    every shard.  The memo keeps the authoritative Python set plus a sorted
+    array snapshot: a shard's keys are first filtered against the snapshot
+    with one ``searchsorted`` sweep, so warm shards cost a few C passes and
+    zero per-pair Python work.
+    """
+
+    __slots__ = ("known", "_sorted", "_stale")
+
+    def __init__(self) -> None:
+        self.known: Set[int] = set()
+        self._sorted = None
+        self._stale = 0
+
+    def unknown(self, np, keys):
+        """The subset of ``keys`` not in the last snapshot (may have dupes,
+        and may still contain keys added to ``known`` since the snapshot)."""
+        snapshot = self._sorted
+        if snapshot is None or not snapshot.size:
+            return keys
+        slot = np.searchsorted(snapshot, keys)
+        slot[slot == snapshot.size] = 0
+        return keys[snapshot[slot] != keys]
+
+    def bump(self, count: int) -> None:
+        """Record that ``count`` keys were added to :attr:`known` directly."""
+        self._stale += count
+
+    def refresh(self, np) -> None:
+        """Re-snapshot when enough new keys accumulated to pay for the sort.
+
+        Geometric policy (stale >= 1/4 of the set) keeps total re-sorting
+        linearithmic in the final set size however the keys trickle in.
+        """
+        if self._stale and (
+            self._sorted is None or 4 * self._stale >= len(self.known)
+        ):
+            snapshot = np.fromiter(self.known, dtype=np.int64, count=len(self.known))
+            snapshot.sort()
+            self._sorted = snapshot
+            self._stale = 0
+
+
+class _PlaneBatch:
+    """One queued shard of id-native traffic (see the module docstring).
+
+    ``senders`` / ``receivers`` / ``words`` are the *selected* columns of the
+    submitted plane (tag words already folded into ``words``), ``payloads``
+    the plane's full side list and ``positions`` the selected indices into it
+    (``None`` when the whole plane was sent).  Per-receiver record tuples are
+    only built if the round's inbox is actually read.
+    """
+
+    __slots__ = ("senders", "receivers", "words", "payloads", "positions", "tag")
+
+    def __init__(self, senders, receivers, words, payloads, positions, tag) -> None:
+        self.senders = senders
+        self.receivers = receivers
+        self.words = words
+        self.payloads = payloads
+        self.positions = positions
+        self.tag = tag
+
+    def __len__(self) -> int:
+        return len(self.senders)
+
+    def records(self, nodes: List[Node]):
+        """Yield ``(receiver, record)`` pairs in submission order."""
+        tag = self.tag
+        payloads = self.payloads
+        positions = self.positions
+        senders = self.senders
+        receivers = self.receivers
+        words = self.words
+        if hasattr(senders, "tolist"):
+            senders = senders.tolist()
+            receivers = receivers.tolist()
+            words = words.tolist()
+        if positions is None:
+            for k, sender_index in enumerate(senders):
+                yield nodes[receivers[k]], (
+                    nodes[sender_index], payloads[k], tag, words[k]
+                )
+        else:
+            if hasattr(positions, "tolist"):
+                positions = positions.tolist()
+            for k, sender_index in enumerate(senders):
+                yield nodes[receivers[k]], (
+                    nodes[sender_index], payloads[positions[k]], tag, words[k]
+                )
 
 
 class HybridSimulator:
@@ -162,6 +282,21 @@ class HybridSimulator:
 
         self._nodes: List[Node] = sorted(graph.nodes, key=node_sort_key)
         self._node_set: Set[Node] = set(self._nodes)
+        self._index_of: Dict[Node, int] = {
+            node: index for index, node in enumerate(self._nodes)
+        }
+        # Lazy id-native caches (frozen-graph caveat; see invalidate_index):
+        # identifiers aligned with the node order, and the directed adjacency
+        # as flat s * n + r keys for O(1)/vectorised edge validation.
+        self._ids_by_index: Optional[List[int]] = None
+        self._edge_keys: Optional[Any] = None
+        # Monotone plane-path memos: knowledge only ever grows, so an (s, r)
+        # pair that validated once stays valid, and an (r, s) pair whose
+        # sender identifier was taught once stays taught.  Rank-matched
+        # workloads repeat the same pairs every round; these memos cut the
+        # per-round knowledge work to the first occurrence of each pair.
+        self._validated_global_pairs = _PairMemo()
+        self._taught_pairs = _PairMemo()
         self._assign_identifiers()
         self._init_knowledge()
 
@@ -170,14 +305,27 @@ class HybridSimulator:
         # delivered by the most recent ``advance_round``.
         self._pending_local: Dict[Node, List[BatchRecord]] = {}
         self._pending_global: Dict[Node, List[BatchRecord]] = {}
+        self._pending_local_planes: List[_PlaneBatch] = []
+        self._pending_global_planes: List[_PlaneBatch] = []
         self._global_sent_words: Dict[Node, int] = defaultdict(int)
         self._global_recv_words: Dict[Node, int] = defaultdict(int)
+        # Plane-path counters for the round being composed: dense per-index
+        # word arrays fed by grouped reductions (NumPy only; the fallback
+        # folds into the dicts above at queue time).  ``advance_round``
+        # sweeps them with whole-array comparisons.
+        self._plane_sent_arr: Optional[Any] = None
+        self._plane_recv_arr: Optional[Any] = None
         self._pending_local_msgs = 0
         self._pending_local_words = 0
         self._pending_global_msgs = 0
         self._pending_global_words = 0
         self._delivered_local: Dict[Node, List[BatchRecord]] = {}
         self._delivered_global: Dict[Node, List[BatchRecord]] = {}
+        self._delivered_local_planes: List[_PlaneBatch] = []
+        self._delivered_global_planes: List[_PlaneBatch] = []
+        # Lazily merged eager + plane buckets of the delivered round.
+        self._merged_local: Optional[Dict[Node, List[BatchRecord]]] = None
+        self._merged_global: Optional[Dict[Node, List[BatchRecord]]] = None
         # Lazily materialised Message lists for the legacy inbox API.
         self._materialized_local: Dict[Node, List[Message]] = {}
         self._materialized_global: Dict[Node, List[Message]] = {}
@@ -227,9 +375,77 @@ class HybridSimulator:
         self._require_node(node)
         return sorted(self.graph.neighbors(node), key=node_sort_key)
 
+    def node_indexer(self) -> Dict[Node, int]:
+        """``node -> index`` into the deterministic :attr:`nodes` order.
+
+        The returned dict is the simulator's own map — treat it as read-only.
+        Token planes address nodes by these indices.
+        """
+        return self._index_of
+
+    def node_index(self, node: Node) -> int:
+        """Index of ``node`` in the deterministic :attr:`nodes` order."""
+        index = self._index_of.get(node)
+        if index is None:
+            raise UnknownNodeError(node)
+        return index
+
+    def invalidate_index(self) -> None:
+        """Drop the cached id-native arrays (identifier and adjacency keys).
+
+        The plane paths treat the graph as frozen; a deliberate mid-simulation
+        mutation of the graph must be followed by this call (mirroring
+        :func:`repro.graphs.index.invalidate_index` for the analytics layer).
+        Node additions/removals are not supported — the node order, identifier
+        assignment and knowledge state are fixed at construction.
+        """
+        self._ids_by_index = None
+        self._edge_keys = None
+
+    def _identifier_array(self) -> List[int]:
+        """Identifier of every node, aligned with the node order (cached)."""
+        ids = self._ids_by_index
+        if ids is None:
+            node_to_id = self._node_to_id
+            ids = self._ids_by_index = [node_to_id[node] for node in self._nodes]
+        return ids
+
+    def _edge_key_index(self):
+        """The directed adjacency as flat ``s * n + r`` keys (cached).
+
+        A sorted NumPy array when the accelerator is active (validated with
+        one ``searchsorted`` per shard), otherwise a plain set.
+        """
+        keys = self._edge_keys
+        if keys is None:
+            n = self.n
+            index_of = self._index_of
+            pairs = set()
+            for u, v in self.graph.edges():
+                ui = index_of[u]
+                vi = index_of[v]
+                pairs.add(ui * n + vi)
+                pairs.add(vi * n + ui)
+            np = _accel.np
+            if np is not None:
+                keys = np.fromiter(pairs, dtype=np.int64, count=len(pairs))
+                keys.sort()
+            else:
+                keys = pairs
+            self._edge_keys = keys
+        return keys
+
     def id_of(self, node: Node) -> int:
         self._require_node(node)
         return self._node_to_id[node]
+
+    def node_identifiers(self) -> Dict[Node, int]:
+        """``node -> identifier`` for every node (the simulator's own map).
+
+        Treat as read-only; bulk callers use it to avoid one :meth:`id_of`
+        validation per lookup.
+        """
+        return self._node_to_id
 
     def node_of_id(self, identifier: int) -> Node:
         if identifier not in self._id_to_node:
@@ -248,6 +464,28 @@ class HybridSimulator:
     def declare_learned_ids(self, node: Node, identifiers: Iterable[int]) -> None:
         """Record that ``node`` learned identifiers from received payloads."""
         self.knowledge.learn(self.id_of(node), identifiers)
+
+    def declare_learned_ids_bulk(
+        self, nodes: Iterable[Node], identifiers: Iterable[int]
+    ) -> None:
+        """Record that every node in ``nodes`` learned the same identifiers.
+
+        Equivalent to calling :meth:`declare_learned_ids` per node, but the
+        bogus-id filtering happens once for the shared set — the broadcast
+        idiom ("every cluster member learns all leader identifiers") is a
+        single pass over the learners.
+        """
+        valid = frozenset(self.knowledge.valid_ids(identifiers))
+        node_to_id = self._node_to_id
+
+        def identifiers_of():
+            for node in nodes:
+                identifier = node_to_id.get(node)
+                if identifier is None:
+                    raise UnknownNodeError(node)
+                yield identifier
+
+        self.knowledge.learn_shared(identifiers_of(), valid)
 
     def global_budget_words(self) -> int:
         """Per-node, per-round global budget in words."""
@@ -277,8 +515,7 @@ class HybridSimulator:
                 f"local mode disabled in model {self.config.name!r}"
             )
         tag_words = payload_words(tag) if tag is not None else 0
-        limit = self.config.local_bits_per_edge
-        max_words = max(1, limit // 64) if limit is not None and limit > 0 else None
+        max_words = self.config.resolve_local_word_limit()
         node_set = self._node_set
         has_edge = self.graph.has_edge
         buckets = self._pending_local
@@ -397,6 +634,298 @@ class HybridSimulator:
         return count
 
     # ------------------------------------------------------------------
+    # Sending — id-native plane API (the round engine's hot path)
+    # ------------------------------------------------------------------
+    #: Shards below this size take the scalar (dict-counter) queueing paths —
+    #: the grouped NumPy reductions only pay off on bulk traffic.
+    _SMALL_SHARD = 32
+
+    def _select_plane_columns(self, plane, positions):
+        """The (senders, receivers, words, positions) columns of a shard.
+
+        Small shards come back as plain lists whatever the plane's backing
+        arrays, so the callers' scalar paths run without per-element NumPy
+        boxing.
+        """
+        senders = plane.senders
+        receivers = plane.receivers
+        words = plane.words
+        np = _accel.np
+        if positions is None:
+            if (
+                np is not None
+                and isinstance(senders, np.ndarray)
+                and senders.size < self._SMALL_SHARD
+            ):
+                return senders.tolist(), receivers.tolist(), words.tolist(), None
+            return senders, receivers, words, None
+        if np is not None and isinstance(senders, np.ndarray):
+            if len(positions) >= self._SMALL_SHARD:
+                positions = np.asarray(positions, dtype=np.int64)
+                return (
+                    senders.take(positions),
+                    receivers.take(positions),
+                    words.take(positions),
+                    positions,
+                )
+            positions = (
+                positions.tolist() if hasattr(positions, "tolist") else list(positions)
+            )
+            senders = senders.tolist()
+            receivers = receivers.tolist()
+            words = words.tolist()
+        else:
+            positions = list(positions)
+        return (
+            [senders[p] for p in positions],
+            [receivers[p] for p in positions],
+            [words[p] for p in positions],
+            positions,
+        )
+
+    def _validate_index_range(self, values) -> None:
+        """Membership check for a node-index column: one range comparison."""
+        n = self.n
+        np = _accel.np
+        if np is not None and isinstance(values, np.ndarray):
+            if values.size and (int(values.min()) < 0 or int(values.max()) >= n):
+                bad = values[(values < 0) | (values >= n)]
+                raise UnknownNodeError(int(bad[0]))
+            return
+        for value in values:
+            if not 0 <= value < n:
+                raise UnknownNodeError(value)
+
+    def _validate_plane_knowledge(self, s_sel, r_sel) -> None:
+        """HYBRID_0 knowledge check over the shard's *unique* (s, r) pairs.
+
+        Repeated pairs (the common case in rank-matched workloads) cost one
+        set probe, not one per token; the error reported is the earliest
+        offending token in submission order, like the tuple path.
+        """
+        ids = self._identifier_array()
+        known_view = self.knowledge.known_ids_view
+        memo = self._validated_global_pairs
+        validated = memo.known
+        n = self.n
+        np = _accel.np
+        if np is not None and isinstance(s_sel, np.ndarray):
+            key_column = s_sel * n + r_sel
+            candidates = memo.unknown(np, key_column)
+            if not candidates.size:
+                return
+            offending: Set[int] = set()
+            current = -1
+            known: Set[int] = set()
+            before = len(validated)
+            for key in np.unique(candidates).tolist():
+                if key in validated:
+                    continue
+                sender_index, target_index = divmod(key, n)
+                if sender_index != current:
+                    current = sender_index
+                    known = known_view(ids[sender_index])
+                if ids[target_index] in known:
+                    validated.add(key)
+                else:
+                    offending.add(key)
+            if offending:
+                # Report the earliest offending token in submission order,
+                # matching the tuple path and the pure-Python fallback.
+                position = int(
+                    np.argmax(np.isin(key_column, np.fromiter(offending, np.int64)))
+                )
+                sender_index = int(s_sel[position])
+                raise UnknownIdentifierError(
+                    f"node {self._nodes[sender_index]!r} does not know "
+                    f"identifier {ids[int(r_sel[position])]!r}"
+                )
+            memo.bump(len(validated) - before)
+            memo.refresh(np)
+            return
+        known_cache: Dict[int, Set[int]] = {}
+        for k in range(len(s_sel)):
+            sender_index = s_sel[k]
+            key = sender_index * n + r_sel[k]
+            if key in validated:
+                continue
+            known = known_cache.get(sender_index)
+            if known is None:
+                known = known_cache[sender_index] = known_view(ids[sender_index])
+            target = ids[r_sel[k]]
+            if target not in known:
+                raise UnknownIdentifierError(
+                    f"node {self._nodes[sender_index]!r} does not know "
+                    f"identifier {target!r}"
+                )
+            validated.add(key)
+
+    def global_send_plane(self, plane, positions=None, tag: Optional[str] = None) -> int:
+        """Queue a shard of an id-native token plane over the global mode.
+
+        ``plane`` carries parallel node-index arrays plus a payload side list
+        (see :class:`~repro.simulator.engine.TokenPlane`); ``positions``
+        selects the shard (``None`` sends the whole plane).  Membership is a
+        range check, HYBRID_0 knowledge is validated per unique (sender,
+        receiver) pair, the capacity counters are updated via grouped
+        reductions, and no per-token record objects are built unless the
+        round's inbox is read.  The workload is validated up front; on error
+        nothing is queued.  Returns the number of messages queued.
+        """
+        if not self.config.global_mode_enabled():
+            raise CapacityExceededError(
+                f"global mode disabled in model {self.config.name!r}"
+            )
+        s_sel, r_sel, w_sel, positions = self._select_plane_columns(plane, positions)
+        count = len(s_sel)
+        if count == 0:
+            return 0
+        tag_words = payload_words(tag) if tag is not None else 0
+        self._validate_index_range(s_sel)
+        self._validate_index_range(r_sel)
+        if self.config.is_hybrid0():
+            self._validate_plane_knowledge(s_sel, r_sel)
+        nodes = self._nodes
+        sent_words = self._global_sent_words
+        recv_words = self._global_recv_words
+        np = _accel.np
+        if np is not None and isinstance(s_sel, np.ndarray):
+            wt = w_sel + tag_words if tag_words else w_sel
+            total = int(wt.sum())
+            sent_arr = self._plane_sent_arr
+            if sent_arr is None:
+                sent_arr = self._plane_sent_arr = np.zeros(self.n)
+                self._plane_recv_arr = np.zeros(self.n)
+            sent_arr += np.bincount(s_sel, weights=wt, minlength=self.n)
+            self._plane_recv_arr += np.bincount(r_sel, weights=wt, minlength=self.n)
+        else:
+            wt = [w + tag_words for w in w_sel] if tag_words else list(w_sel)
+            total = sum(wt)
+            for counters, column in ((sent_words, s_sel), (recv_words, r_sel)):
+                grouped: Dict[int, int] = {}
+                for k, index in enumerate(column):
+                    grouped[index] = grouped.get(index, 0) + wt[k]
+                for index, words in grouped.items():
+                    counters[nodes[index]] += words
+        self._pending_global_planes.append(
+            _PlaneBatch(s_sel, r_sel, wt, plane.payloads, positions, tag)
+        )
+        self._pending_global_msgs += count
+        self._pending_global_words += total
+        return count
+
+    def local_send_plane(self, plane, positions=None, tag: Optional[str] = None) -> int:
+        """Queue a shard of an id-native token plane over the local mode.
+
+        The local counterpart of :meth:`global_send_plane`: adjacency is
+        validated per unique (sender, receiver) pair against the cached
+        directed edge keys (one ``searchsorted`` sweep when NumPy is active),
+        and the CONGEST-style per-edge limit, when configured, is checked with
+        one vectorised comparison.  Returns the number of messages queued.
+        """
+        if not self.config.local_mode_enabled():
+            raise LocalBandwidthExceededError(
+                f"local mode disabled in model {self.config.name!r}"
+            )
+        s_sel, r_sel, w_sel, positions = self._select_plane_columns(plane, positions)
+        count = len(s_sel)
+        if count == 0:
+            return 0
+        tag_words = payload_words(tag) if tag is not None else 0
+        self._validate_index_range(s_sel)
+        self._validate_index_range(r_sel)
+        n = self.n
+        nodes = self._nodes
+        edge_keys = self._edge_key_index()
+        np = _accel.np
+        vectorised = np is not None and isinstance(s_sel, np.ndarray)
+        if vectorised:
+            uniq, first = np.unique(s_sel * n + r_sel, return_index=True)
+            slot = np.searchsorted(edge_keys, uniq)
+            in_bounds = slot < edge_keys.size
+            match = np.zeros(uniq.size, dtype=bool)
+            match[in_bounds] = edge_keys[slot[in_bounds]] == uniq[in_bounds]
+            if not match.all():
+                bad = int(first[~match].min())
+                raise NotANeighborError(
+                    f"{nodes[int(s_sel[bad])]!r} and {nodes[int(r_sel[bad])]!r} "
+                    f"are not adjacent"
+                )
+            wt = w_sel + tag_words if tag_words else w_sel
+            total = int(wt.sum())
+        else:
+            checked: Set[int] = set()
+            for k in range(count):
+                key = s_sel[k] * n + r_sel[k]
+                if key not in checked:
+                    if key not in edge_keys:
+                        raise NotANeighborError(
+                            f"{nodes[s_sel[k]]!r} and {nodes[r_sel[k]]!r} "
+                            f"are not adjacent"
+                        )
+                    checked.add(key)
+            wt = [w + tag_words for w in w_sel] if tag_words else list(w_sel)
+            total = sum(wt)
+        max_words = self.config.resolve_local_word_limit()
+        if max_words is not None:
+            if vectorised:
+                oversized = int((wt > max_words).sum())
+            else:
+                oversized = sum(1 for w in wt if w > max_words)
+            if oversized:
+                if self.config.strict:
+                    raise LocalBandwidthExceededError(
+                        f"local message exceeds per-edge budget of "
+                        f"{max_words} words"
+                    )
+                for _ in range(oversized):
+                    self.metrics.record_violation()
+        self._pending_local_planes.append(
+            _PlaneBatch(s_sel, r_sel, wt, plane.payloads, positions, tag)
+        )
+        self._pending_local_msgs += count
+        self._pending_local_words += total
+        return count
+
+    def global_send_batch_ids(
+        self,
+        senders: Sequence[int],
+        receivers: Sequence[int],
+        payloads: Sequence[Any],
+        words: Optional[Sequence[int]] = None,
+        tag: Optional[str] = None,
+    ) -> int:
+        """Bulk global send addressed by node index (parallel arrays).
+
+        Convenience wrapper that wraps the arrays in a
+        :class:`~repro.simulator.engine.TokenPlane` and queues it whole via
+        :meth:`global_send_plane`.  ``words[i]`` is the precomputed payload
+        size; omit it to have sizes estimated here (once per token).
+        """
+        from repro.simulator.engine import TokenPlane
+
+        if words is None:
+            words = [payload_words(payload) for payload in payloads]
+        plane = TokenPlane(senders, receivers, words, list(payloads))
+        return self.global_send_plane(plane, None, tag)
+
+    def local_send_batch_ids(
+        self,
+        senders: Sequence[int],
+        receivers: Sequence[int],
+        payloads: Sequence[Any],
+        words: Optional[Sequence[int]] = None,
+        tag: Optional[str] = None,
+    ) -> int:
+        """Bulk local send addressed by node index (parallel arrays)."""
+        from repro.simulator.engine import TokenPlane
+
+        if words is None:
+            words = [payload_words(payload) for payload in payloads]
+        plane = TokenPlane(senders, receivers, words, list(payloads))
+        return self.local_send_plane(plane, None, tag)
+
+    # ------------------------------------------------------------------
     # Sending — legacy per-message wrappers
     # ------------------------------------------------------------------
     def local_send(self, sender: Node, receiver: Node, payload: Any, tag: Optional[str] = None) -> None:
@@ -451,24 +980,75 @@ class HybridSimulator:
             budget = self.global_budget_words()
             strict = self.config.strict
             metrics = self.metrics
-            for node, words in self._global_sent_words.items():
-                metrics.record_node_round_load(words)
-                if words > budget:
-                    metrics.record_violation()
+            sent_arr = self._plane_sent_arr
+            if sent_arr is not None and (self._global_sent_words or self._global_recv_words):
+                # Mixed round (plane and tuple sends): fold the arrays into
+                # the dicts and run the per-node sweep below on the union.
+                np = _accel.np
+                nodes = self._nodes
+                for counters, arr in (
+                    (self._global_sent_words, sent_arr),
+                    (self._global_recv_words, self._plane_recv_arr),
+                ):
+                    for index in np.flatnonzero(arr).tolist():
+                        counters[nodes[index]] += int(arr[index])
+                sent_arr = None
+                self._plane_sent_arr = self._plane_recv_arr = None
+            if sent_arr is not None:
+                # Plane-only round: the capacity sweep is two whole-array
+                # comparisons over the grouped counters — identical accounting
+                # to the per-node loop (the metrics only keep the max load and
+                # the violation count).
+                recv_arr = self._plane_recv_arr
+                sent_max = int(sent_arr.max())
+                if sent_max:
+                    metrics.record_node_round_load(sent_max)
+                if sent_max > budget:
+                    np = _accel.np
+                    over = np.flatnonzero(sent_arr > budget)
                     if strict:
+                        metrics.record_violation()
+                        node = self._nodes[int(over[0])]
                         raise CapacityExceededError(
-                            f"node {node!r} sent {words} global words in round "
-                            f"{self.round}, budget is {budget}"
+                            f"node {node!r} sent {int(sent_arr[over[0]])} global "
+                            f"words in round {self.round}, budget is {budget}"
                         )
-            for node, words in self._global_recv_words.items():
-                metrics.record_node_round_load(words)
-                if words > budget:
-                    metrics.record_violation()
+                    for _ in range(over.size):
+                        metrics.record_violation()
+                recv_max = int(recv_arr.max())
+                if recv_max:
+                    metrics.record_node_round_load(recv_max)
+                if recv_max > budget:
+                    np = _accel.np
+                    over = np.flatnonzero(recv_arr > budget)
                     if strict and self.enforce_receive_capacity:
+                        metrics.record_violation()
+                        node = self._nodes[int(over[0])]
                         raise CapacityExceededError(
-                            f"node {node!r} received {words} global words in round "
-                            f"{self.round}, budget is {budget}"
+                            f"node {node!r} received {int(recv_arr[over[0]])} global "
+                            f"words in round {self.round}, budget is {budget}"
                         )
+                    for _ in range(over.size):
+                        metrics.record_violation()
+            else:
+                for node, words in self._global_sent_words.items():
+                    metrics.record_node_round_load(words)
+                    if words > budget:
+                        metrics.record_violation()
+                        if strict:
+                            raise CapacityExceededError(
+                                f"node {node!r} sent {words} global words in round "
+                                f"{self.round}, budget is {budget}"
+                            )
+                for node, words in self._global_recv_words.items():
+                    metrics.record_node_round_load(words)
+                    if words > budget:
+                        metrics.record_violation()
+                        if strict and self.enforce_receive_capacity:
+                            raise CapacityExceededError(
+                                f"node {node!r} received {words} global words in round "
+                                f"{self.round}, budget is {budget}"
+                            )
 
         self.metrics.record_local_bulk(self._pending_local_msgs, self._pending_local_words)
         self.metrics.record_global_bulk(self._pending_global_msgs, self._pending_global_words)
@@ -477,28 +1057,81 @@ class HybridSimulator:
         # identifier (the sender attaches it implicitly).  In the dense regime
         # everyone already knows every identifier, so the bookkeeping is
         # skipped.
-        if self._pending_global and self.config.identifier_regime is IdentifierRegime.SPARSE:
-            node_to_id = self._node_to_id
-            learn = self.knowledge.learn
-            for receiver, records in self._pending_global.items():
-                learn(node_to_id[receiver], {node_to_id[record[0]] for record in records})
+        if self.config.identifier_regime is IdentifierRegime.SPARSE:
+            if self._pending_global:
+                node_to_id = self._node_to_id
+                learn = self.knowledge.learn
+                for receiver, records in self._pending_global.items():
+                    learn(node_to_id[receiver], {node_to_id[record[0]] for record in records})
+            if self._pending_global_planes:
+                self._learn_from_planes(self._pending_global_planes)
 
         # Deliver: the pending buckets become the inboxes of this round.
         self._delivered_local = self._pending_local
         self._delivered_global = self._pending_global
+        self._delivered_local_planes = self._pending_local_planes
+        self._delivered_global_planes = self._pending_global_planes
         self._pending_local = {}
         self._pending_global = {}
+        self._pending_local_planes = []
+        self._pending_global_planes = []
         self._global_sent_words = defaultdict(int)
         self._global_recv_words = defaultdict(int)
+        self._plane_sent_arr = None
+        self._plane_recv_arr = None
         self._pending_local_msgs = 0
         self._pending_local_words = 0
         self._pending_global_msgs = 0
         self._pending_global_words = 0
+        self._merged_local = None
+        self._merged_global = None
         self._materialized_local = {}
         self._materialized_global = {}
         self._delivered_round = self.round
         self.round += 1
         self.metrics.record_round()
+
+    def _learn_from_planes(self, planes: List["_PlaneBatch"]) -> None:
+        """Sparse-regime sender-identifier learning, per unique (r, s) pair.
+
+        Equivalent to the per-record set comprehension of the tuple path —
+        each receiver learns the identifier set of its senders this round —
+        but grouped: duplicated pairs (rank-matched workloads) cost one set
+        insertion instead of one per token.
+        """
+        ids = self._identifier_array()
+        learn_known = self.knowledge.learn_known
+        memo = self._taught_pairs
+        taught = memo.known
+        n = self.n
+        np = _accel.np
+        sender_ids_of: Dict[int, Set[int]] = {}
+        before = len(taught)
+        for batch in planes:
+            s_sel = batch.senders
+            r_sel = batch.receivers
+            if np is not None and isinstance(s_sel, np.ndarray):
+                candidates = memo.unknown(np, r_sel * n + s_sel)
+                if not candidates.size:
+                    continue
+                for key in np.unique(candidates).tolist():
+                    if key in taught:
+                        continue
+                    taught.add(key)
+                    receiver_index, sender_index = divmod(key, n)
+                    sender_ids_of.setdefault(receiver_index, set()).add(ids[sender_index])
+            else:
+                for k in range(len(s_sel)):
+                    key = r_sel[k] * n + s_sel[k]
+                    if key in taught:
+                        continue
+                    taught.add(key)
+                    sender_ids_of.setdefault(r_sel[k], set()).add(ids[s_sel[k]])
+        if np is not None:
+            memo.bump(len(taught) - before)
+            memo.refresh(np)
+        for receiver_index, id_set in sender_ids_of.items():
+            learn_known(ids[receiver_index], id_set)
 
     def advance_rounds(self, count: int) -> None:
         """Advance ``count`` (possibly silent) rounds."""
@@ -517,17 +1150,60 @@ class HybridSimulator:
     def per_node_inbox(self, mode: str = GLOBAL_MODE) -> Dict[Node, List[BatchRecord]]:
         """The pre-bucketed deliveries of the last round for ``mode``.
 
-        Returns the internal mapping ``receiver -> [(sender, payload, tag,
-        words), ...]`` — nodes that received nothing are absent, so read with
+        Returns the mapping ``receiver -> [(sender, payload, tag, words), ...]``
+        — nodes that received nothing are absent, so read with
         ``inbox.get(node, ())``.  The dict and its lists are the simulator's
-        own buckets; treat them as read-only.
+        own buckets; treat them as read-only.  Plane deliveries are expanded
+        into record tuples here, on first read of the round (the round engine
+        harvests directly from its shards and never triggers this).
         """
         self._require_delivered()
         if mode == GLOBAL_MODE:
-            return self._delivered_global
+            return self._global_buckets()
         if mode == LOCAL_MODE:
-            return self._delivered_local
+            return self._local_buckets()
         raise ValueError(f"unknown mode {mode!r}")
+
+    def _global_buckets(self) -> Dict[Node, List[BatchRecord]]:
+        if not self._delivered_global_planes:
+            return self._delivered_global
+        merged = self._merged_global
+        if merged is None:
+            merged = self._merged_global = self._merge_buckets(
+                self._delivered_global, self._delivered_global_planes
+            )
+        return merged
+
+    def _local_buckets(self) -> Dict[Node, List[BatchRecord]]:
+        if not self._delivered_local_planes:
+            return self._delivered_local
+        merged = self._merged_local
+        if merged is None:
+            merged = self._merged_local = self._merge_buckets(
+                self._delivered_local, self._delivered_local_planes
+            )
+        return merged
+
+    def _merge_buckets(
+        self,
+        eager: Dict[Node, List[BatchRecord]],
+        planes: List["_PlaneBatch"],
+    ) -> Dict[Node, List[BatchRecord]]:
+        """Materialise plane records into (a copy of) the eager buckets.
+
+        Within one receiver, eager records come first, then plane records in
+        submission order — matching the queueing order of callers that mix the
+        two APIs in one round only when the eager sends happened first.
+        """
+        merged = {receiver: list(records) for receiver, records in eager.items()}
+        nodes = self._nodes
+        for batch in planes:
+            for receiver, record in batch.records(nodes):
+                bucket = merged.get(receiver)
+                if bucket is None:
+                    bucket = merged[receiver] = []
+                bucket.append(record)
+        return merged
 
     def local_inbox(self, node: Node) -> List[Message]:
         """Messages delivered to ``node`` over the local mode in the last round."""
@@ -535,7 +1211,7 @@ class HybridSimulator:
         self._require_node(node)
         cached = self._materialized_local.get(node)
         if cached is None:
-            cached = self._materialize(node, self._delivered_local, LOCAL_MODE)
+            cached = self._materialize(node, self._local_buckets(), LOCAL_MODE)
             self._materialized_local[node] = cached
         return list(cached)
 
@@ -545,7 +1221,7 @@ class HybridSimulator:
         self._require_node(node)
         cached = self._materialized_global.get(node)
         if cached is None:
-            cached = self._materialize(node, self._delivered_global, GLOBAL_MODE)
+            cached = self._materialize(node, self._global_buckets(), GLOBAL_MODE)
             self._materialized_global[node] = cached
         return list(cached)
 
