@@ -1,0 +1,59 @@
+"""Machine-readable benchmark artifacts.
+
+The ASCII tables in ``benchmarks/results/`` are for humans; tracking the
+performance trajectory across commits needs stable JSON.
+:func:`write_bench_artifact` serialises a benchmark's raw result rows — plus
+the parameters and environment needed to interpret them — as
+``BENCH_<name>.json`` under ``$BENCH_ARTIFACTS_DIR`` (default:
+``benchmarks/results/``).  The PR smoke workflow uploads these files as build
+artifacts, one trajectory point per commit.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import platform
+import sys
+from typing import Any, Dict, Optional, Sequence
+
+_DEFAULT_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def _environment() -> Dict[str, Any]:
+    try:
+        import numpy
+
+        numpy_version: Optional[str] = numpy.__version__
+    except Exception:
+        numpy_version = None
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "numpy": numpy_version,
+        "platform": sys.platform,
+        "commit": os.environ.get("GITHUB_SHA"),
+    }
+
+
+def write_bench_artifact(
+    name: str, rows: Sequence[Dict[str, Any]], **context: Any
+) -> pathlib.Path:
+    """Write ``BENCH_<name>.json`` and return its path.
+
+    ``rows`` are the benchmark's raw result rows (JSON-serialisable dicts);
+    ``context`` carries the benchmark parameters worth keeping next to the
+    numbers (instance sizes, repeat counts, required speedup floors, ...).
+    """
+    directory = pathlib.Path(os.environ.get("BENCH_ARTIFACTS_DIR") or _DEFAULT_DIR)
+    directory.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "benchmark": name,
+        "context": dict(context),
+        "environment": _environment(),
+        "rows": [dict(row) for row in rows],
+    }
+    path = directory / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

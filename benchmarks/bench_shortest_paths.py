@@ -17,7 +17,9 @@ simulated communication, not ``n^2`` Python dict churn.  Estimates are
 spot-checked against the exact path-graph distances afterwards.
 
 Run directly (``python benchmarks/bench_shortest_paths.py``) or through pytest
-(``pytest benchmarks/bench_shortest_paths.py``).
+(``pytest benchmarks/bench_shortest_paths.py``).  Each run also writes a
+machine-readable ``BENCH_shortest_paths.json`` trajectory artifact next to
+the ASCII tables (see ``_artifacts.py``).
 """
 
 from __future__ import annotations
@@ -27,6 +29,7 @@ import random
 import time
 from typing import Any, Dict
 
+from _artifacts import write_bench_artifact
 from repro.core.clustering import nq_clustering
 from repro.core.neighborhood_quality import neighborhood_quality
 from repro.core.shortest_paths import UnweightedApproxAPSP
@@ -119,6 +122,18 @@ def _check(row: Dict[str, Any]) -> None:
     )
 
 
+def _write_artifact(row: Dict[str, Any]) -> None:
+    write_bench_artifact(
+        "shortest_paths",
+        [row],
+        n=N,
+        epsilon=EPSILON,
+        repeats=REPEATS,
+        spot_checks=SPOT_CHECKS,
+        required_speedup=REQUIRED_SPEEDUP,
+    )
+
+
 def test_shortest_paths_engine_speedup(save_table):
     row = run_speedup_comparison()
     save_table(
@@ -126,6 +141,7 @@ def test_shortest_paths_engine_speedup(save_table):
         [row],
         "Shortest-paths pipeline - UnweightedApproxAPSP n=2000 path, batch vs legacy",
     )
+    _write_artifact(row)
     _check(row)
 
 
@@ -134,6 +150,7 @@ def main() -> None:
     width = max(len(key) for key in row)
     for key, value in row.items():
         print(f"{key:<{width}}  {value}")
+    _write_artifact(row)
     _check(row)
     print(f"\nOK: shortest-paths pipeline meets the >= {REQUIRED_SPEEDUP}x bar.")
 

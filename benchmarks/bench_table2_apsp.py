@@ -64,8 +64,8 @@ def _baseline_row():
     spec = GraphSpec.of("grid", side=5, dim=2)
     graph = assign_random_weights(generate_graph(spec), max_weight=9, seed=4)
     sim = HybridSimulator(graph, ModelConfig.hybrid(), seed=4)
-    estimates = SqrtNSkeletonAPSP(sim, seed=4).run()
-    stretch = max_stretch_of_table(exact_apsp(graph), estimates)
+    table = SqrtNSkeletonAPSP(sim, seed=4).run()
+    stretch = max_stretch_of_table(exact_apsp(graph), table.estimates)
     return {
         "graph": spec.label(),
         "algorithm": "[KS20]-style sqrt(n)-skeleton (baseline)",

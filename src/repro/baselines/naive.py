@@ -14,8 +14,11 @@ import dataclasses
 import math
 from typing import Any, Dict, Hashable, List, Optional, Sequence, Set
 
+from array import array
+
+from repro.core.shortest_paths import DenseDistanceTable
 from repro.core.skeleton import build_skeleton
-from repro.graphs.index import get_index
+from repro.graphs.index import SSSPRowCache, get_index
 from repro.graphs.properties import h_hop_limited_distances
 from repro.simulator.engine import BatchAlgorithm, GlobalTriple
 from repro.simulator.metrics import RoundMetrics
@@ -139,14 +142,17 @@ class SqrtNSkeletonAPSP:
     The per-node ``h``-hop limited tables run on the
     :class:`~repro.graphs.index.GraphIndex` flat-array Bellman-Ford (via
     :func:`~repro.graphs.properties.h_hop_limited_distances`), not one
-    Python-dict relaxation per node.
+    Python-dict relaxation per node, and :meth:`run` returns a lazy
+    :class:`~repro.core.shortest_paths.DenseDistanceTable`
+    (``row_store="array"``) whose skeleton Dijkstra rows are computed on
+    first use — values identical to the historical eager dict-of-dicts.
     """
 
     def __init__(self, simulator: HybridSimulator, *, seed: Optional[int] = None):
         self.simulator = simulator
         self.seed = seed
 
-    def run(self) -> Dict[Node, Dict[Node, float]]:
+    def run(self) -> DenseDistanceTable:
         sim = self.simulator
         n = sim.n
         probability = min(1.0, 1.0 / math.sqrt(max(n, 1)))
@@ -157,32 +163,72 @@ class SqrtNSkeletonAPSP:
             "making the skeleton graph globally known",
             "[KS20] / [AHK+20]",
         )
-        # One GraphIndex over the skeleton serves every skeleton-node Dijkstra.
-        skeleton_distances = get_index(skeleton.graph).sssp_dicts(
-            skeleton.skeleton_nodes
-        )
+        # One GraphIndex over the skeleton serves every skeleton-node Dijkstra;
+        # the per-source rows are pulled lazily by the returned dense table,
+        # one Dijkstra per skeleton node a row actually touches, instead of an
+        # eager all-skeleton dict-of-dicts.
+        skeleton_rows = SSSPRowCache(get_index(skeleton.graph))
         h = skeleton.h
         sim.charge_rounds(h, "h-hop local distance computation", "[KS20]")
         skeleton_set = set(skeleton.skeleton_nodes)
-        estimates: Dict[Node, Dict[Node, float]] = {}
         limited = {v: h_hop_limited_distances(sim.graph, v, h) for v in sim.nodes}
-        for v in sim.nodes:
-            row: Dict[Node, float] = {}
-            for w in sim.nodes:
-                best = limited[v].get(w, math.inf)
-                for u in limited[v]:
-                    if u not in skeleton_set:
-                        continue
-                    for z in limited[w]:
-                        if z not in skeleton_set:
-                            continue
-                        candidate = (
-                            limited[v][u]
-                            + skeleton_distances[u].get(z, math.inf)
-                            + limited[w][z]
-                        )
-                        if candidate < best:
-                            best = candidate
-                row[w] = best
-            estimates[v] = row
-        return estimates
+        columns = list(sim.nodes)
+        inf = math.inf
+        n_sk = skeleton_rows.index.n
+
+        # Per-column nearby-skeleton entry points, resolved once: column j can
+        # be reached from the skeleton only through ``col_pos[j]`` (skeleton
+        # index positions) at costs ``col_dist[j]``.
+        col_pos: List[array] = []
+        col_dist: List[array] = []
+        for w in columns:
+            lim_w = limited[w]
+            col_pos.append(
+                array(
+                    "q",
+                    (skeleton_rows.position_of(z) for z in lim_w if z in skeleton_set),
+                )
+            )
+            col_dist.append(
+                array("d", (lim_w[z] for z in lim_w if z in skeleton_set))
+            )
+
+        # The historical quadruple loop evaluated
+        # ``(limited[v][u] + d_skel(u, z)) + limited[w][z]`` per (u, z) pair
+        # per column.  Factoring the u-minimum out per skeleton node first is
+        # value-exact — ``x -> fl(x + c)`` is monotone, so the minimum over z
+        # of the factored sums equals the minimum over all (u, z) candidates —
+        # and turns the per-row cost from |U| * |Z| products into |U| + |Z|
+        # sums against one |skeleton|-wide scratch row.
+        def make_row(v: Node) -> List[float]:
+            lim_v = limited[v]
+            via = [inf] * n_sk
+            for u in lim_v:
+                if u not in skeleton_set:
+                    continue
+                row_u = skeleton_rows.row(u)
+                d_v_u = lim_v[u]
+                for p in range(n_sk):
+                    candidate = d_v_u + row_u[p]
+                    if candidate < via[p]:
+                        via[p] = candidate
+            out: List[float] = []
+            for j, w in enumerate(columns):
+                best = lim_v.get(w, inf)
+                positions = col_pos[j]
+                distances = col_dist[j]
+                for i in range(len(positions)):
+                    candidate = via[positions[i]] + distances[i]
+                    if candidate < best:
+                        best = candidate
+                out.append(best)
+            return out
+
+        return DenseDistanceTable(
+            row_nodes=columns,
+            columns=columns,
+            row_factory=make_row,
+            stretch_bound=1.0,
+            metrics=sim.metrics,
+            row_store="array",
+        )

@@ -110,6 +110,43 @@ class Clustering:
         index = get_index(graph)
         return max(index.weak_diameter(cluster.members) for cluster in self.clusters)
 
+    def member_layout(self, np, indexer, identifier_of):
+        """Id-native cluster layout: ``(member_perm, starts)`` index ranges.
+
+        Flattens every cluster's member list into parallel (cluster id,
+        identifier, node index) columns and sorts them with a single lexsort
+        by (cluster, identifier), so cluster ``ci``'s identifier-sorted
+        members are the contiguous slice
+        ``member_perm[starts[ci] : starts[ci + 1]]`` — array views into one
+        ``int64`` buffer instead of a sorted Python list per cluster.  The
+        within-cluster order is exactly ``sorted(members, key=identifier_of)``
+        (identifiers are unique integers), which is the rank order the
+        Theorem 1 workload assembly tiles from.
+
+        ``np`` is the caller's numpy handle; ``indexer`` maps a node to its
+        simulator index and ``identifier_of`` to its integer identifier.
+        Raises ``TypeError`` when identifiers are not plain integers — callers
+        fall back to the per-cluster sorted-list representation.
+        """
+        clusters = self.clusters
+        total = sum(len(c.members) for c in clusters)
+        idx_col = np.fromiter(
+            (indexer[m] for c in clusters for m in c.members), np.int64, count=total
+        )
+        ident_col = np.fromiter(
+            (identifier_of[m] for c in clusters for m in c.members),
+            np.int64,
+            count=total,
+        )
+        sizes = np.fromiter(
+            (len(c.members) for c in clusters), np.int64, count=len(clusters)
+        )
+        cluster_col = np.repeat(np.arange(sizes.size), sizes)
+        member_perm = idx_col[np.lexsort((ident_col, cluster_col))]
+        starts = np.zeros(sizes.size + 1, dtype=np.int64)
+        np.cumsum(sizes, out=starts[1:])
+        return member_perm, starts
+
 
 def _split_cluster(members: List[Node], lower: float, upper: float) -> List[List[Node]]:
     """Split a member list into chunks with sizes in ``[lower, upper]``.

@@ -36,6 +36,7 @@ and metrics.
 from __future__ import annotations
 
 import dataclasses
+import operator
 from collections import defaultdict
 from typing import Any, Dict, FrozenSet, Hashable, List, Optional, Sequence, Set, Tuple
 
@@ -99,7 +100,10 @@ def build_cluster_tree(clustering: Clustering) -> ClusterTree:
 
 
 def match_cluster_tree_ids(
-    simulator: HybridSimulator, clustering: Clustering, cluster_tree: ClusterTree
+    simulator: HybridSimulator,
+    clustering: Clustering,
+    cluster_tree: ClusterTree,
+    member_arrays: Optional[Dict[int, Any]] = None,
 ) -> None:
     """Phase 3 subphase 2 of Theorem 1: rank-match adjacent clusters.
 
@@ -107,8 +111,49 @@ def match_cluster_tree_ids(
     with member ``i mod |other|`` of the other; both learn each other's
     identifier so they can exchange global messages.  The round cost of the
     matching (O(log n), one tree level at a time) is charged by the caller.
+
+    ``member_arrays`` (optional) supplies the id-sorted member node-index
+    array of each cluster — the permutation-array ranges the plane engine
+    already holds — in which case the matching is assembled as flat learner /
+    learned index columns and applied with one grouped pass instead of a
+    Python loop per matched position.  The knowledge learned is identical
+    either way (the same set of (node, identifier) facts).
     """
     identifier_of = simulator.node_identifiers()
+    np = _accel.np
+    if member_arrays is not None and np is not None:
+        learner_chunks: List[Any] = []
+        learned_chunks: List[Any] = []
+        for child_index, parent_index in cluster_tree.parent.items():
+            if parent_index is None:
+                continue
+            child_arr = member_arrays[child_index]
+            parent_arr = member_arrays[parent_index]
+            span = max(child_arr.size, parent_arr.size)
+            a = np.resize(child_arr, span)
+            b = np.resize(parent_arr, span)
+            learner_chunks.extend((a, b))
+            learned_chunks.extend((b, a))
+        if not learner_chunks:
+            return
+        learner_col = np.concatenate(learner_chunks)
+        learned_col = np.concatenate(learned_chunks)
+        order = np.argsort(learner_col, kind="stable")
+        learner_col = learner_col[order]
+        learned_col = learned_col[order]
+        take = simulator._identifier_take()
+        learned_ids = take(learned_col)
+        starts = np.flatnonzero(
+            np.concatenate(
+                (np.ones(1, dtype=bool), learner_col[1:] != learner_col[:-1])
+            )
+        )
+        bounds = np.append(starts, learner_col.size).tolist()
+        learner_ids = take(learner_col[starts])
+        learn_known = simulator.knowledge.learn_known
+        for g, learner_id in enumerate(learner_ids):
+            learn_known(learner_id, learned_ids[bounds[g] : bounds[g + 1]])
+        return
     learned: Dict[Node, Set[int]] = defaultdict(set)
     for child_index, parent_index in cluster_tree.parent.items():
         if parent_index is None:
@@ -257,14 +302,27 @@ class KDissemination(BatchAlgorithm):
         self._sorted_members: Dict[int, List[Node]] = {}
         self._member_indices: Dict[int, List[int]] = {}
         self._member_arrays: Dict[int, Any] = {}
+        # Permutation-array cluster layout (plane engine): one id-native
+        # buffer of member node indices, id-sorted within each cluster's
+        # ``[starts[ci], starts[ci + 1])`` range; ``_member_arrays`` holds
+        # views into it.
+        self._member_perm: Any = None
+        self._member_starts: Any = None
         self._held: Dict[Node, List[Any]] = {}
-        self._cluster_tokens: Dict[int, Set[Any]] = {}
+        # Id-native token state (phase 5): tokens are handled as *ranks* into
+        # the one str-sorted token list, so set algebra over cluster holdings
+        # becomes boolean-mask work and the sorted payload order of every
+        # exchange is simply ascending rank.
+        self._sorted_tokens: List[Any] = []
+        self._token_rank: Dict[Any, int] = {}
+        self._cluster_masks: Any = None
         self._uniform_token_words: Optional[int] = None
         self._known_tokens: Dict[Node, FrozenSet[Any]] = {}
         # Each token crosses many cluster-tree edges; its word size is
         # computed once (tokens are hashable — they live in sets throughout
         # the algorithm) and reused by every exchange.
         self._token_words: Dict[Any, int] = {}
+        self._words_by_rank: List[int] = []
 
     # ------------------------------------------------------------------
     def phases(self):
@@ -318,25 +376,46 @@ class KDissemination(BatchAlgorithm):
         self.clustering = clustering
         self.cluster_tree = build_cluster_tree(clustering)
         identifier_of = sim.node_identifiers()
-        self._sorted_members = {
-            cluster.index: sorted(cluster.members, key=identifier_of.__getitem__)
-            for cluster in clustering.clusters
-        }
-        # Id-native member columns for the plane engine: the rank-matched
-        # workloads of phase 5 are built straight from these index lists
-        # (NumPy arrays when the accelerator is active — level planes are
-        # then tiled and concatenated without touching individual tokens).
         indexer = sim.node_indexer()
-        self._member_indices = {
-            index: [indexer[member] for member in members]
-            for index, members in self._sorted_members.items()
-        }
         np = _accel.np
-        if np is not None:
+        clusters = clustering.clusters
+        permuted = False
+        if np is not None and self.use_plane:
+            # Clusters as index ranges over one permutation array
+            # (:meth:`Clustering.member_layout`): cluster ``ci``'s id-sorted
+            # members are the slice ``member_perm[starts[ci]:starts[ci + 1]]``
+            # — array views into one buffer instead of a sorted list per
+            # cluster.  The rank-matched workloads of phase 5 are tiled
+            # straight from these ranges without touching individual tokens.
+            try:
+                member_perm, starts = clustering.member_layout(
+                    np, indexer, identifier_of
+                )
+                permuted = True
+            except TypeError:
+                permuted = False  # non-integer identifiers: sorted-list path
+        if permuted:
+            self._member_perm = member_perm
+            self._member_starts = starts
+            bounds = starts.tolist()
             self._member_arrays = {
-                index: np.asarray(indices, dtype=np.int64)
-                for index, indices in self._member_indices.items()
+                c.index: member_perm[bounds[c.index] : bounds[c.index + 1]]
+                for c in clusters
             }
+        else:
+            self._sorted_members = {
+                cluster.index: sorted(cluster.members, key=identifier_of.__getitem__)
+                for cluster in clusters
+            }
+            self._member_indices = {
+                index: [indexer[member] for member in members]
+                for index, members in self._sorted_members.items()
+            }
+            if np is not None:
+                self._member_arrays = {
+                    index: np.asarray(indices, dtype=np.int64)
+                    for index, indices in self._member_indices.items()
+                }
         sim.charge_rounds(
             log_n * log_n,
             "cluster-tree construction over cluster leaders",
@@ -352,7 +431,12 @@ class KDissemination(BatchAlgorithm):
             (member for cluster in clustering.clusters for member in cluster.members),
             leader_ids,
         )
-        match_cluster_tree_ids(sim, clustering, self.cluster_tree)
+        match_cluster_tree_ids(
+            sim,
+            clustering,
+            self.cluster_tree,
+            member_arrays=self._member_arrays if permuted else None,
+        )
 
     def _phase_load_balance(self) -> None:
         """Phase 4: initial load balancing inside each cluster (Lemma 4.1,
@@ -367,34 +451,62 @@ class KDissemination(BatchAlgorithm):
         )
 
     def _phase_converge_cast(self) -> None:
-        """Phase 5a: converge-cast all tokens up the cluster tree (measured)."""
+        """Phase 5a: converge-cast all tokens up the cluster tree (measured).
+
+        Token holdings are tracked as one boolean mask per cluster over the
+        str-sorted token list, so the per-edge "new tokens" set difference and
+        the parent union are whole-row mask operations; the payloads an edge
+        carries are the mask's set ranks in ascending order — exactly the
+        ``sorted(key=str)`` payload order of the historical set formulation,
+        so the schedule is unchanged.
+        """
         if self._trivial:
             return
         sim = self.simulator
         clustering = self.clustering
         cluster_tree = self.cluster_tree
-        cluster_tokens: Dict[int, Set[Any]] = {
-            cluster.index: set() for cluster in clustering.clusters
-        }
-        for node, tokens in self._held.items():
-            cluster_tokens[clustering.cluster_of[node]].update(tokens)
-        self._cluster_tokens = cluster_tokens
-        self._token_words = {token: payload_words(token) for token in self.all_tokens}
-        distinct_words = set(self._token_words.values())
+        sorted_tokens = sorted(self.all_tokens, key=str)
+        self._sorted_tokens = sorted_tokens
+        token_rank = {token: rank for rank, token in enumerate(sorted_tokens)}
+        self._token_rank = token_rank
+        self._token_words = {token: payload_words(token) for token in sorted_tokens}
+        self._words_by_rank = [self._token_words[token] for token in sorted_tokens]
+        distinct_words = set(self._words_by_rank)
         # Homogeneous tokens (the normal case) let the plane builder emit the
         # words column as one list repetition instead of a per-token lookup.
         self._uniform_token_words = (
             distinct_words.pop() if len(distinct_words) == 1 else None
         )
 
+        np = _accel.np
+        k = self.k
+        cluster_count = len(clustering.clusters)
+        cluster_of = clustering.cluster_of
+        if np is not None:
+            masks = np.zeros((cluster_count, k), dtype=bool)
+            for node, tokens in self._held.items():
+                row = masks[cluster_of[node]]
+                for token in tokens:
+                    row[token_rank[token]] = True
+        else:
+            masks = [set() for _ in range(cluster_count)]
+            for node, tokens in self._held.items():
+                masks[cluster_of[node]].update(token_rank[token] for token in tokens)
+        self._cluster_masks = masks
+
         levels = cluster_tree.levels()
         for level in reversed(levels[1:]):
-            edges: List[Tuple[int, int, List[Any]]] = []
+            edges: List[Tuple[int, int, Any]] = []
             for cluster_index in level:
                 parent_index = cluster_tree.parent[cluster_index]
-                new_tokens = cluster_tokens[cluster_index] - cluster_tokens[parent_index]
-                edges.append((cluster_index, parent_index, sorted(new_tokens, key=str)))
-                cluster_tokens[parent_index].update(new_tokens)
+                if np is not None:
+                    new = masks[cluster_index] & ~masks[parent_index]
+                    edges.append((cluster_index, parent_index, np.flatnonzero(new)))
+                    masks[parent_index] |= masks[cluster_index]
+                else:
+                    new_ranks = sorted(masks[cluster_index] - masks[parent_index])
+                    edges.append((cluster_index, parent_index, new_ranks))
+                    masks[parent_index].update(masks[cluster_index])
             self._exchange_level(edges)
             # Load balancing at the receiving clusters before the next level.
             sim.charge_rounds(
@@ -409,27 +521,30 @@ class KDissemination(BatchAlgorithm):
         if self._trivial:
             return
         sim = self.simulator
-        clustering = self.clustering
         cluster_tree = self.cluster_tree
-        cluster_tokens = self._cluster_tokens
-        cluster_tokens[cluster_tree.root] = set(self.all_tokens)
+        masks = self._cluster_masks
+        np = _accel.np
+        k = self.k
         # The down-cast proceeds top-down, so every sender cluster already
-        # holds the full token set when its level is processed; the per-child
-        # "missing" set is therefore a filter of one pre-sorted token list.
-        sorted_all = sorted(self.all_tokens, key=str)
-        all_tokens = self.all_tokens
+        # holds the full token set when its level is processed and every
+        # receiver is read exactly once; the per-child "missing" payload is
+        # therefore the complement of the child's converge-cast-final mask —
+        # no holdings need updating along the way.
+        all_ranks = range(k)
         for level in cluster_tree.levels():
-            edges: List[Tuple[int, int, List[Any]]] = []
+            edges: List[Tuple[int, int, Any]] = []
             for cluster_index in level:
                 for child_index in cluster_tree.children[cluster_index]:
-                    have = cluster_tokens[child_index]
-                    missing = (
-                        sorted_all
-                        if not have
-                        else [token for token in sorted_all if token not in have]
-                    )
+                    if np is not None:
+                        missing = np.flatnonzero(~masks[child_index])
+                    else:
+                        have = masks[child_index]
+                        missing = (
+                            list(all_ranks)
+                            if not have
+                            else [rank for rank in all_ranks if rank not in have]
+                        )
                     edges.append((cluster_index, child_index, missing))
-                    cluster_tokens[child_index] = set(all_tokens)
             self._exchange_level(edges)
             sim.charge_rounds(
                 8 * self.nq * self._log_n,
@@ -443,16 +558,17 @@ class KDissemination(BatchAlgorithm):
             "final intra-cluster flooding of all tokens",
             "Theorem 1, dissemination phase",
         )
-        # Members of one cluster share a single frozenset (copying per member
-        # is an O(n * k) cost that dwarfs the simulation at scale); frozenset
-        # makes the sharing safe — accidental mutation raises instead of
-        # silently editing every clustermate's entry.
-        known_tokens: Dict[Node, FrozenSet[Any]] = {}
-        for cluster in clustering.clusters:
-            tokens_here = frozenset(cluster_tokens[cluster.index])
-            for member in cluster.members:
-                known_tokens[member] = tokens_here
-        self._known_tokens = known_tokens
+        # After the down-cast every cluster holds every token, so all nodes
+        # share one frozenset (copying per member is an O(n * k) cost that
+        # dwarfs the simulation at scale); frozenset makes the sharing safe —
+        # accidental mutation raises instead of silently editing every
+        # clustermate's entry.
+        tokens_everywhere = frozenset(self.all_tokens)
+        self._known_tokens = {
+            member: tokens_everywhere
+            for cluster in self.clustering.clusters
+            for member in cluster.members
+        }
 
     def finish(self) -> DisseminationResult:
         sim = self.simulator
@@ -477,29 +593,31 @@ class KDissemination(BatchAlgorithm):
         )
 
     # ------------------------------------------------------------------
-    def _exchange_level(self, edges: Sequence[Tuple[int, int, List[Any]]]) -> None:
-        """Move one cluster-tree level of tokens: ``(source, target, tokens)``.
+    def _exchange_level(self, edges: Sequence[Tuple[int, int, Any]]) -> None:
+        """Move one cluster-tree level of tokens: ``(source, target, ranks)``.
 
-        On the plane engine the whole level is assembled as one id-native
+        ``ranks`` are ascending positions into the str-sorted token list.  On
+        the plane engine the whole level is assembled as one id-native
         :class:`~repro.simulator.engine.TokenPlane` from the precomputed
         member-index columns (rank-matching is cyclic pattern repetition, word
-        counts come from the shared ``_token_words`` map); the comparison
-        engines build the historical tuple workload.  The token order —
-        level-edge by level-edge, payloads in sorted order, senders cycling by
-        rank — is identical either way, so so are the shard boundaries.
+        counts come from the shared per-rank table); the comparison engines
+        build the historical tuple workload.  The token order — level-edge by
+        level-edge, payloads in sorted order, senders cycling by rank — is
+        identical either way, so so are the shard boundaries.
         """
         if self.use_plane:
             plane = self._build_level_plane(edges)
             if plane is not None:
                 self.exchange(plane, "kdiss", collect=False)
             return
+        sorted_tokens = self._sorted_tokens
         triples: List[Tuple] = []
-        for source_index, target_index, tokens in edges:
+        for source_index, target_index, ranks in edges:
             triples.extend(
                 rank_matched_triples(
                     self._sorted_members[source_index],
                     self._sorted_members[target_index],
-                    tokens,
+                    [sorted_tokens[rank] for rank in ranks],
                     self._token_words,
                 )
             )
@@ -507,28 +625,30 @@ class KDissemination(BatchAlgorithm):
             self.exchange(triples, "kdiss", collect=False)
 
     def _build_level_plane(
-        self, edges: Sequence[Tuple[int, int, List[Any]]]
+        self, edges: Sequence[Tuple[int, int, Any]]
     ) -> Optional[TokenPlane]:
-        """Assemble one level's id-native workload.
+        """Assemble one level's id-native workload from token ranks.
 
         With NumPy active the sender/receiver columns are whole-chunk tile
         operations over the cached per-cluster member arrays (the cyclic
-        rank-matching is exactly ``np.resize``); homogeneous token sizes
-        become one ``np.full`` per edge.  The fallback builds the same columns
-        with list-pattern arithmetic.  Token order is identical to the tuple
+        rank-matching is exactly ``np.resize``), the words column is one
+        ``np.full`` (homogeneous tokens) or a take from the per-rank word
+        table, and the payload side list is one ``itemgetter`` pass over the
+        str-sorted token list.  The fallback builds the same columns with
+        list-pattern arithmetic.  Token order is identical to the tuple
         engines' workload, so the shard boundaries coincide.
         """
         np = _accel.np
-        token_words = self._token_words
+        sorted_tokens = self._sorted_tokens
         uniform = self._uniform_token_words
         payloads: List[Any] = []
         if np is not None:
             member_arrays = self._member_arrays
             sender_chunks = []
             receiver_chunks = []
-            word_chunks = []
-            for source_index, target_index, tokens in edges:
-                count = len(tokens)
+            rank_chunks = []
+            for source_index, target_index, ranks in edges:
+                count = len(ranks)
                 if not count:
                     continue
                 source = member_arrays[source_index]
@@ -536,44 +656,46 @@ class KDissemination(BatchAlgorithm):
                 pattern = target[np.arange(source.size) % target.size]
                 sender_chunks.append(np.resize(source, count))
                 receiver_chunks.append(np.resize(pattern, count))
-                if uniform is not None:
-                    word_chunks.append(np.full(count, uniform, dtype=np.int64))
+                rank_chunks.append(ranks)
+                if count == len(sorted_tokens):
+                    payloads.extend(sorted_tokens)
+                elif count == 1:
+                    payloads.append(sorted_tokens[ranks[0]])
                 else:
-                    word_chunks.append(
-                        np.fromiter(
-                            (token_words[token] for token in tokens),
-                            dtype=np.int64,
-                            count=count,
-                        )
-                    )
-                payloads.extend(tokens)
+                    payloads.extend(operator.itemgetter(*ranks)(sorted_tokens))
             if not payloads:
                 return None
+            if uniform is not None:
+                words = np.full(len(payloads), uniform, dtype=np.int64)
+            else:
+                table = np.asarray(self._words_by_rank, dtype=np.int64)
+                words = table.take(np.concatenate(rank_chunks))
             return TokenPlane(
                 np.concatenate(sender_chunks),
                 np.concatenate(receiver_chunks),
-                np.concatenate(word_chunks),
+                words,
                 payloads,
             )
+        words_by_rank = self._words_by_rank
         senders: List[int] = []
         receivers: List[int] = []
         words: List[int] = []
         member_indices = self._member_indices
-        for source_index, target_index, tokens in edges:
-            if not tokens:
+        for source_index, target_index, ranks in edges:
+            if not len(ranks):
                 continue
             sender_column, receiver_column = rank_matched_indices(
                 member_indices[source_index],
                 member_indices[target_index],
-                len(tokens),
+                len(ranks),
             )
             senders.extend(sender_column)
             receivers.extend(receiver_column)
             if uniform is not None:
-                words.extend([uniform] * len(tokens))
+                words.extend([uniform] * len(ranks))
             else:
-                words.extend([token_words[token] for token in tokens])
-            payloads.extend(tokens)
+                words.extend([words_by_rank[rank] for rank in ranks])
+            payloads.extend(sorted_tokens[rank] for rank in ranks)
         if not payloads:
             return None
         return TokenPlane(senders, receivers, words, payloads)

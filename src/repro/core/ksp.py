@@ -47,7 +47,8 @@ from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 from repro.core.dissemination import KDissemination
 from repro.core.helper_sets import compute_classic_helper_sets
 from repro.core.skeleton import SkeletonGraph, build_skeleton
-from repro.core.sssp import approx_sssp_distances, sssp_round_cost
+from repro.core.sssp import sssp_round_cost
+from repro.graphs.index import SSSPRowCache, get_index
 from repro.graphs.properties import h_hop_limited_distances, weighted_distances_from
 from repro.simulator.config import log2_ceil
 from repro.simulator.engine import BatchAlgorithm
@@ -140,7 +141,7 @@ class KSourceShortestPaths(BatchAlgorithm):
         self._skeleton_set: set = set()
         self._proxy_of: Dict[Node, Node] = {}
         self._proxy_offset: Dict[Node, float] = {}
-        self._skeleton_estimates: Dict[Node, Dict[Node, float]] = {}
+        self._skeleton_rows: Optional[SSSPRowCache] = None
         self._distances: Dict[Node, Dict[Node, float]] = {}
 
     # ------------------------------------------------------------------
@@ -231,10 +232,12 @@ class KSourceShortestPaths(BatchAlgorithm):
         rounds are charged."""
         sim = self.simulator
         proxies = sorted({self._proxy_of[source] for source in self.sources}, key=str)
+        # One shared rounded-weight CSR over the skeleton, one flat Dijkstra
+        # per distinct proxy; the dense ``array('d')`` rows replace the
+        # per-proxy estimate dicts (identical values — same index Dijkstra).
+        self._skeleton_rows = SSSPRowCache(get_index(self.skeleton.graph), self.epsilon)
         for proxy in proxies:
-            self._skeleton_estimates[proxy] = approx_sssp_distances(
-                self.skeleton.graph, proxy, self.epsilon
-            )
+            self._skeleton_rows.row(proxy)
         sim.charge_rounds(
             ksp_round_cost(sim.n, len(self.sources), self.gamma_words, self.epsilon),
             f"parallel scheduling of {len(proxies)} SSSP instances on the skeleton",
@@ -248,7 +251,7 @@ class KSourceShortestPaths(BatchAlgorithm):
         graph = sim.graph
         h = self.skeleton.h
         skeleton_set = self._skeleton_set
-        skeleton_estimates = self._skeleton_estimates
+        skeleton_rows = self._skeleton_rows
         sim.charge_rounds(
             h,
             "h-hop limited distance computation over the local mode",
@@ -257,18 +260,38 @@ class KSourceShortestPaths(BatchAlgorithm):
         limited_from_node: Dict[Node, Dict[Node, float]] = {}
         for node in sim.nodes:
             limited_from_node[node] = h_hop_limited_distances(graph, node, h)
+        # Flat-array assembly.  The historical loop evaluated
+        # ``(limited[u] + d_skel(proxy, u)) + offset`` per (source, u) pair;
+        # the node-to-proxy leg does not depend on the source, and adding the
+        # per-source offset afterwards is value-exact (``x -> fl(x + c)`` is
+        # monotone, so the factored minimum equals the pairwise one).  Each
+        # node therefore scans its nearby skeleton entry points once per
+        # *distinct proxy* against that proxy's dense row — |proxies| * |U| +
+        # k work instead of k * |U|.
         for node in sim.nodes:
             limited = limited_from_node[node]
-            nearby_skeleton = [u for u in limited if u in skeleton_set]
+            nearby = [
+                (skeleton_rows.position_of(u), limited[u])
+                for u in limited
+                if u in skeleton_set
+            ]
+            via_to_proxy: Dict[Node, float] = {}
             per_source: Dict[Node, float] = {}
             for source in self.sources:
                 proxy = self._proxy_of[source]
-                offset = self._proxy_offset[source]
+                to_proxy = via_to_proxy.get(proxy)
+                if to_proxy is None:
+                    row = skeleton_rows.row(proxy)
+                    to_proxy = math.inf
+                    for position, d_node_u in nearby:
+                        candidate = d_node_u + row[position]
+                        if candidate < to_proxy:
+                            to_proxy = candidate
+                    via_to_proxy[proxy] = to_proxy
                 best = limited.get(source, math.inf)
-                for u in nearby_skeleton:
-                    via = limited[u] + skeleton_estimates[proxy].get(u, math.inf) + offset
-                    if via < best:
-                        best = via
+                via = to_proxy + self._proxy_offset[source]
+                if via < best:
+                    best = via
                 per_source[source] = best
             self._distances[node] = per_source
 

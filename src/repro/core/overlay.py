@@ -23,6 +23,7 @@ import dataclasses
 import math
 from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
+from repro.simulator import _accel
 from repro.simulator.config import log2_ceil
 from repro.simulator.engine import TokenPlane
 from repro.simulator.messages import GLOBAL_MODE, payload_words
@@ -158,6 +159,32 @@ def _teach_tree_ids(simulator: HybridSimulator, tree: VirtualTree) -> None:
             learn_known(identifiers[node], relatives)
 
 
+def _tree_plane_layout(simulator: HybridSimulator, tree: VirtualTree):
+    """Id-native heap layout of ``tree`` (NumPy active), cached on the tree.
+
+    ``idx[slot]`` is the simulator node index of the tree node in heap slot
+    ``slot`` (``tree.order`` position) and ``parent_idx[slot]`` that of its
+    parent (slot 0 maps to itself; the root never appears as a plane
+    receiver/sender pair).  Level ``l`` is the slot range
+    ``[2^l - 1, min(2^(l+1) - 1, n))``, so every per-level plane is a pair of
+    array slices — no per-node indexer lookups after the first build.
+    """
+    np = _accel.np
+    cached = getattr(tree, "_plane_layout", None)
+    if cached is not None and cached[0] is simulator:
+        return cached[1], cached[2]
+    indexer = simulator.node_indexer()
+    count = len(tree.order)
+    idx = np.fromiter(
+        (indexer[node] for node in tree.order), dtype=np.int64, count=count
+    )
+    slots = np.arange(count, dtype=np.int64)
+    slots[1:] = (slots[1:] - 1) // 2
+    parent_idx = idx[slots]
+    tree._plane_layout = (simulator, idx, parent_idx)
+    return idx, parent_idx
+
+
 def _resolve_tree_engine(batch: bool, engine: Optional[str]) -> str:
     """Map the historical ``batch`` flag and the driver ``engine`` switch.
 
@@ -189,9 +216,38 @@ def aggregate_via_tree(
     plane's columns (no inbox rebuild); ``batch=False`` routes the sends
     through the legacy per-message API (identical rounds and inboxes).
     """
+    mode = _resolve_tree_engine(batch, engine)
+    if mode == "batch" and _accel.np is not None:
+        # Heap-slot formulation: level planes are array slices of the cached
+        # layout, partials live in a slot-ordered list, and the combine fold
+        # walks slots in the same child order as the generic path.
+        idx, parent_idx = _tree_plane_layout(simulator, tree)
+        slot_values = [values.get(node) for node in tree.order]
+        nslots = len(slot_values)
+        for level in range(nslots.bit_length() - 1, 0, -1):
+            lo = (1 << level) - 1
+            hi = min((1 << (level + 1)) - 1, nslots)
+            payloads = slot_values[lo:hi]
+            plane = TokenPlane(
+                idx[lo:hi],
+                parent_idx[lo:hi],
+                [payload_words(payload) for payload in payloads],
+                payloads,
+            )
+            simulator.global_send_plane(plane, None, "tree-agg")
+            simulator.advance_round()
+            for slot in range(lo, hi):
+                incoming = slot_values[slot]
+                if incoming is None:
+                    continue
+                target = (slot - 1) >> 1
+                acc = slot_values[target]
+                slot_values[target] = (
+                    incoming if acc is None else combine(acc, incoming)
+                )
+        return slot_values[0]
     partial: Dict[Node, Any] = {node: values.get(node) for node in tree.order}
     levels = tree.levels()
-    mode = _resolve_tree_engine(batch, engine)
     if mode == "batch":
         indexer = simulator.node_indexer()
         for level in reversed(levels[1:]):
@@ -260,6 +316,29 @@ def broadcast_via_tree(
     """Down-cast ``value`` from the root to every tree node (one level per round)."""
     received: Dict[Node, Any] = {tree.root: value}
     mode = _resolve_tree_engine(batch, engine)
+    np = _accel.np
+    if mode == "batch" and np is not None:
+        # Down-cast of a single value: every level plane carries the same
+        # payload object, so the words column is one ``payload_words`` call
+        # and the sender/receiver columns are slices of the cached layout.
+        idx, parent_idx = _tree_plane_layout(simulator, tree)
+        nslots = len(tree.order)
+        size = payload_words(value)
+        for level in range(1, nslots.bit_length()):
+            lo = (1 << level) - 1
+            hi = min((1 << (level + 1)) - 1, nslots)
+            count = hi - lo
+            plane = TokenPlane(
+                parent_idx[lo:hi],
+                idx[lo:hi],
+                np.full(count, size, dtype=np.int64),
+                [value] * count,
+            )
+            simulator.global_send_plane(plane, None, "tree-bcast")
+            simulator.advance_round()
+        for node in tree.order:
+            received[node] = value
+        return received
     if mode == "batch":
         indexer = simulator.node_indexer()
         for level in tree.levels():

@@ -55,7 +55,7 @@ from repro.core.skeleton import build_skeleton
 from repro.core.spanner import distributed_spanner, greedy_spanner
 from repro.core.sssp import approx_sssp_distances, sssp_round_cost
 from repro.core.ksp import KSourceShortestPaths
-from repro.graphs.index import GraphIndex, get_index
+from repro.graphs.index import GraphIndex, SSSPRowCache, get_index
 from repro.graphs.properties import h_hop_limited_distances, weighted_distances_from
 from repro.simulator.config import log2_ceil
 from repro.simulator.engine import BatchAlgorithm
@@ -80,6 +80,11 @@ class DistanceTable:
     ``estimates[target][source]`` is the estimate the target node holds for its
     distance to the source node.  ``stretch_bound`` is the guarantee the
     producing theorem promises (used by the tests).
+
+    :meth:`estimate` follows the ``weak_diameter`` contract: querying a target
+    the algorithm never computed a row for raises ``KeyError`` (it is a caller
+    bug, not a distance), while a source the target's row simply has no finite
+    entry for is *unreachable* and yields ``math.inf``.
     """
 
     def __init__(
@@ -95,7 +100,11 @@ class DistanceTable:
         self.nq = nq
 
     def estimate(self, target: Node, source: Node) -> float:
-        return self.estimates.get(target, {}).get(source, math.inf)
+        try:
+            row = self.estimates[target]
+        except KeyError:
+            raise KeyError(f"target {target!r} has no estimate row") from None
+        return row.get(source, math.inf)
 
     def targets(self) -> List[Node]:
         return list(self.estimates)
@@ -118,6 +127,17 @@ class DenseDistanceTable(DistanceTable):
     to a boxed float, which shrinks a fully-cached ``n x n`` weighted table
     several-fold.  Values are exactly preserved (Python floats are C
     doubles); indexing and iteration behave identically.
+
+    Query contract (shared with :class:`DistanceTable` and ``weak_diameter``):
+
+    * :meth:`row` / :meth:`estimate` with a target outside :meth:`targets`
+      raise ``KeyError`` — a wrong-node query is a caller bug, not a distance.
+    * :meth:`estimate` with a source outside :meth:`columns` raises
+      ``KeyError`` for the same reason (the dense column universe is known, so
+      the query can be rejected instead of silently answered).
+    * ``math.inf`` is returned *only* for a genuinely unreachable
+      (target, source) pair — a row the algorithm computed whose entry is
+      infinite.
     """
 
     def __init__(
@@ -151,25 +171,30 @@ class DenseDistanceTable(DistanceTable):
         """The dense estimate row of ``target``, aligned with :meth:`columns`."""
         if target not in self._row_set:
             raise KeyError(f"target {target!r} has no estimate row")
-        if self._estimates is not None:
-            # The dict view is materialised; read it back instead of re-running
-            # the row factory (and re-growing the dense cache it superseded).
-            row_dict = self._estimates[target]
-            return [row_dict[column] for column in self._columns]
         cached = self._rows.get(target)
         if cached is None:
-            cached = self._row_factory(target)
+            if self._estimates is not None:
+                # The dict view is materialised; read it back instead of
+                # re-running the row factory, but keep the row_store packing
+                # and the cache — repeated row() reads after materialisation
+                # must not rebuild a boxed list per call.
+                row_dict = self._estimates[target]
+                cached = [row_dict[column] for column in self._columns]
+            else:
+                cached = self._row_factory(target)
             if self._pack is not None:
                 cached = self._pack(cached)
             self._rows[target] = cached
         return cached
 
     def estimate(self, target: Node, source: Node) -> float:
-        if self._estimates is not None:
-            return self._estimates.get(target, {}).get(source, math.inf)
         position = self._column_position.get(source)
-        if position is None or target not in self._row_set:
-            return math.inf
+        if position is None:
+            raise KeyError(f"source {source!r} is not a column of this table")
+        if target not in self._row_set:
+            raise KeyError(f"target {target!r} has no estimate row")
+        if self._estimates is not None:
+            return self._estimates[target][source]
         return self.row(target)[position]
 
     def targets(self) -> List[Node]:
@@ -666,7 +691,7 @@ class SkeletonAPSP(BatchAlgorithm):
         self.clustering: Optional[Clustering] = None
         self._skeleton = None
         self._spanner: Optional[nx.Graph] = None
-        self._skeleton_estimates: Dict[Node, Dict[Node, float]] = {}
+        self._skeleton_rows: Optional[SSSPRowCache] = None
         self._limited: Dict[Node, Dict[Node, float]] = {}
         self._closest_skeleton: Dict[Node, Tuple[Node, float]] = {}
 
@@ -730,10 +755,11 @@ class SkeletonAPSP(BatchAlgorithm):
         if tokens:
             KDissemination(sim, tokens, nq=nq_x, engine=self.engine).run()
         # One index over the skeleton spanner serves every skeleton-node
-        # Dijkstra row (flat CSR shared across the whole batch).
-        self._skeleton_estimates = get_index(self._spanner).sssp_dicts(
-            skeleton.skeleton_nodes
-        )
+        # Dijkstra row (flat CSR shared across the whole batch); the rows are
+        # pulled lazily by the table :meth:`finish` returns, one Dijkstra per
+        # *queried* closest-skeleton node instead of an eager dict-of-dicts
+        # over every skeleton node.
+        self._skeleton_rows = SSSPRowCache(get_index(self._spanner))
 
     def _phase_local_exploration(self) -> None:
         """Every node learns its h-hop neighborhood (GraphIndex Bellman-Ford)
@@ -763,31 +789,43 @@ class SkeletonAPSP(BatchAlgorithm):
             engine=self.engine,
         ).run()
 
-    def finish(self) -> DistanceTable:
+    def finish(self) -> DenseDistanceTable:
         sim = self.simulator
         limited = self._limited
         closest_skeleton = self._closest_skeleton
-        skeleton_estimates = self._skeleton_estimates
+        skeleton_rows = self._skeleton_rows
+        columns = list(sim.nodes)
+        inf = math.inf
 
-        # Algorithm 4 estimate.
-        estimates: Dict[Node, Dict[Node, float]] = {}
-        for v in sim.nodes:
+        # Per-column closest-skeleton data, resolved once: ``cs_pos[j]`` is
+        # the spanner-index position of column j's closest skeleton node and
+        # ``cs_dist[j]`` the distance to it.
+        cs_pos = array(
+            "q", (skeleton_rows.position_of(closest_skeleton[w][0]) for w in columns)
+        )
+        cs_dist = array("d", (closest_skeleton[w][1] for w in columns))
+
+        # Algorithm 4 estimate, one lazy row per target: the skeleton-spanner
+        # Dijkstra row of v's closest skeleton node is pulled (and cached) on
+        # first use, so a consumer reading only a few targets never pays for
+        # an all-skeleton sweep.  ``(d_v_vs + row[cs_pos]) + cs_dist`` keeps
+        # the reference formula's left-to-right association, so the values
+        # are bit-identical to the eager dict-of-dicts construction.
+        def make_row(v: Node) -> List[float]:
             v_s, d_v_vs = closest_skeleton[v]
-            row: Dict[Node, float] = {}
-            for w in sim.nodes:
-                direct = limited[v].get(w, math.inf)
-                w_s, d_w_ws = closest_skeleton[w]
-                via = (
-                    d_v_vs
-                    + skeleton_estimates.get(v_s, {}).get(w_s, math.inf)
-                    + d_w_ws
-                )
-                row[w] = min(direct, via)
-            estimates[v] = row
+            skeleton_row = skeleton_rows.row(v_s)
+            lim = limited[v]
+            return [
+                min(lim.get(w, inf), (d_v_vs + skeleton_row[cs_pos[j]]) + cs_dist[j])
+                for j, w in enumerate(columns)
+            ]
 
-        return DistanceTable(
-            estimates=estimates,
+        return DenseDistanceTable(
+            row_nodes=columns,
+            columns=columns,
+            row_factory=make_row,
             stretch_bound=float(4 * self.alpha - 1),
             metrics=sim.metrics,
             nq=self.nq,
+            row_store="array",
         )

@@ -86,13 +86,20 @@ from __future__ import annotations
 import heapq
 import math
 import weakref
+from array import array
 from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
 import networkx as nx
 
 Node = Hashable
 
-__all__ = ["GraphIndex", "get_index", "invalidate_index", "round_weight_up"]
+__all__ = [
+    "GraphIndex",
+    "SSSPRowCache",
+    "get_index",
+    "invalidate_index",
+    "round_weight_up",
+]
 
 
 def round_weight_up(weight: float, epsilon: float) -> float:
@@ -890,6 +897,44 @@ class GraphIndex:
         for j in range(idx, nk):
             values[j] = self._saturated_nq(size, ecc, ks_asc[j], None)
         return values
+
+
+class SSSPRowCache:
+    """Lazily computed, caller-owned dense Dijkstra rows of one index.
+
+    ``row(source)`` returns ``index.sssp_row(source, epsilon)`` packed into an
+    ``array('d', ...)`` of C doubles, running the Dijkstra only on the first
+    request per source.  This is the substrate for the lazy all-pairs tables:
+    an APSP producer keeps one cache over its skeleton/spanner index and pulls
+    only the rows its consumers actually read, instead of materialising an
+    eager dict-of-dicts over every source up front.  The cache is owned by the
+    caller (unlike :func:`get_index` it is *not* memoised per graph), so
+    dropping the producer drops every cached row with it.
+
+    ``rows_computed`` counts Dijkstra runs — the regression tests use it to
+    assert that nothing materialises n^2 state behind a consumer's back.
+    """
+
+    __slots__ = ("index", "epsilon", "rows_computed", "_rows")
+
+    def __init__(self, index: GraphIndex, epsilon: float = 0.0) -> None:
+        self.index = index
+        self.epsilon = epsilon
+        self.rows_computed = 0
+        self._rows: Dict[Node, "array[float]"] = {}
+
+    def row(self, source: Node) -> "array[float]":
+        """The dense distance row of ``source`` (computed once, then cached)."""
+        cached = self._rows.get(source)
+        if cached is None:
+            cached = array("d", self.index.sssp_row(source, self.epsilon))
+            self._rows[source] = cached
+            self.rows_computed += 1
+        return cached
+
+    def position_of(self, node: Node) -> int:
+        """``node``'s column position within every cached row."""
+        return self.index.index_of[node]
 
 
 # ----------------------------------------------------------------------

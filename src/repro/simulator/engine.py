@@ -107,7 +107,7 @@ class TokenPlane:
     otherwise plain lists — either way the schedule they produce is identical.
     """
 
-    __slots__ = ("senders", "receivers", "words", "payloads")
+    __slots__ = ("senders", "receivers", "words", "payloads", "_pair_spine")
 
     def __init__(self, senders, receivers, words, payloads: List[Any]) -> None:
         np = _accel.np
@@ -120,9 +120,28 @@ class TokenPlane:
             self.receivers = list(receivers)
             self.words = list(words)
         self.payloads = payloads
+        self._pair_spine = None
 
     def __len__(self) -> int:
         return len(self.payloads)
+
+    def pair_spine(self, np):
+        """Sorted positions of each distinct (sender, receiver) pair's first
+        occurrence (cached; NumPy columns only).
+
+        Rank-matched workloads repeat a small pair set over a long token
+        column; per-pair knowledge work (HYBRID_0 validation and sender-id
+        learning) only ever concerns a pair's *first* token, so every shard
+        of this plane can intersect this spine instead of scanning its full
+        columns.  Computed once per plane with the two-pass narrow-key sort.
+        """
+        spine = self._pair_spine
+        if spine is None:
+            order = _pair_order(np, self.senders, self.receivers)
+            starts = _pair_starts(np, self.senders, self.receivers, order)
+            spine = np.sort(order[starts])
+            self._pair_spine = spine
+        return spine
 
     @classmethod
     def from_triples(
@@ -268,6 +287,44 @@ def _compress_order(np, order, keep):
     return renumber[order[keep[order]]]
 
 
+def _narrow_sort_key(np, arr):
+    """An ``int16`` copy of a non-negative key column when its values fit.
+
+    NumPy's stable argsort is a radix sort for 16-bit integers but a
+    comparison sort for wider ones — an order of magnitude apart on the
+    key sizes the planner sorts every round.  The returned array is only
+    ever used as an argsort key; the caller keeps indexing the original.
+    """
+    if arr.size and int(arr.max()) < 32767:
+        return arr.astype(np.int16)
+    return arr
+
+
+def _pair_order(np, senders, receivers):
+    """Stable (sender, receiver) argsort as two narrow-key passes.
+
+    Equivalent to ``np.argsort(senders * stride + receivers, kind="stable")``
+    but sorts the two columns separately — receiver first, then sender on the
+    receiver-sorted view; stability makes the composition the lexicographic
+    order.  Each pass is an int16 radix sort whenever the column fits
+    (:func:`_narrow_sort_key`), where the single wide-key sort is always a
+    comparison sort.
+    """
+    first = np.argsort(_narrow_sort_key(np, receivers), kind="stable")
+    second = np.argsort(_narrow_sort_key(np, senders[first]), kind="stable")
+    return first[second]
+
+
+def _pair_starts(np, senders, receivers, order):
+    """:func:`_group_starts` for the (sender, receiver) pair key columns."""
+    ps = senders[order]
+    pr = receivers[order]
+    starts = np.empty(order.size, dtype=bool)
+    starts[0] = True
+    starts[1:] = (ps[1:] != ps[:-1]) | (pr[1:] != pr[:-1])
+    return starts
+
+
 def _admit_round_numpy(np, sa, ra, wa, order_s, order_r, budget: int):
     """One greedy-FIFO round, resolved with compressed bound waves (exact).
 
@@ -360,11 +417,185 @@ def _pair_round_bounds(np, senders, receivers, wt, budget: int):
     per_round = budget // w0
     if per_round <= 0:
         return None
-    pair = senders * (int(receivers.max()) + 1) + receivers
-    order = np.argsort(pair, kind="stable")
-    starts = _group_starts(np, pair, order)
-    rank = _grouped_prefix(np, order, starts, np.ones(pair.size, dtype=np.int64))
+    order = _pair_order(np, senders, receivers)
+    starts = _pair_starts(np, senders, receivers, order)
+    rank = _grouped_prefix(np, order, starts, np.ones(senders.size, dtype=np.int64))
     return (rank - 1) // per_round
+
+
+def _split_rounds(np, rounds):
+    """Round indices -> per-round position shards, FIFO within each round.
+
+    ``rounds`` must occupy a gap-free ``0..max`` range (component schedules
+    are each gap-free and share round 0, so their union is too).
+    """
+    by_round = np.argsort(_narrow_sort_key(np, rounds), kind="stable")
+    sorted_rounds = rounds[by_round]
+    edges = np.searchsorted(sorted_rounds, np.arange(int(sorted_rounds[-1]) + 2))
+    return [by_round[edges[i] : edges[i + 1]] for i in range(edges.size - 1)]
+
+
+def _plan_rounds_uniform(np, senders, receivers, wt, budget: int, min_round):
+    """Exact component decomposition for uniform-word workloads.
+
+    Greedy-FIFO admission reads only a token's own sender and receiver
+    counters, so sender/receiver-disjoint components schedule independently
+    and the global schedule is their round-wise union.  Two components have
+    closed forms:
+
+    * a *clean* sender — sharing no receiver with any other sender — owns an
+      isolated component in which no exclusive receiver's counter (a subset
+      of the sender's own) can ever bind first, so the greedy scan admits
+      exactly its first ``c = budget // words`` remaining tokens per round:
+      round = ``sender_rank // c``;
+    * when every sender talks to a single receiver (hot receivers), the
+      mirror argument gives round = ``receiver_rank // c``.
+
+    The residue — senders entangled through shared receivers — is planned by
+    the bucketed round loop over its (typically tiny) token subset, and all
+    component schedules interleave back in FIFO order per round.  The caller
+    guarantees uniform words with ``c >= 1``.
+    """
+    w0 = int(wt[0])
+    per_round = budget // w0
+    m = senders.size
+    ones = np.ones(m, dtype=np.int64)
+    order_r = np.argsort(_narrow_sort_key(np, receivers), kind="stable")
+    rr = receivers[order_r]
+    sr = senders[order_r]
+    starts_r = np.empty(m, dtype=bool)
+    starts_r[0] = True
+    starts_r[1:] = rr[1:] != rr[:-1]
+    group_at = np.flatnonzero(starts_r)
+    shared = np.minimum.reduceat(sr, group_at) != np.maximum.reduceat(sr, group_at)
+    if not shared.any():
+        # Every sender is clean: the whole workload is in closed form.
+        order_s = np.argsort(_narrow_sort_key(np, senders), kind="stable")
+        rank = _grouped_prefix(
+            np, order_s, _group_starts(np, senders, order_s), ones
+        )
+        return _split_rounds(np, (rank - 1) // per_round)
+    order_s = np.argsort(_narrow_sort_key(np, senders), kind="stable")
+    ss = senders[order_s]
+    rs = receivers[order_s]
+    if not ((ss[1:] == ss[:-1]) & (rs[1:] != rs[:-1])).any():
+        # Sender-exclusive: only the receiver caps can bind.
+        rank = _grouped_prefix(np, order_r, starts_r, ones)
+        return _split_rounds(np, (rank - 1) // per_round)
+    counts = np.diff(np.append(group_at, m))
+    entangled = np.zeros(int(senders.max()) + 1, dtype=bool)
+    entangled[sr[np.repeat(shared, counts)]] = True
+    dirty = entangled[senders]
+    if dirty.all():
+        return _plan_rounds_bucketed(np, senders, receivers, wt, budget, min_round)
+    rounds = np.empty(m, dtype=np.int64)
+    clean = ~dirty
+    cs = senders[clean]
+    order_cs = np.argsort(_narrow_sort_key(np, cs), kind="stable")
+    rank = _grouped_prefix(
+        np,
+        order_cs,
+        _group_starts(np, cs, order_cs),
+        np.ones(cs.size, dtype=np.int64),
+    )
+    rounds[clean] = (rank - 1) // per_round
+    didx = np.flatnonzero(dirty)
+    sub = _plan_rounds_bucketed(
+        np, senders[didx], receivers[didx], wt[didx], budget, min_round[didx]
+    )
+    for index, shard in enumerate(sub):
+        rounds[didx[shard]] = index
+    return _split_rounds(np, rounds)
+
+
+def _plan_rounds_bucketed(np, senders, receivers, wt, budget: int, min_round):
+    """Greedy-FIFO planning for uniform-word workloads, bucketed by bound.
+
+    The static :func:`_pair_round_bounds` lower bounds partition the workload
+    into per-round admission buckets.  Deferred tokens are *re*-bucketed with
+    a dynamic bound: a token left behind with ``j`` same-pair tokens still
+    ahead of it needs ``j + 1 <= c * (rounds elapsed)`` pair slots before it
+    can move, so it cannot be admitted before round ``current + 1 + j // c``
+    — and in every earlier round the greedy scan provably rejects it (its
+    unadmitted same-pair predecessor faces identical counters first, and
+    rejections leave the counters untouched), so omitting it from those scans
+    is exact.  Per-round work therefore scales with the tokens that can
+    actually move this round instead of the whole eligible backlog, while the
+    shard boundaries stay identical to :func:`_reference_shard_transfers`.
+    Every unadmitted token sits in a bucket no later than its true admission
+    round (the bounds are valid), so the pending set always contains this
+    round's reference admissions and in particular never runs dry.
+    """
+    w0 = int(wt[0])
+    per_round = budget // w0
+    order = np.argsort(_narrow_sort_key(np, min_round), kind="stable")
+    bounds_sorted = min_round[order]
+    last_bound = int(bounds_sorted[-1])
+    bucket_edges = np.searchsorted(bounds_sorted, np.arange(last_bound + 2))
+    narrow = int(receivers.max()) < 32767 and int(senders.max()) < 32767
+    buckets: Dict[int, list] = {}
+    shards = []
+    remaining = senders.size
+    round_index = 0
+    while remaining:
+        chunks = buckets.pop(round_index, [])
+        if round_index <= last_bound:
+            fresh = order[bucket_edges[round_index] : bucket_edges[round_index + 1]]
+            if fresh.size:
+                chunks.append(fresh)
+        if not chunks:
+            # Unreachable (see docstring), kept as a liveness backstop: fold
+            # every deferred bucket back in rather than spin on empty rounds.
+            for deferred in buckets.values():
+                chunks.extend(deferred)
+            buckets.clear()
+        if len(chunks) == 1:
+            pending = chunks[0]
+        else:
+            pending = np.concatenate(chunks)
+            pending.sort()
+        es = senders[pending]
+        er = receivers[pending]
+        ew = wt[pending]
+        if narrow:
+            order_s = np.argsort(es.astype(np.int16), kind="stable")
+            order_r = np.argsort(er.astype(np.int16), kind="stable")
+        else:
+            order_s = np.argsort(es, kind="stable")
+            order_r = np.argsort(er, kind="stable")
+        admitted = _admit_round_numpy(np, es, er, ew, order_s, order_r, budget)
+        if admitted.all():
+            shards.append(pending)
+            remaining -= pending.size
+        else:
+            # The forced-oversized branch of the reference scheduler is
+            # unreachable here — one uniform token always fits a round, so the
+            # FIFO-first pending token is always admitted (admitted.any()).
+            shards.append(pending[admitted])
+            remaining -= int(admitted.sum())
+            rejected = ~admitted
+            deferred = pending[rejected]
+            ds = es[rejected]
+            dr = er[rejected]
+            porder = _pair_order(np, ds, dr)
+            starts = _pair_starts(np, ds, dr, porder)
+            ahead = (
+                _grouped_prefix(
+                    np, porder, starts, np.ones(ds.size, dtype=np.int64)
+                )
+                - 1
+            )
+            extra = ahead // per_round
+            depth = int(extra.max())
+            if depth == 0:
+                buckets.setdefault(round_index + 1, []).append(deferred)
+            else:
+                for gap in range(depth + 1):
+                    chunk = deferred[extra == gap]
+                    if chunk.size:
+                        buckets.setdefault(round_index + 1 + gap, []).append(chunk)
+        round_index += 1
+    return shards
 
 
 def _plan_rounds_numpy(np, senders, receivers, wt, budget: int):
@@ -372,10 +603,14 @@ def _plan_rounds_numpy(np, senders, receivers, wt, budget: int):
 
     Tier 1 — uncongested fast path: one grouped reduction per side; when every
     node's totals fit the budget the whole workload is a single shard and no
-    greedy state is ever built.  Tier 2 — per-round greedy-FIFO waves over the
-    *admissible* tokens only (see :func:`_pair_round_bounds`; tokens whose
-    pair rank proves they cannot move yet are never scanned, which is exact
-    because greedy counters only ever count admitted tokens).
+    greedy state is ever built.  Tier 2 — uniform-word workloads decompose
+    into independent components with closed-form schedules plus a small
+    entangled residue (:func:`_plan_rounds_uniform`) that runs the bucketed
+    round loop (:func:`_plan_rounds_bucketed`) over the *admissible* tokens
+    only (see :func:`_pair_round_bounds`; tokens whose pair rank proves they
+    cannot move yet are never scanned, which is exact because greedy counters
+    only ever count admitted tokens).  Mixed-size workloads keep the dense
+    compression loop below.
     """
     sent = np.bincount(senders, weights=wt, minlength=1)
     if sent.max() <= budget:
@@ -383,50 +618,26 @@ def _plan_rounds_numpy(np, senders, receivers, wt, budget: int):
         if recv.max() <= budget:
             return [np.arange(senders.size, dtype=np.int64)]
     min_round = _pair_round_bounds(np, senders, receivers, wt, budget)
+    if min_round is not None:
+        return _plan_rounds_uniform(np, senders, receivers, wt, budget, min_round)
     shards = []
     positions = np.arange(senders.size, dtype=np.int64)
     s = senders
     r = receivers
     w = wt
     # The only sorts of the whole schedule: the pending orders are maintained
-    # by order-preserving boolean compression from here on (and the eligible
-    # sub-orders are filtered out of them the same way).
+    # by order-preserving boolean compression from here on.
     order_s = np.argsort(s, kind="stable")
     order_r = np.argsort(r, kind="stable")
-    round_index = 0
     while positions.size:
-        if min_round is not None:
-            eligible = min_round <= round_index
-            if eligible.all():
-                # Every pending token's bound has passed — the filter can
-                # never exclude anything again (bounds are static, rounds
-                # only increase), so drop it for the rest of the schedule.
-                min_round = None
-                eligible = None
-        else:
-            eligible = None
-        if eligible is None:
-            es, er, ew = s, r, w
-            order_es, order_er = order_s, order_r
-        else:
-            es = s[eligible]
-            er = r[eligible]
-            ew = w[eligible]
-            order_es = _compress_order(np, order_s, eligible)
-            order_er = _compress_order(np, order_r, eligible)
-        admitted_e = _admit_round_numpy(np, es, er, ew, order_es, order_er, budget)
-        if eligible is None:
-            admitted = admitted_e
-        else:
-            admitted = np.zeros(positions.size, dtype=bool)
-            admitted[eligible] = admitted_e
+        admitted = _admit_round_numpy(np, s, r, w, order_s, order_r, budget)
         if admitted.any():
             shards.append(positions[admitted])
             deferred = ~admitted
         else:
             # Forced-oversized branch: exactly one token pushed through (the
-            # first pending token, which is always admissible: its pair has
-            # at most `c * round_index` admitted predecessors).
+            # first pending token; a single oversized message is the sender's
+            # problem, and the simulator will flag it).
             shards.append(positions[:1])
             deferred = np.ones(positions.size, dtype=bool)
             deferred[0] = False
@@ -438,9 +649,6 @@ def _plan_rounds_numpy(np, senders, receivers, wt, budget: int):
         w = w[deferred]
         order_s = _compress_order(np, order_s, deferred)
         order_r = _compress_order(np, order_r, deferred)
-        if min_round is not None:
-            min_round = min_round[deferred]
-        round_index += 1
     return shards
 
 

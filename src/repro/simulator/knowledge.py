@@ -117,8 +117,8 @@ class KnowledgeTracker:
             new_ids = set(new_ids)
         bucket |= new_ids & self._all_ids
 
-    def learn_known(self, node_id: Hashable, new_ids: Set[Hashable]) -> None:
-        """:meth:`learn` for identifier sets already known to be valid.
+    def learn_known(self, node_id: Hashable, new_ids: Iterable[Hashable]) -> None:
+        """:meth:`learn` for identifier collections already known to be valid.
 
         The bulk plane paths derive both arguments from the simulator's own
         identifier table, so the existence validation and the bogus-id

@@ -139,46 +139,56 @@ class _PairMemo:
 
     The plane paths only need per-(sender, receiver)-pair knowledge work the
     *first* time a pair appears; rank-matched exchanges repeat the same pairs
-    every shard.  The memo keeps the authoritative Python set plus a sorted
-    array snapshot: a shard's keys are first filtered against the snapshot
-    with one ``searchsorted`` sweep, so warm shards cost a few C passes and
-    zero per-pair Python work.
+    every shard.  The memo keeps the authoritative Python set plus a
+    *two-level* sorted view: a big snapshot and a small recent buffer of keys
+    absorbed since the last merge.  A shard's keys are filtered against both
+    with ``searchsorted`` sweeps, so :meth:`unknown` is exact — every
+    returned key is genuinely new (modulo duplicates within the shard) and
+    never re-enters the caller's per-pair Python loop.  The buffers merge
+    geometrically (recent >= 1/4 of the set), keeping total re-sorting
+    linearithmic in the final set size however the keys trickle in.
     """
 
-    __slots__ = ("known", "_sorted", "_stale")
+    __slots__ = ("known", "_sorted", "_recent")
 
     def __init__(self) -> None:
         self.known: Set[int] = set()
         self._sorted = None
-        self._stale = 0
+        self._recent = None
 
     def unknown(self, np, keys):
-        """The subset of ``keys`` not in the last snapshot (may have dupes,
-        and may still contain keys added to ``known`` since the snapshot)."""
-        snapshot = self._sorted
-        if snapshot is None or not snapshot.size:
-            return keys
-        slot = np.searchsorted(snapshot, keys)
-        slot[slot == snapshot.size] = 0
-        return keys[snapshot[slot] != keys]
+        """The subset of ``keys`` not yet absorbed (exact; may have dupes)."""
+        for level in (self._sorted, self._recent):
+            if level is None or not level.size or not keys.size:
+                continue
+            slot = np.searchsorted(level, keys)
+            slot[slot == level.size] = 0
+            keys = keys[level[slot] != keys]
+        return keys
 
-    def bump(self, count: int) -> None:
-        """Record that ``count`` keys were added to :attr:`known` directly."""
-        self._stale += count
+    def absorb(self, np, fresh) -> None:
+        """Fold a sorted array of newly-seen keys into the recent buffer.
 
-    def refresh(self, np) -> None:
-        """Re-snapshot when enough new keys accumulated to pay for the sort.
-
-        Geometric policy (stale >= 1/4 of the set) keeps total re-sorting
-        linearithmic in the final set size however the keys trickle in.
+        The caller has already added them to :attr:`known`; once the recent
+        buffer outgrows a quarter of the set it is merged into the snapshot.
         """
-        if self._stale and (
-            self._sorted is None or 4 * self._stale >= len(self.known)
-        ):
-            snapshot = np.fromiter(self.known, dtype=np.int64, count=len(self.known))
-            snapshot.sort()
-            self._sorted = snapshot
-            self._stale = 0
+        recent = self._recent
+        if recent is None or not recent.size:
+            recent = fresh
+        else:
+            recent = np.concatenate((recent, fresh))
+            recent.sort()
+        if 4 * recent.size >= len(self.known):
+            snapshot = self._sorted
+            if snapshot is None or not snapshot.size:
+                merged = recent
+            else:
+                merged = np.concatenate((snapshot, recent))
+                merged.sort()
+            self._sorted = merged
+            self._recent = None
+        else:
+            self._recent = recent
 
 
 class _PlaneBatch:
@@ -187,19 +197,29 @@ class _PlaneBatch:
     ``senders`` / ``receivers`` / ``words`` are the *selected* columns of the
     submitted plane (tag words already folded into ``words``), ``payloads``
     the plane's full side list and ``positions`` the selected indices into it
-    (``None`` when the whole plane was sent).  Per-receiver record tuples are
-    only built if the round's inbox is actually read.
+    (``None`` when the whole plane was sent).  ``fresh_pairs`` (optional) is
+    the precomputed ``receiver * n + sender`` key column of the shard's
+    first-occurrence pairs — the only pairs sender-id learning can concern —
+    so delivery never rescans the full columns.  Per-receiver record tuples
+    are only built if the round's inbox is actually read.
     """
 
-    __slots__ = ("senders", "receivers", "words", "payloads", "positions", "tag")
+    __slots__ = (
+        "senders", "receivers", "words", "payloads", "positions", "tag",
+        "fresh_pairs",
+    )
 
-    def __init__(self, senders, receivers, words, payloads, positions, tag) -> None:
+    def __init__(
+        self, senders, receivers, words, payloads, positions, tag,
+        fresh_pairs=None,
+    ) -> None:
         self.senders = senders
         self.receivers = receivers
         self.words = words
         self.payloads = payloads
         self.positions = positions
         self.tag = tag
+        self.fresh_pairs = fresh_pairs
 
     def __len__(self) -> int:
         return len(self.senders)
@@ -289,6 +309,7 @@ class HybridSimulator:
         # identifiers aligned with the node order, and the directed adjacency
         # as flat s * n + r keys for O(1)/vectorised edge validation.
         self._ids_by_index: Optional[List[int]] = None
+        self._ids_np: Optional[Any] = None
         self._edge_keys: Optional[Any] = None
         # Monotone plane-path memos: knowledge only ever grows, so an (s, r)
         # pair that validated once stays valid, and an (r, s) pair whose
@@ -400,6 +421,7 @@ class HybridSimulator:
         assignment and knowledge state are fixed at construction.
         """
         self._ids_by_index = None
+        self._ids_np = None
         self._edge_keys = None
 
     def _identifier_array(self) -> List[int]:
@@ -409,6 +431,33 @@ class HybridSimulator:
             node_to_id = self._node_to_id
             ids = self._ids_by_index = [node_to_id[node] for node in self._nodes]
         return ids
+
+    def _identifier_take(self):
+        """Vectorised identifier lookup ``indices -> [id, ...]`` (cached).
+
+        An int64 take when the accelerator is active and every identifier is a
+        plain int (the sparse-regime default); otherwise a list-comprehension
+        fallback over :meth:`_identifier_array`.  Either way the result is a
+        list of the *original* identifier objects' values — np.int64 scalars
+        hash and compare like ints, so knowledge-set membership is unaffected.
+        """
+        take = self._ids_np
+        if take is None:
+            ids = self._identifier_array()
+            np = _accel.np
+            if np is not None and all(type(i) is int for i in ids):
+                table = np.asarray(ids, dtype=np.int64)
+
+                def take(indices):
+                    return table[indices].tolist()
+
+            else:
+
+                def take(indices):
+                    return [ids[i] for i in indices.tolist()]
+
+            self._ids_np = take
+        return take
 
     def _edge_key_index(self):
         """The directed adjacency as flat ``s * n + r`` keys (cached).
@@ -696,12 +745,18 @@ class HybridSimulator:
             if not 0 <= value < n:
                 raise UnknownNodeError(value)
 
-    def _validate_plane_knowledge(self, s_sel, r_sel) -> None:
+    def _validate_plane_knowledge(self, s_sel, r_sel, pair_s=None, pair_r=None) -> None:
         """HYBRID_0 knowledge check over the shard's *unique* (s, r) pairs.
 
         Repeated pairs (the common case in rank-matched workloads) cost one
         set probe, not one per token; the error reported is the earliest
-        offending token in submission order, like the tuple path.
+        offending token in submission order, like the tuple path.  When the
+        caller supplies the shard's first-occurrence pair columns (``pair_s``
+        / ``pair_r``, in submission order — see
+        :meth:`~repro.simulator.engine.TokenPlane.pair_spine`), the check
+        runs on those directly: a pair's validity is decided at its first
+        token, and the earliest offending pair's first occurrence *is* the
+        earliest offending token.
         """
         ids = self._identifier_array()
         known_view = self.knowledge.known_ids_view
@@ -709,29 +764,31 @@ class HybridSimulator:
         validated = memo.known
         n = self.n
         np = _accel.np
+        if np is not None and pair_s is not None:
+            s_sel = pair_s
+            r_sel = pair_r
         if np is not None and isinstance(s_sel, np.ndarray):
             key_column = s_sel * n + r_sel
             candidates = memo.unknown(np, key_column)
             if not candidates.size:
                 return
+            uniq = np.unique(candidates)
             offending: Set[int] = set()
             current = -1
             known: Set[int] = set()
-            before = len(validated)
-            for key in np.unique(candidates).tolist():
-                if key in validated:
-                    continue
-                sender_index, target_index = divmod(key, n)
+            for sender_index, target_index in zip(
+                (uniq // n).tolist(), (uniq % n).tolist()
+            ):
                 if sender_index != current:
                     current = sender_index
                     known = known_view(ids[sender_index])
-                if ids[target_index] in known:
-                    validated.add(key)
-                else:
-                    offending.add(key)
+                if ids[target_index] not in known:
+                    offending.add(sender_index * n + target_index)
             if offending:
                 # Report the earliest offending token in submission order,
-                # matching the tuple path and the pure-Python fallback.
+                # matching the tuple path and the pure-Python fallback.  The
+                # memo is left untouched — nothing was queued, so the good
+                # pairs of a failing shard simply re-validate later.
                 position = int(
                     np.argmax(np.isin(key_column, np.fromiter(offending, np.int64)))
                 )
@@ -740,8 +797,8 @@ class HybridSimulator:
                     f"node {self._nodes[sender_index]!r} does not know "
                     f"identifier {ids[int(r_sel[position])]!r}"
                 )
-            memo.bump(len(validated) - before)
-            memo.refresh(np)
+            validated.update(uniq.tolist())
+            memo.absorb(np, uniq)
             return
         known_cache: Dict[int, Set[int]] = {}
         for k in range(len(s_sel)):
@@ -783,12 +840,36 @@ class HybridSimulator:
         tag_words = payload_words(tag) if tag is not None else 0
         self._validate_index_range(s_sel)
         self._validate_index_range(r_sel)
+        np = _accel.np
+        fresh_pairs = None
+        pair_s = pair_r = None
+        if np is not None and isinstance(s_sel, np.ndarray):
+            # The shard's distinct pairs, via the plane's first-occurrence
+            # spine: per-pair knowledge work (validation below, sender-id
+            # learning at delivery) reduces to this (tiny) subset — pairs
+            # whose first occurrence fell in an earlier shard were handled
+            # when that shard was queued/delivered.
+            spine = plane.pair_spine(np)
+            if positions is None:
+                sel_first = spine
+            else:
+                sorted_pos = (
+                    positions
+                    if positions.size < 2
+                    or bool((positions[1:] >= positions[:-1]).all())
+                    else np.sort(positions)
+                )
+                loc = np.searchsorted(sorted_pos, spine)
+                loc[loc == sorted_pos.size] = 0
+                sel_first = spine[sorted_pos[loc] == spine]
+            pair_s = plane.senders[sel_first]
+            pair_r = plane.receivers[sel_first]
+            fresh_pairs = pair_r * self.n + pair_s
         if self.config.is_hybrid0():
-            self._validate_plane_knowledge(s_sel, r_sel)
+            self._validate_plane_knowledge(s_sel, r_sel, pair_s, pair_r)
         nodes = self._nodes
         sent_words = self._global_sent_words
         recv_words = self._global_recv_words
-        np = _accel.np
         if np is not None and isinstance(s_sel, np.ndarray):
             wt = w_sel + tag_words if tag_words else w_sel
             total = int(wt.sum())
@@ -808,7 +889,9 @@ class HybridSimulator:
                 for index, words in grouped.items():
                     counters[nodes[index]] += words
         self._pending_global_planes.append(
-            _PlaneBatch(s_sel, r_sel, wt, plane.payloads, positions, tag)
+            _PlaneBatch(
+                s_sel, r_sel, wt, plane.payloads, positions, tag, fresh_pairs
+            )
         )
         self._pending_global_msgs += count
         self._pending_global_words += total
@@ -1106,20 +1189,18 @@ class HybridSimulator:
         n = self.n
         np = _accel.np
         sender_ids_of: Dict[int, Set[int]] = {}
-        before = len(taught)
+        fresh_chunks: List[Any] = []
         for batch in planes:
             s_sel = batch.senders
             r_sel = batch.receivers
-            if np is not None and isinstance(s_sel, np.ndarray):
+            if np is not None and batch.fresh_pairs is not None:
+                candidates = memo.unknown(np, batch.fresh_pairs)
+                if candidates.size:
+                    fresh_chunks.append(candidates)
+            elif np is not None and isinstance(s_sel, np.ndarray):
                 candidates = memo.unknown(np, r_sel * n + s_sel)
-                if not candidates.size:
-                    continue
-                for key in np.unique(candidates).tolist():
-                    if key in taught:
-                        continue
-                    taught.add(key)
-                    receiver_index, sender_index = divmod(key, n)
-                    sender_ids_of.setdefault(receiver_index, set()).add(ids[sender_index])
+                if candidates.size:
+                    fresh_chunks.append(candidates)
             else:
                 for k in range(len(s_sel)):
                     key = r_sel[k] * n + s_sel[k]
@@ -1127,11 +1208,31 @@ class HybridSimulator:
                         continue
                     taught.add(key)
                     sender_ids_of.setdefault(r_sel[k], set()).add(ids[s_sel[k]])
-        if np is not None:
-            memo.bump(len(taught) - before)
-            memo.refresh(np)
         for receiver_index, id_set in sender_ids_of.items():
             learn_known(ids[receiver_index], id_set)
+        if not fresh_chunks:
+            return
+        uniq = np.unique(
+            fresh_chunks[0] if len(fresh_chunks) == 1 else np.concatenate(fresh_chunks)
+        )
+        uniq_list = uniq.tolist()
+        taught.update(uniq_list)
+        memo.absorb(np, uniq)
+        # A taught (r, s) pair is the knowledge fact "r knows s's identifier",
+        # which is exactly validation key r * n + s — seed the validation memo
+        # so reply traffic along the same pairs skips the per-pair probe loop.
+        validated = self._validated_global_pairs
+        validated.known.update(uniq_list)
+        validated.absorb(np, uniq)
+        receiver_col = uniq // n
+        sender_ids = self._identifier_take()(uniq % n)
+        starts = np.flatnonzero(
+            np.concatenate((np.ones(1, dtype=bool), receiver_col[1:] != receiver_col[:-1]))
+        )
+        bounds = np.append(starts, receiver_col.size).tolist()
+        receiver_ids = self._identifier_take()(receiver_col[starts])
+        for g, receiver_id in enumerate(receiver_ids):
+            learn_known(receiver_id, sender_ids[bounds[g] : bounds[g + 1]])
 
     def advance_rounds(self, count: int) -> None:
         """Advance ``count`` (possibly silent) rounds."""

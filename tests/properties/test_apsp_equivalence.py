@@ -173,8 +173,12 @@ def test_dense_table_api_is_consistent():
         for source, value in zip(table.columns(), row):
             assert table.estimate(target, source) == value
             assert table.estimates[target][source] == value
-    assert table.estimate("missing", 0) == math.inf
-    assert table.estimate(0, "missing") == math.inf
+    # weak_diameter contract: wrong-node queries raise instead of silently
+    # answering inf; inf is reserved for computed-but-unreachable pairs.
+    with pytest.raises(KeyError):
+        table.estimate("missing", 0)
+    with pytest.raises(KeyError):
+        table.estimate(0, "missing")
     with pytest.raises(KeyError):
         table.row("missing")
 

@@ -149,9 +149,9 @@ class TestSqrtNSkeletonAPSP:
     def test_exact_on_small_weighted_grid(self):
         g = assign_random_weights(grid_graph(4, 2), max_weight=4, seed=1)
         sim = HybridSimulator(g, ModelConfig.hybrid(), seed=1)
-        estimates = SqrtNSkeletonAPSP(sim, seed=1).run()
+        table = SqrtNSkeletonAPSP(sim, seed=1).run()
         truth = exact_apsp(g)
-        stretch = max_stretch_of_table(truth, estimates)
+        stretch = max_stretch_of_table(truth, table.estimates)
         assert stretch == pytest.approx(1.0)
 
     def test_charges_sqrt_n_order_rounds(self):
