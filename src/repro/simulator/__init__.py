@@ -18,15 +18,25 @@ from repro.simulator.errors import (
 from repro.simulator.messages import GLOBAL_MODE, LOCAL_MODE, Message, payload_words
 from repro.simulator.knowledge import KnowledgeTracker
 from repro.simulator.metrics import ChargeRecord, RoundMetrics
+from repro.simulator.faults import (
+    CapacityDegradation,
+    CrashEvent,
+    FaultSchedule,
+    FaultState,
+    LinkFailure,
+    crash_fraction_schedule,
+)
 from repro.simulator.network import BatchRecord, HybridSimulator, node_sort_key
 from repro.simulator.engine import (
     BatchAlgorithm,
     ExchangeTag,
     GlobalTriple,
     PhaseRecord,
+    ResilientExchangeResult,
     TokenPlane,
     batched_global_exchange,
     plan_token_rounds,
+    resilient_batched_global_exchange,
     shard_transfers,
 )
 
@@ -50,6 +60,12 @@ __all__ = [
     "KnowledgeTracker",
     "ChargeRecord",
     "RoundMetrics",
+    "CapacityDegradation",
+    "CrashEvent",
+    "FaultSchedule",
+    "FaultState",
+    "LinkFailure",
+    "crash_fraction_schedule",
     "HybridSimulator",
     "BatchRecord",
     "node_sort_key",
@@ -57,8 +73,10 @@ __all__ = [
     "ExchangeTag",
     "GlobalTriple",
     "PhaseRecord",
+    "ResilientExchangeResult",
     "TokenPlane",
     "batched_global_exchange",
     "plan_token_rounds",
+    "resilient_batched_global_exchange",
     "shard_transfers",
 ]

@@ -78,6 +78,8 @@ __all__ = [
     "plan_token_rounds",
     "shard_transfers",
     "batched_global_exchange",
+    "resilient_batched_global_exchange",
+    "ResilientExchangeResult",
     "PhaseRecord",
     "BatchAlgorithm",
 ]
@@ -880,15 +882,174 @@ def _reference_batched_global_exchange(
     return dict(delivered)
 
 
+# ----------------------------------------------------------------------
+# Self-healing exchange (fault-tolerant delivery, see repro.simulator.faults)
+# ----------------------------------------------------------------------
+@dataclasses.dataclass
+class ResilientExchangeResult:
+    """Outcome of one :func:`resilient_batched_global_exchange`.
+
+    ``delivered`` maps receivers to payloads in delivery order (first
+    successful delivery only — retransmitted duplicates that both survive are
+    deduplicated by plane position).  ``undelivered_positions`` are positions
+    into the submitted plane whose tokens never got through within the attempt
+    budget (e.g. endpoints crashed for the whole run); ``complete`` is true
+    when everything was delivered.
+    """
+
+    delivered: Dict[Node, List[Any]]
+    undelivered_positions: List[int]
+    attempts: int
+    retransmissions: int
+
+    @property
+    def complete(self) -> bool:
+        return not self.undelivered_positions
+
+
+def resilient_batched_global_exchange(
+    simulator: HybridSimulator,
+    triples: Union[TokenPlane, Iterable[Tuple]],
+    *,
+    tag: Optional[str] = None,
+    max_attempts: int = 16,
+    backoff_cap: int = 8,
+    collect: bool = True,
+) -> ResilientExchangeResult:
+    """Ack-tracked delivery with retransmission under a fault schedule.
+
+    The self-healing counterpart of :func:`batched_global_exchange`: the
+    workload is scheduled and sent the same way, but after every round the
+    positions actually delivered (the fault layer's survivors, read back via
+    :meth:`~repro.simulator.network.HybridSimulator.delivered_plane_positions`)
+    are treated as acks, and undelivered tokens are re-scheduled in the next
+    *attempt*.  Each attempt
+
+    * masks crashed endpoints out of the send/receive columns **before** the
+      scheduler runs (a token to or from a currently-crashed node is deferred,
+      not submitted — dead endpoints never waste budget), and
+    * re-reads :meth:`~repro.simulator.network.HybridSimulator.
+      global_budget_words`, so capacity-degradation windows are re-planned
+      with the budget they impose.
+
+    Attempts that make no progress idle-wait with **bounded exponential
+    backoff in rounds** (1, 2, 4, ... up to ``backoff_cap`` idle rounds
+    between attempts), letting crash/degradation windows expire without
+    hammering a dead network.  Every token submitted a second or later time is
+    counted in :attr:`~repro.simulator.metrics.RoundMetrics.retransmissions`.
+
+    Without a fault schedule every token is acked on its first attempt and the
+    traffic pattern is identical to :func:`batched_global_exchange` (same
+    scheduler, same budget, same shard submissions).  With one, delivery is
+    guaranteed for every token whose endpoints are live-and-reachable often
+    enough within ``max_attempts`` — tokens addressed to forever-crashed nodes
+    come back in ``undelivered_positions`` instead of looping forever.
+    """
+    if max_attempts < 1:
+        raise ValueError("max_attempts must be at least 1")
+    if backoff_cap < 1:
+        raise ValueError("backoff_cap must be at least 1")
+    plane = (
+        triples
+        if isinstance(triples, TokenPlane)
+        else TokenPlane.from_triples(simulator, triples)
+    )
+    total = len(plane)
+    if not total:
+        return ResilientExchangeResult({}, [], 0, 0)
+    senders = plane.senders
+    receivers = plane.receivers
+    words = plane.words
+    if hasattr(senders, "tolist"):
+        senders = senders.tolist()
+        receivers = receivers.tolist()
+        words = words.tolist()
+    payloads = plane.payloads
+    nodes = simulator.nodes
+    fault_state = simulator.fault_state
+    metrics = simulator.metrics
+    delivered: Dict[Node, List[Any]] = defaultdict(list)
+    pending: List[int] = list(range(total))
+    submitted_once: set = set()
+    retransmitted = 0
+    attempts = 0
+    backoff = 1
+    while pending and attempts < max_attempts:
+        attempts += 1
+        if fault_state is not None:
+            crashed = fault_state.crashed_indices(simulator.round)
+            sendable = [
+                p
+                for p in pending
+                if senders[p] not in crashed and receivers[p] not in crashed
+            ]
+        else:
+            sendable = pending
+        progressed = False
+        if sendable:
+            resent = sum(1 for p in sendable if p in submitted_once)
+            if resent:
+                retransmitted += resent
+                metrics.record_retransmissions(resent)
+            submitted_once.update(sendable)
+            attempt_plane = TokenPlane(
+                [senders[p] for p in sendable],
+                [receivers[p] for p in sendable],
+                [words[p] for p in sendable],
+                [payloads[p] for p in sendable],
+            )
+            attempt_tag = ExchangeTag(tag)
+            budget = simulator.global_budget_words()
+            shards = plan_token_rounds(
+                attempt_plane, budget, attempt_tag.payload_words_override
+            )
+            acked: set = set()
+            for shard in shards:
+                simulator.global_send_plane(attempt_plane, shard, attempt_tag)
+                simulator.advance_round()
+                for sub_position in simulator.delivered_plane_positions(attempt_tag):
+                    position = sendable[sub_position]
+                    if position in acked:
+                        continue
+                    acked.add(position)
+                    if collect:
+                        delivered[nodes[receivers[position]]].append(
+                            payloads[position]
+                        )
+            if acked:
+                progressed = True
+                pending = [p for p in pending if p not in acked]
+        if not pending:
+            break
+        if progressed:
+            backoff = 1
+        elif attempts < max_attempts:
+            simulator.advance_rounds(backoff)
+            backoff = min(backoff * 2, backoff_cap)
+    return ResilientExchangeResult(
+        delivered=dict(delivered),
+        undelivered_positions=pending,
+        attempts=attempts,
+        retransmissions=retransmitted,
+    )
+
+
 @dataclasses.dataclass(frozen=True)
 class PhaseRecord:
-    """Round/message accounting of one driver phase (deltas, not totals)."""
+    """Round/message accounting of one driver phase (deltas, not totals).
+
+    The three fault counters default to zero so fault-free phase logs (and
+    expected records constructed in tests) are unchanged by the fault layer.
+    """
 
     name: str
     measured_rounds: int
     charged_rounds: int
     global_messages: int
     local_messages: int
+    dropped_messages: int = 0
+    retransmissions: int = 0
+    crashed_node_rounds: int = 0
 
 
 class BatchAlgorithm:
@@ -938,6 +1099,9 @@ class BatchAlgorithm:
             charged = metrics.charged_rounds
             global_msgs = metrics.global_messages
             local_msgs = metrics.local_messages
+            dropped = metrics.dropped_messages
+            retransmitted = metrics.retransmissions
+            crashed = metrics.crashed_node_rounds
             phase()
             self.phase_log.append(
                 PhaseRecord(
@@ -946,6 +1110,9 @@ class BatchAlgorithm:
                     charged_rounds=metrics.charged_rounds - charged,
                     global_messages=metrics.global_messages - global_msgs,
                     local_messages=metrics.local_messages - local_msgs,
+                    dropped_messages=metrics.dropped_messages - dropped,
+                    retransmissions=metrics.retransmissions - retransmitted,
+                    crashed_node_rounds=metrics.crashed_node_rounds - crashed,
                 )
             )
         return self.finish()
@@ -1011,4 +1178,40 @@ class BatchAlgorithm:
         ]
         return throttled_global_exchange(
             self.simulator, transfers, max_rounds=max_rounds
+        )
+
+    def resilient_exchange(
+        self,
+        triples: Union[TokenPlane, Sequence[Tuple]],
+        tag: Optional[str] = None,
+        *,
+        max_attempts: int = 16,
+        backoff_cap: int = 8,
+        collect: bool = True,
+    ) -> ResilientExchangeResult:
+        """Self-healing variant of :meth:`exchange` (plane engine only).
+
+        Routes the workload through
+        :func:`resilient_batched_global_exchange`: ack-tracked delivery with
+        crashed-endpoint masking, per-attempt re-planning against the degraded
+        budget, and bounded exponential backoff in idle rounds.  The
+        comparison engines have no fault-aware transport, so requesting this
+        on them is an error rather than a silent downgrade.
+        """
+        if not self.use_plane:
+            raise ValueError(
+                f"resilient exchange requires engine='batch', not {self.engine!r}"
+            )
+        if isinstance(triples, TokenPlane):
+            if not len(triples):
+                return ResilientExchangeResult({}, [], 0, 0)
+        elif not triples:
+            return ResilientExchangeResult({}, [], 0, 0)
+        return resilient_batched_global_exchange(
+            self.simulator,
+            triples,
+            tag=tag,
+            max_attempts=max_attempts,
+            backoff_cap=backoff_cap,
+            collect=collect,
         )

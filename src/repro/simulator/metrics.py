@@ -43,6 +43,13 @@ class RoundMetrics:
     global_words: int = 0
     max_global_words_per_node_round: int = 0
     capacity_violations: int = 0
+    # Fault-injection accounting (all zero on fault-free runs; see
+    # repro.simulator.faults): messages lost to crashes/drops/link failures,
+    # tokens re-sent by the self-healing exchange, and the summed number of
+    # rounds each node spent crashed.
+    dropped_messages: int = 0
+    retransmissions: int = 0
+    crashed_node_rounds: int = 0
     charges: List[ChargeRecord] = dataclasses.field(default_factory=list)
 
     # ------------------------------------------------------------------
@@ -83,6 +90,18 @@ class RoundMetrics:
     def record_violation(self) -> None:
         self.capacity_violations += 1
 
+    def record_dropped(self, messages: int) -> None:
+        """Account messages lost to crashes, link failures, or drop draws."""
+        self.dropped_messages += messages
+
+    def record_retransmissions(self, messages: int) -> None:
+        """Account tokens re-sent by the self-healing exchange wrapper."""
+        self.retransmissions += messages
+
+    def record_crashed_nodes(self, count: int) -> None:
+        """Account one round's worth of crashed nodes (count nodes down)."""
+        self.crashed_node_rounds += count
+
     # ------------------------------------------------------------------
     def merge(self, other: "RoundMetrics") -> "RoundMetrics":
         """Combine metrics of two sequentially composed executions."""
@@ -97,6 +116,9 @@ class RoundMetrics:
                 other.max_global_words_per_node_round,
             ),
             capacity_violations=self.capacity_violations + other.capacity_violations,
+            dropped_messages=self.dropped_messages + other.dropped_messages,
+            retransmissions=self.retransmissions + other.retransmissions,
+            crashed_node_rounds=self.crashed_node_rounds + other.crashed_node_rounds,
             charges=list(self.charges) + list(other.charges),
         )
         return merged
@@ -113,6 +135,9 @@ class RoundMetrics:
             "global_words": self.global_words,
             "max_global_words_per_node_round": self.max_global_words_per_node_round,
             "capacity_violations": self.capacity_violations,
+            "dropped_messages": self.dropped_messages,
+            "retransmissions": self.retransmissions,
+            "crashed_node_rounds": self.crashed_node_rounds,
             "charge_reasons": [charge.reason for charge in self.charges],
         }
 

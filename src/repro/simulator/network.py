@@ -99,6 +99,7 @@ import networkx as nx
 
 from repro.simulator import _accel
 from repro.simulator.config import IdentifierRegime, ModelConfig
+from repro.simulator.faults import FaultSchedule, FaultState
 from repro.simulator.errors import (
     CapacityExceededError,
     LocalBandwidthExceededError,
@@ -276,6 +277,14 @@ class HybridSimulator:
         (mirroring the paper's remark that an adversary may drop the excess;
         our algorithms are expected to keep the bound and the tests assert
         ``capacity_violations == 0`` where the paper claims it).
+    fault_schedule:
+        Optional :class:`~repro.simulator.faults.FaultSchedule`.  An empty (or
+        absent) schedule installs **no** fault state — ``fault_state`` stays
+        ``None`` and no fault code path runs, so the run is bit-identical to a
+        fault-free simulator.  A non-empty schedule makes ``advance_round``
+        drop the traffic of crashed nodes and failed links, apply seeded
+        per-mode message drops, and degrade the global budget per the
+        schedule's windows (see :mod:`repro.simulator.faults`).
     """
 
     def __init__(
@@ -286,6 +295,7 @@ class HybridSimulator:
         seed: Optional[int] = None,
         capacity_multiplier: int = 1,
         enforce_receive_capacity: bool = False,
+        fault_schedule: Optional[FaultSchedule] = None,
     ) -> None:
         if graph.number_of_nodes() == 0:
             raise ValueError("cannot simulate an empty network")
@@ -297,6 +307,15 @@ class HybridSimulator:
         self.rng = random.Random(seed)
         self.capacity_multiplier = capacity_multiplier
         self.enforce_receive_capacity = enforce_receive_capacity
+        self.fault_schedule = fault_schedule
+        # The empty-schedule identity guarantee: only a non-empty schedule
+        # builds a FaultState; with fault_state None not a single fault branch
+        # is taken anywhere in the round lifecycle.
+        self.fault_state: Optional[FaultState] = (
+            FaultState(fault_schedule, self.n)
+            if fault_schedule is not None and not fault_schedule.is_empty()
+            else None
+        )
         self.metrics = RoundMetrics()
         self.round = 0
 
@@ -423,6 +442,14 @@ class HybridSimulator:
         self._ids_by_index = None
         self._ids_np = None
         self._edge_keys = None
+        # The pair memos cache per-(sender, receiver) validation/teaching
+        # facts keyed on flat indices; although knowledge itself is monotone,
+        # a mutated graph changes which pairs local sends may use and (in
+        # principle) which identifiers a rebuilt workload addresses, so the
+        # memos are dropped along with the arrays.  Re-validating known-good
+        # pairs is merely slow, never wrong.
+        self._validated_global_pairs = _PairMemo()
+        self._taught_pairs = _PairMemo()
 
     def _identifier_array(self) -> List[int]:
         """Identifier of every node, aligned with the node order (cached)."""
@@ -537,8 +564,21 @@ class HybridSimulator:
         self.knowledge.learn_shared(identifiers_of(), valid)
 
     def global_budget_words(self) -> int:
-        """Per-node, per-round global budget in words."""
-        return self.config.resolve_global_word_budget(self.n) * self.capacity_multiplier
+        """Per-node, per-round global budget in words.
+
+        Under a fault schedule the budget is degraded by the node-wide
+        capacity factors active in the *current* round — callers that plan
+        traffic before ``advance_round`` (the two-tier scheduler reads this at
+        planning time) therefore plan with exactly the budget the capacity
+        sweep will enforce, as long as planning and delivery happen in the
+        same round.  Node-scoped factors do not appear here; they only tighten
+        the per-node sweep in :meth:`advance_round`.
+        """
+        base = self.config.resolve_global_word_budget(self.n) * self.capacity_multiplier
+        fault_state = self.fault_state
+        if fault_state is not None:
+            return fault_state.degraded_budget(base, self.round)
+        return base
 
     def edge_weight(self, u: Node, v: Node) -> float:
         return self.graph[u][v].get("weight", 1)
@@ -1058,15 +1098,35 @@ class HybridSimulator:
         strict mode because they are always under the algorithm's control;
         receive-side violations raise only when ``enforce_receive_capacity`` is
         set, and are otherwise recorded.
+
+        Under a non-empty fault schedule the sweep additionally tightens the
+        budget of node-scoped degradation targets, and queued traffic is
+        filtered through :meth:`_apply_faults` *after* capacity accounting
+        (attempt-based: drops never refund budget) and *before* sparse-regime
+        identifier learning (receivers learn nothing from dropped messages).
         """
+        fault_state = self.fault_state
+        node_budget_of: Optional[Dict[int, int]] = None
         if self.config.global_mode_enabled():
             budget = self.global_budget_words()
             strict = self.config.strict
             metrics = self.metrics
+            if fault_state is not None:
+                factors = fault_state.node_capacity_factors(self.round)
+                if factors:
+                    node_budget_of = {
+                        index: max(1, int(budget * factor))
+                        for index, factor in factors.items()
+                    }
             sent_arr = self._plane_sent_arr
-            if sent_arr is not None and (self._global_sent_words or self._global_recv_words):
-                # Mixed round (plane and tuple sends): fold the arrays into
-                # the dicts and run the per-node sweep below on the union.
+            if sent_arr is not None and (
+                node_budget_of is not None
+                or self._global_sent_words
+                or self._global_recv_words
+            ):
+                # Mixed round (plane and tuple sends) or per-node degraded
+                # budgets: fold the arrays into the dicts and run the
+                # per-node sweep below on the union.
                 np = _accel.np
                 nodes = self._nodes
                 for counters, arr in (
@@ -1114,27 +1174,37 @@ class HybridSimulator:
                     for _ in range(over.size):
                         metrics.record_violation()
             else:
+                index_of = self._index_of
                 for node, words in self._global_sent_words.items():
+                    node_budget = budget
+                    if node_budget_of is not None:
+                        node_budget = node_budget_of.get(index_of[node], budget)
                     metrics.record_node_round_load(words)
-                    if words > budget:
+                    if words > node_budget:
                         metrics.record_violation()
                         if strict:
                             raise CapacityExceededError(
                                 f"node {node!r} sent {words} global words in round "
-                                f"{self.round}, budget is {budget}"
+                                f"{self.round}, budget is {node_budget}"
                             )
                 for node, words in self._global_recv_words.items():
+                    node_budget = budget
+                    if node_budget_of is not None:
+                        node_budget = node_budget_of.get(index_of[node], budget)
                     metrics.record_node_round_load(words)
-                    if words > budget:
+                    if words > node_budget:
                         metrics.record_violation()
                         if strict and self.enforce_receive_capacity:
                             raise CapacityExceededError(
                                 f"node {node!r} received {words} global words in round "
-                                f"{self.round}, budget is {budget}"
+                                f"{self.round}, budget is {node_budget}"
                             )
 
         self.metrics.record_local_bulk(self._pending_local_msgs, self._pending_local_words)
         self.metrics.record_global_bulk(self._pending_global_msgs, self._pending_global_words)
+
+        if fault_state is not None:
+            self._apply_faults(fault_state)
 
         # Receiving a global message always teaches the receiver the sender's
         # identifier (the sender attaches it implicitly).  In the dense regime
@@ -1233,6 +1303,161 @@ class HybridSimulator:
         receiver_ids = self._identifier_take()(receiver_col[starts])
         for g, receiver_id in enumerate(receiver_ids):
             learn_known(receiver_id, sender_ids[bounds[g] : bounds[g + 1]])
+
+    # ------------------------------------------------------------------
+    # Fault injection (see repro.simulator.faults)
+    # ------------------------------------------------------------------
+    def _apply_faults(self, fault_state: FaultState) -> None:
+        """Drop pending traffic per the fault schedule.
+
+        Runs inside :meth:`advance_round`, after capacity accounting
+        (attempt-based: a dropped message keeps its budget charge) and before
+        sparse-regime identifier learning (a receiver learns nothing from a
+        message it did not get).  Drop draws are consumed in a fixed order —
+        per mode, tuple buckets in queueing order first, then plane batches in
+        submission order — so a run replays bit-for-bit from
+        ``(schedule.seed, schedule)`` on either array backend.
+        """
+        round_index = self.round
+        metrics = self.metrics
+        crashed = fault_state.crashed_indices(round_index)
+        if crashed:
+            metrics.record_crashed_nodes(len(crashed))
+        failed_edges = fault_state.failed_edge_keys(round_index)
+        dropped = 0
+        for mode, buckets, planes in (
+            (GLOBAL_MODE, self._pending_global, self._pending_global_planes),
+            (LOCAL_MODE, self._pending_local, self._pending_local_planes),
+        ):
+            rate = fault_state.drop_rate(mode)
+            rng = fault_state.round_rng(round_index, mode) if rate > 0.0 else None
+            edges = failed_edges if (mode == LOCAL_MODE and failed_edges) else None
+            if not crashed and edges is None and rng is None:
+                continue
+            dropped += self._filter_tuple_buckets(buckets, crashed, edges, rate, rng)
+            dropped += self._filter_planes(planes, crashed, edges, rate, rng)
+        if dropped:
+            metrics.record_dropped(dropped)
+
+    def _filter_tuple_buckets(self, buckets, crashed, failed_edges, rate, rng) -> int:
+        """Filter the eager per-receiver buckets in place; return drop count."""
+        if not buckets:
+            return 0
+        index_of = self._index_of
+        n = self.n
+        dropped = 0
+        for receiver in list(buckets):
+            records = buckets[receiver]
+            receiver_index = index_of[receiver]
+            if receiver_index in crashed:
+                dropped += len(records)
+                del buckets[receiver]
+                continue
+            kept: List[BatchRecord] = []
+            for record in records:
+                sender_index = index_of[record[0]]
+                if (
+                    sender_index in crashed
+                    or (
+                        failed_edges is not None
+                        and sender_index * n + receiver_index in failed_edges
+                    )
+                    or (rng is not None and rng.random() < rate)
+                ):
+                    dropped += 1
+                    continue
+                kept.append(record)
+            if len(kept) != len(records):
+                if kept:
+                    buckets[receiver] = kept
+                else:
+                    del buckets[receiver]
+        return dropped
+
+    def _filter_planes(self, planes, crashed, failed_edges, rate, rng) -> int:
+        """Filter queued plane batches in place; return the drop count.
+
+        Surviving batches keep their original column objects when nothing was
+        dropped; a filtered batch is rebuilt with plain-list columns (the
+        fault path favours simplicity over vectorisation) and loses its
+        precomputed ``fresh_pairs`` — the id-learning pass recomputes pairs
+        from the surviving records instead of trusting a stale spine.
+        """
+        if not planes:
+            return 0
+        n = self.n
+        dropped = 0
+        for i, batch in enumerate(planes):
+            senders = batch.senders
+            receivers = batch.receivers
+            words = batch.words
+            if hasattr(senders, "tolist"):
+                senders = senders.tolist()
+                receivers = receivers.tolist()
+                words = words.tolist()
+            keep: List[int] = []
+            for k in range(len(senders)):
+                sender_index = senders[k]
+                receiver_index = receivers[k]
+                if (
+                    sender_index in crashed
+                    or receiver_index in crashed
+                    or (
+                        failed_edges is not None
+                        and sender_index * n + receiver_index in failed_edges
+                    )
+                    or (rng is not None and rng.random() < rate)
+                ):
+                    dropped += 1
+                    continue
+                keep.append(k)
+            if len(keep) == len(senders):
+                continue
+            positions = batch.positions
+            if positions is None:
+                new_positions: List[int] = keep
+            else:
+                if hasattr(positions, "tolist"):
+                    positions = positions.tolist()
+                new_positions = [positions[k] for k in keep]
+            planes[i] = _PlaneBatch(
+                [senders[k] for k in keep],
+                [receivers[k] for k in keep],
+                [words[k] for k in keep],
+                batch.payloads,
+                new_positions,
+                batch.tag,
+                None,
+            )
+        return dropped
+
+    def delivered_plane_positions(self, tag, mode: str = GLOBAL_MODE) -> List[int]:
+        """Plane positions actually delivered for ``tag`` in the last round.
+
+        Positions index the submitted plane's payload side list.  This is the
+        self-healing exchange's ack channel: positions absent from the result
+        were dropped by the fault layer and need retransmission.  Batches are
+        matched by tag equality, so pass a unique
+        :class:`~repro.simulator.engine.ExchangeTag` per exchange.
+        """
+        self._require_delivered()
+        planes = (
+            self._delivered_global_planes
+            if mode == GLOBAL_MODE
+            else self._delivered_local_planes
+        )
+        delivered: List[int] = []
+        for batch in planes:
+            if batch.tag != tag:
+                continue
+            positions = batch.positions
+            if positions is None:
+                delivered.extend(range(len(batch.senders)))
+            else:
+                if hasattr(positions, "tolist"):
+                    positions = positions.tolist()
+                delivered.extend(positions)
+        return delivered
 
     def advance_rounds(self, count: int) -> None:
         """Advance ``count`` (possibly silent) rounds."""

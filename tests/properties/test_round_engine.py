@@ -384,3 +384,42 @@ def test_dissemination_engines_agree_on_pinned_instance(engine, backend):
         test_dissemination_engines_agree_on_pinned_instance._pin = key
     else:
         assert key == pinned, f"engine={engine} backend={backend} drifted: {key} != {pinned}"
+
+
+# ----------------------------------------------------------------------
+# Fault layer off == fault layer absent (the empty-schedule invariant)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("shape", sorted(WORKLOADS))
+@pytest.mark.parametrize("seed", SEEDS[:3])
+def test_empty_fault_schedule_leaves_schedules_identical(shape, seed, backend):
+    """An empty FaultSchedule must not perturb the engine in any way.
+
+    The fault layer's hard invariant: installing an empty schedule creates no
+    fault state, so exchanges stay token-for-token schedule-identical to the
+    greedy reference and metrics/inboxes stay bit-identical to a simulator
+    constructed without the keyword at all.
+    """
+    from repro.simulator.faults import FaultSchedule
+
+    rng = random.Random(hash(("faultfree", shape, seed)) & 0xFFFFFF)
+    n = 24
+    senders, receivers, words = WORKLOADS[shape](rng, n)
+    triples = [
+        (senders[i], receivers[i], ("m", i, "x" * (words[i] * 8 - 8)))
+        for i in range(len(words))
+    ]
+    graph = path_graph(n)
+    config = ModelConfig(strict=False)  # oversized shapes overload by design
+
+    def run(**kwargs):
+        sim = HybridSimulator(graph, config, seed=seed, **kwargs)
+        delivered = batched_global_exchange(sim, list(triples), tag="ef")
+        return sim, delivered
+
+    bare_sim, bare_delivered = run()
+    empty_sim, empty_delivered = run(fault_schedule=FaultSchedule(seed=seed + 1))
+    assert empty_sim.fault_state is None
+    assert empty_delivered == bare_delivered
+    assert empty_sim.metrics.summary() == bare_sim.metrics.summary()
+    assert empty_sim.metrics.dropped_messages == 0
+    assert empty_sim.metrics.crashed_node_rounds == 0

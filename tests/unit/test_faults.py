@@ -1,0 +1,295 @@
+"""Unit tests for the declarative fault-injection layer.
+
+Covers the schedule/event value objects (window semantics, validation), the
+:class:`FaultState` oracle (caching, range checks, deterministic drop RNG),
+the ``crash_fraction_schedule`` convenience builder, the simulator wiring
+(empty schedule installs no state at all), and the
+``HybridSimulator.invalidate_index`` regression: invalidation must also reset
+the pair memos and cached identifier/member-index arrays, not just the edge
+keys.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.generators import path_graph
+from repro.simulator.config import ModelConfig
+from repro.simulator.faults import (
+    CapacityDegradation,
+    CrashEvent,
+    FaultSchedule,
+    FaultState,
+    LinkFailure,
+    crash_fraction_schedule,
+)
+from repro.simulator.messages import GLOBAL_MODE, LOCAL_MODE
+from repro.simulator.network import HybridSimulator
+
+
+# ----------------------------------------------------------------------
+# Event window semantics
+# ----------------------------------------------------------------------
+def test_crash_event_window_is_half_open():
+    crash = CrashEvent(node=3, crash_round=2, recover_round=5)
+    assert [crash.crashed_at(r) for r in range(7)] == [
+        False, False, True, True, True, False, False,
+    ]
+
+
+def test_crash_event_without_recovery_is_permanent():
+    crash = CrashEvent(node=0, crash_round=4)
+    assert not crash.crashed_at(3)
+    assert crash.crashed_at(4)
+    assert crash.crashed_at(10_000)
+
+
+def test_link_failure_window_is_half_open_and_symmetric():
+    failure = LinkFailure(1, 2, start_round=1, end_round=3)
+    assert [failure.active_at(r) for r in range(4)] == [False, True, True, False]
+    state = FaultState(FaultSchedule(link_failures=(failure,)), n=5)
+    assert state.failed_edge_keys(1) == frozenset({1 * 5 + 2, 2 * 5 + 1})
+    assert state.failed_edge_keys(3) == frozenset()
+
+
+def test_degradation_window_semantics():
+    degradation = CapacityDegradation(0.5, start_round=2, end_round=4)
+    assert [degradation.active_at(r) for r in range(5)] == [
+        False, False, True, True, False,
+    ]
+
+
+@pytest.mark.parametrize(
+    "build",
+    [
+        lambda: CrashEvent(node=-1, crash_round=0),
+        lambda: CrashEvent(node=0, crash_round=-1),
+        lambda: CrashEvent(node=0, crash_round=5, recover_round=5),
+        lambda: LinkFailure(0, 0),
+        lambda: LinkFailure(-1, 2),
+        lambda: LinkFailure(0, 1, start_round=3, end_round=2),
+        lambda: CapacityDegradation(0.0),
+        lambda: CapacityDegradation(1.5),
+        lambda: CapacityDegradation(0.5, node=-2),
+        lambda: FaultSchedule(global_drop_rate=1.0),
+        lambda: FaultSchedule(local_drop_rate=-0.1),
+    ],
+)
+def test_invalid_events_are_rejected(build):
+    with pytest.raises(ValueError):
+        build()
+
+
+def test_schedule_rejects_mistyped_events_and_normalises_lists():
+    with pytest.raises(TypeError):
+        FaultSchedule(crashes=(LinkFailure(0, 1),))
+    schedule = FaultSchedule(crashes=[CrashEvent(node=1, crash_round=0)])
+    assert isinstance(schedule.crashes, tuple)
+
+
+# ----------------------------------------------------------------------
+# Schedule-level queries
+# ----------------------------------------------------------------------
+def test_default_schedule_is_empty_and_any_fault_is_not():
+    assert FaultSchedule().is_empty()
+    assert not FaultSchedule(crashes=(CrashEvent(node=0, crash_round=0),)).is_empty()
+    assert not FaultSchedule(link_failures=(LinkFailure(0, 1),)).is_empty()
+    assert not FaultSchedule(degradations=(CapacityDegradation(0.5),)).is_empty()
+    assert not FaultSchedule(global_drop_rate=0.1).is_empty()
+    assert not FaultSchedule(local_drop_rate=0.1).is_empty()
+    # A bare seed changes nothing: the schedule stays empty.
+    assert FaultSchedule(seed=99).is_empty()
+
+
+def test_horizon_is_the_last_finite_window_boundary():
+    schedule = FaultSchedule(
+        crashes=(
+            CrashEvent(node=0, crash_round=1, recover_round=7),
+            CrashEvent(node=1, crash_round=10),  # open-ended: contributes 10
+        ),
+        link_failures=(LinkFailure(0, 1, start_round=2, end_round=5),),
+        degradations=(CapacityDegradation(0.5, start_round=3, end_round=12),),
+        global_drop_rate=0.2,  # rates have no horizon
+    )
+    assert schedule.horizon() == 12
+    assert FaultSchedule(global_drop_rate=0.5).horizon() == 0
+
+
+def test_forever_crashed_reports_only_unrecovered_nodes():
+    schedule = FaultSchedule(
+        crashes=(
+            CrashEvent(node=2, crash_round=0),
+            CrashEvent(node=5, crash_round=1, recover_round=4),
+        )
+    )
+    assert schedule.forever_crashed() == frozenset({2})
+
+
+# ----------------------------------------------------------------------
+# crash_fraction_schedule
+# ----------------------------------------------------------------------
+def test_crash_fraction_schedule_is_deterministic_and_respects_exclude():
+    first = crash_fraction_schedule(40, 0.25, seed=7, exclude=(0, 1, 2))
+    second = crash_fraction_schedule(40, 0.25, seed=7, exclude=(0, 1, 2))
+    assert first == second
+    picked = {crash.node for crash in first.crashes}
+    assert len(picked) == 10
+    assert picked.isdisjoint({0, 1, 2})
+    assert all(0 <= node < 40 for node in picked)
+    other = crash_fraction_schedule(40, 0.25, seed=8, exclude=(0, 1, 2))
+    assert {crash.node for crash in other.crashes} != picked
+
+
+def test_crash_fraction_schedule_carries_windows_and_drops():
+    schedule = crash_fraction_schedule(
+        10, 0.2, seed=3, crash_round=2, recover_round=6, drop_rate=0.3
+    )
+    assert schedule.seed == 3
+    assert schedule.global_drop_rate == 0.3
+    assert all(crash.crash_round == 2 for crash in schedule.crashes)
+    assert all(crash.recover_round == 6 for crash in schedule.crashes)
+    assert crash_fraction_schedule(10, 0.0, seed=1).crashes == ()
+    with pytest.raises(ValueError):
+        crash_fraction_schedule(10, 1.0)
+
+
+# ----------------------------------------------------------------------
+# FaultState oracle
+# ----------------------------------------------------------------------
+def test_fault_state_refuses_empty_schedules():
+    with pytest.raises(ValueError):
+        FaultState(FaultSchedule(), n=5)
+
+
+@pytest.mark.parametrize(
+    "schedule",
+    [
+        FaultSchedule(crashes=(CrashEvent(node=5, crash_round=0),)),
+        FaultSchedule(link_failures=(LinkFailure(0, 5),)),
+        FaultSchedule(degradations=(CapacityDegradation(0.5, node=5),)),
+    ],
+)
+def test_fault_state_checks_node_index_range(schedule):
+    with pytest.raises(ValueError):
+        FaultState(schedule, n=5)
+    FaultState(schedule, n=6)  # index 5 is fine in a 6-node network
+
+
+def test_crashed_indices_are_cached_per_round():
+    state = FaultState(
+        FaultSchedule(crashes=(CrashEvent(node=1, crash_round=0, recover_round=2),)),
+        n=4,
+    )
+    assert state.crashed_indices(0) == frozenset({1})
+    assert state.crashed_indices(0) is state.crashed_indices(0)
+    assert state.crashed_indices(2) == frozenset()
+    assert state.is_crashed(1, 1)
+    assert not state.is_crashed(1, 2)
+
+
+def test_degradation_factors_multiply_and_floor_at_one_word():
+    state = FaultState(
+        FaultSchedule(
+            degradations=(
+                CapacityDegradation(0.5, start_round=0, end_round=10),
+                CapacityDegradation(0.5, start_round=5, end_round=10),
+                CapacityDegradation(0.25, start_round=0, end_round=10, node=2),
+            )
+        ),
+        n=4,
+    )
+    assert state.global_capacity_factor(0) == 0.5
+    assert state.global_capacity_factor(5) == 0.25  # overlapping windows multiply
+    assert state.global_capacity_factor(10) == 1.0
+    assert state.degraded_budget(40, 0) == 20
+    assert state.degraded_budget(40, 10) == 40
+    assert state.degraded_budget(1, 5) == 1  # never below one word
+    # Node-scoped factors are reported separately, node-wide ones are not.
+    assert state.node_capacity_factors(0) == {2: 0.25}
+    assert state.node_capacity_factors(10) == {}
+
+
+def test_drop_rate_lookup_and_unknown_mode():
+    state = FaultState(
+        FaultSchedule(global_drop_rate=0.2, local_drop_rate=0.1), n=3
+    )
+    assert state.drop_rate(GLOBAL_MODE) == 0.2
+    assert state.drop_rate(LOCAL_MODE) == 0.1
+    with pytest.raises(ValueError):
+        state.drop_rate("carrier-pigeon")
+
+
+def test_round_rng_is_deterministic_per_round_and_mode():
+    state = FaultState(FaultSchedule(seed=9, global_drop_rate=0.5), n=3)
+
+    def draws(round_index, mode):
+        rng = state.round_rng(round_index, mode)
+        return [rng.random() for _ in range(8)]
+
+    assert draws(4, GLOBAL_MODE) == draws(4, GLOBAL_MODE)
+    assert draws(4, GLOBAL_MODE) != draws(5, GLOBAL_MODE)
+    assert draws(4, GLOBAL_MODE) != draws(4, LOCAL_MODE)
+    other = FaultState(FaultSchedule(seed=10, global_drop_rate=0.5), n=3)
+    assert draws(4, GLOBAL_MODE) != [
+        other.round_rng(4, GLOBAL_MODE).random() for _ in range(8)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Simulator wiring
+# ----------------------------------------------------------------------
+def test_empty_schedule_installs_no_fault_state():
+    graph = path_graph(6)
+    bare = HybridSimulator(graph, ModelConfig.hybrid())
+    empty = HybridSimulator(graph, ModelConfig.hybrid(), fault_schedule=FaultSchedule())
+    assert bare.fault_state is None
+    assert empty.fault_state is None
+    faulty = HybridSimulator(
+        graph,
+        ModelConfig.hybrid(),
+        fault_schedule=FaultSchedule(global_drop_rate=0.1),
+    )
+    assert isinstance(faulty.fault_state, FaultState)
+    assert faulty.fault_state.n == 6
+
+
+def test_fault_schedule_range_errors_surface_at_construction():
+    with pytest.raises(ValueError):
+        HybridSimulator(
+            path_graph(4),
+            ModelConfig.hybrid(),
+            fault_schedule=FaultSchedule(crashes=(CrashEvent(node=9, crash_round=0),)),
+        )
+
+
+# ----------------------------------------------------------------------
+# invalidate_index regression (satellite: memos and cached arrays reset)
+# ----------------------------------------------------------------------
+def test_invalidate_index_resets_arrays_and_pair_memos():
+    sim = HybridSimulator(path_graph(8), ModelConfig.hybrid0(), seed=1)
+    indexer = sim.node_indexer()
+    # Populate every cache the plane paths maintain: identifier arrays and
+    # edge keys via a local plane send, the pair memos via a global send
+    # between neighbors (validation + teaching).
+    sim.local_send_batch_ids([indexer[0]], [indexer[1]], ["l"])
+    sim.global_send_batch_ids([indexer[2]], [indexer[3]], ["g"])
+    sim.advance_round()
+    assert sim._ids_by_index is not None
+    assert sim._edge_keys is not None
+    assert sim._validated_global_pairs.known
+    assert sim._taught_pairs.known
+    memo_before = sim._validated_global_pairs
+
+    sim.invalidate_index()
+
+    assert sim._ids_by_index is None
+    assert sim._ids_np is None
+    assert sim._edge_keys is None
+    # Fresh, empty memo objects — not the stale ones emptied in place.
+    assert sim._validated_global_pairs is not memo_before
+    assert not sim._validated_global_pairs.known
+    assert not sim._taught_pairs.known
+    # The simulator still works after invalidation: caches rebuild lazily.
+    sim.global_send_batch_ids([indexer[2]], [indexer[3]], ["g2"])
+    sim.advance_round()
+    assert ("g2" in [record[1] for record in sim.per_node_inbox(GLOBAL_MODE)[3]])
