@@ -37,6 +37,48 @@ def _environment() -> Dict[str, Any]:
     }
 
 
+#: Committed (unlike the gitignored ``BENCH_*.json``): one compact summary
+#: row per smoke-tier benchmark, refreshed in place on every run.
+_TRAJECTORY_NAME = "TRAJECTORY.md"
+_TRAJECTORY_PREAMBLE = [
+    "# Benchmark trajectory",
+    "",
+    "One compact summary row per smoke-tier benchmark, upserted (keyed by",
+    "benchmark name) by `_artifacts.update_trajectory` each time a benchmark",
+    "runs.  Unlike the gitignored `BENCH_*.json` build artifacts this file is",
+    "committed, so the repo history carries a human-readable performance",
+    "trajectory — one snapshot per commit that re-ran the suite.",
+    "",
+    "| benchmark | headline |",
+    "| --- | --- |",
+]
+
+
+def update_trajectory(name: str, headline: str) -> pathlib.Path:
+    """Upsert one benchmark's summary row in ``results/TRAJECTORY.md``.
+
+    ``headline`` is a single compact sentence (the benchmark's key numbers
+    against its acceptance floor).  Rows are keyed by ``name`` — re-running a
+    benchmark replaces its row in place — and kept sorted for diff stability.
+    """
+    directory = pathlib.Path(os.environ.get("BENCH_ARTIFACTS_DIR") or _DEFAULT_DIR)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / _TRAJECTORY_NAME
+    rows: Dict[str, str] = {}
+    if path.exists():
+        for line in path.read_text().splitlines():
+            if line.startswith("| ") and not line.startswith("| ---"):
+                cells = [cell.strip() for cell in line.strip("|").split("|")]
+                if len(cells) == 2 and cells[0] != "benchmark":
+                    rows[cells[0]] = cells[1]
+    rows[name] = " ".join(headline.split())  # keep the row on one line
+    lines = list(_TRAJECTORY_PREAMBLE)
+    for key in sorted(rows):
+        lines.append(f"| {key} | {rows[key]} |")
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
 def write_bench_artifact(
     name: str, rows: Sequence[Dict[str, Any]], **context: Any
 ) -> pathlib.Path:

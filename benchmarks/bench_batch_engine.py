@@ -18,6 +18,7 @@ import random
 import time
 from typing import Any, Dict, List, Tuple
 
+from _artifacts import update_trajectory, write_bench_artifact
 from repro.core.clustering import nq_clustering
 from repro.core.dissemination import KDissemination
 from repro.core.neighborhood_quality import neighborhood_quality
@@ -102,6 +103,23 @@ def _check(row: Dict[str, Any]) -> None:
     )
 
 
+def _write_artifact(row: Dict[str, Any]) -> None:
+    write_bench_artifact(
+        "batch_engine",
+        [row],
+        n=N,
+        k=K,
+        seed=SEED,
+        repeats=REPEATS,
+        required_speedup=REQUIRED_SPEEDUP,
+    )
+    update_trajectory(
+        "batch_engine",
+        f"KDissemination batch engine {row['speedup']}x faster than the legacy "
+        f"per-message path (floor {REQUIRED_SPEEDUP}x) at n={N}, k={K}",
+    )
+
+
 def test_batch_engine_speedup(save_table):
     row = run_speedup_comparison()
     save_table(
@@ -109,6 +127,7 @@ def test_batch_engine_speedup(save_table):
         [row],
         "Batch messaging engine - KDissemination n=2000 path, batch vs legacy",
     )
+    _write_artifact(row)
     _check(row)
 
 
@@ -117,6 +136,7 @@ def main() -> None:
     width = max(len(key) for key in row)
     for key, value in row.items():
         print(f"{key:<{width}}  {value}")
+    _write_artifact(row)
     _check(row)
     print(f"\nOK: batch engine meets the >= {REQUIRED_SPEEDUP}x bar.")
 

@@ -32,6 +32,7 @@ import time
 
 import pytest
 
+from _artifacts import update_trajectory, write_bench_artifact
 from repro.analysis.comparison import fit_power_law_exponent
 from repro.analysis.experiments import (
     default_benchmark_specs,
@@ -140,6 +141,22 @@ def _check_speedup(row: dict) -> None:
     )
 
 
+def _write_speedup_artifact(row: dict) -> None:
+    write_bench_artifact(
+        "nq_engine",
+        [row],
+        n=SPEEDUP_N,
+        k=SPEEDUP_K,
+        repeats=SPEEDUP_REPEATS,
+        required_speedup=REQUIRED_NQ_SPEEDUP,
+    )
+    update_trajectory(
+        "nq_engine",
+        f"frontier NQ_k {row['speedup']}x faster than the Theta(n*m) reference "
+        f"(floor {REQUIRED_NQ_SPEEDUP}x) at n={SPEEDUP_N}, k={SPEEDUP_K}",
+    )
+
+
 def test_nq_engine_speedup(save_table):
     row = run_nq_speedup_comparison()
     save_table(
@@ -147,6 +164,7 @@ def test_nq_engine_speedup(save_table):
         [row],
         "NQ analytics engine - frontier ball-growing vs Theta(n*m) reference",
     )
+    _write_speedup_artifact(row)
     _check_speedup(row)
 
 
@@ -201,6 +219,7 @@ def main() -> None:
     width = max(len(key) for key in row)
     for key, value in row.items():
         print(f"{key:<{width}}  {value}")
+    _write_speedup_artifact(row)
     _check_speedup(row)
     print(f"\nOK: NQ analytics engine meets the >= {REQUIRED_NQ_SPEEDUP}x bar.")
 

@@ -47,7 +47,7 @@ import random
 import time
 from typing import Any, Dict, List, Tuple
 
-from _artifacts import write_bench_artifact
+from _artifacts import update_trajectory, write_bench_artifact
 from repro.core.clustering import nq_clustering
 from repro.core.dissemination import KDissemination
 from repro.core.neighborhood_quality import neighborhood_quality
@@ -173,6 +173,12 @@ def _write_artifact(rows: List[Dict[str, Any]]) -> None:
         epsilon=EPSILON,
         repeats=REPEATS,
         required_speedup=REQUIRED_SPEEDUP,
+    )
+    speedups = sorted(row["speedup"] for row in rows)
+    update_trajectory(
+        "round_engine",
+        f"token planes {speedups[0]}x-{speedups[-1]}x faster than the tuple "
+        f"reference (floor {REQUIRED_SPEEDUP}x) on {len(rows)} workloads at n={N}",
     )
 
 

@@ -29,7 +29,7 @@ import random
 import time
 from typing import Any, Dict
 
-from _artifacts import write_bench_artifact
+from _artifacts import update_trajectory, write_bench_artifact
 from repro.core.clustering import nq_clustering
 from repro.core.neighborhood_quality import neighborhood_quality
 from repro.core.shortest_paths import UnweightedApproxAPSP
@@ -131,6 +131,11 @@ def _write_artifact(row: Dict[str, Any]) -> None:
         repeats=REPEATS,
         spot_checks=SPOT_CHECKS,
         required_speedup=REQUIRED_SPEEDUP,
+    )
+    update_trajectory(
+        "shortest_paths",
+        f"UnweightedApproxAPSP batch path {row['speedup']}x faster than legacy "
+        f"(floor {REQUIRED_SPEEDUP}x) at n={N}, eps={EPSILON}",
     )
 
 

@@ -32,6 +32,7 @@ import time
 
 import pytest
 
+from _artifacts import update_trajectory, write_bench_artifact
 from repro.analysis.experiments import run_clustering_scale_point
 from repro.core.clustering import _reference_nq_clustering, nq_clustering
 from repro.core.neighborhood_quality import neighborhood_quality
@@ -158,6 +159,25 @@ def _check_rows(rows) -> None:
         )
 
 
+def _write_artifact(rows) -> None:
+    write_bench_artifact(
+        "weighted_engine",
+        rows,
+        n=N,
+        sssp_sources=SSSP_SOURCES,
+        epsilon=EPSILON,
+        cluster_k=CLUSTER_K,
+        repeats=REPEATS,
+        required_speedup=REQUIRED_SPEEDUP,
+    )
+    speedups = sorted(row["speedup"] for row in rows)
+    update_trajectory(
+        "weighted_engine",
+        f"flat-index analytics {speedups[0]}x-{speedups[-1]}x faster than the "
+        f"dict+heapq references (floor {REQUIRED_SPEEDUP}x) at n={N}",
+    )
+
+
 def test_weighted_engine_speedup(save_table):
     rows = [run_sssp_speedup_comparison(), run_clustering_speedup_comparison()]
     save_table(
@@ -165,6 +185,7 @@ def test_weighted_engine_speedup(save_table):
         rows,
         "Weighted analytics engine - flat index paths vs dict+heapq references",
     )
+    _write_artifact(rows)
     _check_rows(rows)
 
 
@@ -203,6 +224,7 @@ def main() -> None:
         for key, value in row.items():
             print(f"{key:<{width}}  {value}")
         print()
+    _write_artifact(rows)
     _check_rows(rows)
     print(f"OK: weighted analytics engine meets the >= {REQUIRED_SPEEDUP}x bar.")
 

@@ -231,4 +231,5 @@ class SqrtNSkeletonAPSP:
             stretch_bound=1.0,
             metrics=sim.metrics,
             row_store="array",
+            index=skeleton_rows.index,
         )

@@ -57,7 +57,11 @@ class ResilientDisseminationResult:
     ``known_tokens`` maps every node to the tokens it actually received
     (crashed nodes keep whatever they got before crashing); ``live_nodes``
     are the nodes not crashed in the final round.  ``complete`` reports the
-    converged fixpoint described in the module docstring.
+    converged fixpoint described in the module docstring.  ``removed_edges``
+    lists the edges that permanent link failures committed as real deletions
+    during the run (in commit order; empty without ``permanent=True``
+    failures) — the graph the caller passed in has genuinely churned, and
+    follow-up dissemination/APSP runs on it see the committed topology.
     """
 
     tokens: Set[Any]
@@ -66,6 +70,7 @@ class ResilientDisseminationResult:
     epochs: int
     complete: bool
     metrics: RoundMetrics
+    removed_edges: List[Tuple[Node, Node]] = dataclasses.field(default_factory=list)
 
     def all_live_nodes_know_all_tokens(self) -> bool:
         """Whether every live node knows every token of the whole workload."""
@@ -235,4 +240,5 @@ class ResilientDissemination(BatchAlgorithm):
             epochs=self.epochs,
             complete=self.complete,
             metrics=sim.metrics,
+            removed_edges=list(sim.committed_link_removals),
         )

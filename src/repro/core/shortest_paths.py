@@ -138,6 +138,15 @@ class DenseDistanceTable(DistanceTable):
     * ``math.inf`` is returned *only* for a genuinely unreachable
       (target, source) pair — a row the algorithm computed whose entry is
       infinite.
+
+    ``index`` (optional) ties the table to the
+    :class:`~repro.graphs.index.GraphIndex` its rows derive from: the table
+    records the index version at construction and *every* read — including
+    reads of rows cached or materialised before a mutation — raises
+    :class:`~repro.graphs.index.StaleIndexError` once that index is retired
+    or patched past the recorded version.  Without it a consumer holding the
+    table across an ``invalidate_index`` / ``GraphMutator`` edit would keep
+    reading distances for a graph that no longer exists.
     """
 
     def __init__(
@@ -149,6 +158,7 @@ class DenseDistanceTable(DistanceTable):
         metrics: RoundMetrics,
         nq: Optional[int] = None,
         row_store: str = "list",
+        index: Optional[GraphIndex] = None,
     ) -> None:
         if row_store not in ("list", "array"):
             raise ValueError("row_store must be 'list' or 'array'")
@@ -163,12 +173,20 @@ class DenseDistanceTable(DistanceTable):
         self.stretch_bound = stretch_bound
         self.metrics = metrics
         self.nq = nq
+        self._guard_index = index
+        self._guard_version = index.version if index is not None else None
+
+    def _check_guard(self) -> None:
+        index = self._guard_index
+        if index is not None:
+            index.ensure_current(self._guard_version)
 
     def columns(self) -> List[Node]:
         return list(self._columns)
 
     def row(self, target: Node) -> Sequence[float]:
         """The dense estimate row of ``target``, aligned with :meth:`columns`."""
+        self._check_guard()
         if target not in self._row_set:
             raise KeyError(f"target {target!r} has no estimate row")
         cached = self._rows.get(target)
@@ -188,6 +206,7 @@ class DenseDistanceTable(DistanceTable):
         return cached
 
     def estimate(self, target: Node, source: Node) -> float:
+        self._check_guard()
         position = self._column_position.get(source)
         if position is None:
             raise KeyError(f"source {source!r} is not a column of this table")
@@ -202,6 +221,7 @@ class DenseDistanceTable(DistanceTable):
 
     @property
     def estimates(self) -> Dict[Node, Dict[Node, float]]:
+        self._check_guard()
         if self._estimates is None:
             columns = self._columns
             rows = self._rows
@@ -568,6 +588,7 @@ class UnweightedApproxAPSP(BatchAlgorithm):
             stretch_bound=stretch,
             metrics=sim.metrics,
             nq=self.nq,
+            index=index,
         )
 
 
@@ -656,6 +677,7 @@ class SpannerAPSP(BatchAlgorithm):
             metrics=sim.metrics,
             nq=neighborhood_quality(sim.graph, sim.n),
             row_store="array",
+            index=index,
         )
 
 
@@ -828,4 +850,5 @@ class SkeletonAPSP(BatchAlgorithm):
             metrics=sim.metrics,
             nq=self.nq,
             row_store="array",
+            index=skeleton_rows.index,
         )

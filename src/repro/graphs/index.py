@@ -72,13 +72,32 @@ so graphs are collected normally).  Scalar ``NQ_k`` values are additionally
 memoised per ``(index, k)``, and rounded-weight CSR arrays per ``epsilon`` —
 repeated ``neighborhood_quality(graph, k)`` / ``approx_sssp_distances(graph,
 s, eps)`` calls inside one experiment (routing + shortest paths + lower
-bounds on the same instance) cost one computation each.  The cache is
-invalidated when the graph's node or edge count changes; *rewiring* or
-*re-weighting* a graph while keeping both counts constant is not detected —
-treat analysed graphs as frozen (every generator in
-:mod:`repro.graphs.generators` does), use the :mod:`repro.graphs.weighted`
-helpers for weight assignment (they call :func:`invalidate_index`), or call
-:func:`invalidate_index` yourself after a manual mutation.
+bounds on the same instance) cost one computation each.
+
+Versioned mutation (the staleness contract)
+-------------------------------------------
+
+Graphs are no longer assumed frozen.  Every graph carries a **version stamp**
+(:func:`graph_version`, stored weakly so untouched graphs cost nothing), and
+every :class:`GraphIndex` records the version it reflects.  :func:`get_index`
+serves a cached index only while the stamps match (a node/edge-count
+comparison is kept as a backstop for out-of-band ``networkx`` mutations that
+nothing stamped) — so rewiring or re-weighting through the supported paths is
+always detected, including edits that preserve both counts.
+
+Who bumps: :class:`repro.graphs.mutation.GraphMutator` (the supported edit
+API — it additionally patches the cached index *in place*, see the
+``apply_*`` methods), the :mod:`repro.graphs.weighted` helpers (via
+:func:`invalidate_index`), and :func:`invalidate_index` itself, which both
+bumps the stamp and marks the dropped index *retired*.  Who checks:
+:func:`get_index`, :class:`SSSPRowCache` reads,
+:class:`repro.core.shortest_paths.DenseDistanceTable` reads, and
+``HybridSimulator`` plane sends.  A consumer holding state derived from a
+retired or out-of-version index raises :class:`StaleIndexError` instead of
+returning stale distances.  Code that edits ``graph[u][v]["weight"]`` by
+hand (bypassing the mutator) must still call :func:`invalidate_index`
+afterwards; see DESIGN.md for the full protocol and the partial-reindex vs
+full-drop decision table.
 """
 
 from __future__ import annotations
@@ -87,6 +106,7 @@ import heapq
 import math
 import weakref
 from array import array
+from collections import OrderedDict
 from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
 import networkx as nx
@@ -96,10 +116,64 @@ Node = Hashable
 __all__ = [
     "GraphIndex",
     "SSSPRowCache",
+    "StaleIndexError",
+    "bump_graph_version",
     "get_index",
+    "graph_version",
     "invalidate_index",
     "round_weight_up",
 ]
+
+
+class StaleIndexError(RuntimeError):
+    """A read through an index (or index-derived state) that mutation killed.
+
+    Raised instead of silently returning distances computed against a dead
+    CSR: after :func:`invalidate_index` or a :class:`~repro.graphs.mutation.
+    GraphMutator` edit, any :class:`SSSPRowCache` or lazy
+    :class:`~repro.core.shortest_paths.DenseDistanceTable` still holding the
+    old index refuses further reads.  Re-run the producer against the current
+    :func:`get_index` to get fresh values.
+    """
+
+
+# ----------------------------------------------------------------------
+# Per-graph version stamps
+# ----------------------------------------------------------------------
+# Weak so that stamping never extends a graph's lifetime; a graph that was
+# never mutated through the supported paths has no entry and reads version 0.
+_GRAPH_VERSIONS: "weakref.WeakKeyDictionary[nx.Graph, int]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def graph_version(graph: nx.Graph) -> int:
+    """The current mutation-version stamp of ``graph`` (0 if never bumped).
+
+    Unhashable / non-weakrefable graph-like objects cannot carry a stamp and
+    always read 0 — for those, staleness detection falls back to the
+    node/edge-count comparison in :func:`get_index`.
+    """
+    try:
+        return _GRAPH_VERSIONS.get(graph, 0)
+    except TypeError:
+        return 0
+
+
+def bump_graph_version(graph: nx.Graph) -> Optional[int]:
+    """Advance ``graph``'s version stamp; returns the new version.
+
+    Every supported mutation path calls this (directly or via
+    :func:`invalidate_index`).  Returns ``None`` when ``graph`` cannot be
+    stamped (unhashable / non-weakrefable) — callers must then fall back to
+    :func:`invalidate_index` semantics.
+    """
+    try:
+        version = _GRAPH_VERSIONS.get(graph, 0) + 1
+        _GRAPH_VERSIONS[graph] = version
+        return version
+    except TypeError:
+        return None
 
 
 def round_weight_up(weight: float, epsilon: float) -> float:
@@ -125,13 +199,23 @@ def round_weight_up(weight: float, epsilon: float) -> float:
 
 
 class GraphIndex:
-    """CSR-style integer-indexed view of one (frozen) ``networkx`` graph.
+    """CSR-style integer-indexed view of one ``networkx`` graph.
 
     ``nodes[i]`` is the node with index ``i`` and ``index_of[node]`` inverts
     it; the adjacency of index ``u`` is ``targets[offsets[u]:offsets[u + 1]]``.
     All BFS primitives work on flat integer arrays with an epoch-stamped
     ``visited`` scratch vector, so a query touching only a small ball costs
     only that ball — no O(n) per-query (re)initialisation.
+
+    The index records the :func:`graph_version` it reflects (:attr:`version`)
+    and supports in-place incremental maintenance for single-edge edits whose
+    endpoints already exist (:meth:`apply_edge_insert`,
+    :meth:`apply_edge_delete`, :meth:`apply_weight_update`) — used by
+    :class:`repro.graphs.mutation.GraphMutator` so an edit costs an O(n)
+    offset shift instead of a full O(n + m) rebuild.  Self-loops are rejected
+    at construction: the CSR build would write them twice (once per endpoint
+    cursor), silently inflating degrees, ball sizes and NQ, and no supported
+    workload produces them.
     """
 
     def __init__(self, graph: nx.Graph) -> None:
@@ -140,6 +224,12 @@ class GraphIndex:
         self.n = n
         self.m = graph.number_of_edges()
         self.nodes = nodes
+        # Version-stamp bookkeeping (see the module docstring): ``version`` is
+        # the graph version this CSR reflects; ``retired`` flips when
+        # ``invalidate_index`` drops the index so derived state can refuse
+        # reads instead of serving dead distances.
+        self.version = graph_version(graph)
+        self.retired = False
         index_of: Dict[Node, int] = {}
         for i, v in enumerate(nodes):
             index_of[v] = i
@@ -147,6 +237,12 @@ class GraphIndex:
 
         offsets = [0] * (n + 1)
         for u, v in graph.edges():
+            if u == v:
+                raise ValueError(
+                    f"self-loop at node {u!r}: GraphIndex requires a simple "
+                    "graph (a self-loop would be double-counted in the CSR, "
+                    "inflating degrees, ball sizes and NQ)"
+                )
             offsets[index_of[u] + 1] += 1
             offsets[index_of[v] + 1] += 1
         for i in range(n):
@@ -188,6 +284,137 @@ class GraphIndex:
         self._by_tie_rank: Optional[List[int]] = None
         self._rounded_weights: Dict[float, List[float]] = {}
         self._adjacency_pairs: Dict[float, List[Tuple[int, float]]] = {}
+
+    # ------------------------------------------------------------------
+    # Version-stamp protocol
+    # ------------------------------------------------------------------
+    def ensure_current(self, expected_version: Optional[int] = None) -> None:
+        """Raise :class:`StaleIndexError` if this index is dead or has moved on.
+
+        ``expected_version`` is the version a derived structure (row cache,
+        lazy table) recorded when it was built; ``None`` checks only that the
+        index was not retired by :func:`invalidate_index`.
+        """
+        if self.retired:
+            raise StaleIndexError(
+                "index was retired by invalidate_index(); rebuild via "
+                "get_index(graph) and re-run the producer"
+            )
+        if expected_version is not None and expected_version != self.version:
+            raise StaleIndexError(
+                f"index moved from version {expected_version} to "
+                f"{self.version} (graph mutated); re-run the producer against "
+                "the current index"
+            )
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance (single-edge patches; GraphMutator's substrate)
+    # ------------------------------------------------------------------
+    # Each patch keeps every memoised CSR derivative aligned: the parallel
+    # ``targets`` / ``weights`` arrays, every cached rounded-weight array and
+    # every cached ``(target, weight)`` pair array get the same positional
+    # edit.  Analytics caches are dropped only when a given edit class can
+    # change their answers: topology edits drop connectivity / diameter / NQ
+    # memos but keep the tie-rank arrays (the node set is untouched);
+    # weight-only edits keep every hop-based cache.  Within-slice entry order
+    # may differ from a from-scratch rebuild, but every query result is
+    # order-independent (BFS levels, end-of-level tie finalisation in
+    # ``closest_sources``, rank-ordered Dijkstra heaps), which the
+    # rebuild-oracle property grid pins.
+    def _drop_topology_caches(self) -> None:
+        self._connected = None
+        self._diameter = None
+        self._diam_lb = 0
+        self._nq_cache.clear()
+
+    def _insert_csr_entry(self, position: int, target: int, weight: float) -> None:
+        self._targets.insert(position, target)
+        self._weights.insert(position, weight)
+        for eps, rounded in self._rounded_weights.items():
+            rounded.insert(position, round_weight_up(weight, eps))
+        for eps, pairs in self._adjacency_pairs.items():
+            w = weight if eps <= 0 else round_weight_up(weight, eps)
+            pairs.insert(position, (target, w))
+
+    def _delete_csr_entry(self, position: int) -> None:
+        del self._targets[position]
+        del self._weights[position]
+        for rounded in self._rounded_weights.values():
+            del rounded[position]
+        for pairs in self._adjacency_pairs.values():
+            del pairs[position]
+
+    def _entry_position(self, ui: int, vi: int) -> int:
+        """Position of the ``ui -> vi`` CSR entry; KeyError if absent."""
+        try:
+            return self._targets.index(vi, self._offsets[ui], self._offsets[ui + 1])
+        except ValueError:
+            raise KeyError(
+                f"edge ({self.nodes[ui]!r}, {self.nodes[vi]!r}) not in index"
+            ) from None
+
+    def _shift_offsets(self, start: int, delta: int) -> None:
+        # Slice re-assignment beats an explicit Python loop for the O(n)
+        # suffix shift — this is the whole per-edit cost on sparse graphs.
+        offsets = self._offsets
+        offsets[start:] = [o + delta for o in offsets[start:]]
+
+    def apply_edge_insert(self, u: Node, v: Node, weight: float = 1) -> None:
+        """Patch the CSR for a new edge ``(u, v)`` between existing nodes.
+
+        Appends the entry at the end of each endpoint's adjacency slice and
+        shifts the offset suffixes.  Topology analytics caches are dropped;
+        tie ranks survive.  Raises ``KeyError`` for unknown endpoints and
+        ``ValueError`` for self-loops or non-positive weights.  The caller
+        (normally :class:`~repro.graphs.mutation.GraphMutator`) owns graph
+        mutation and version stamping.
+        """
+        if weight <= 0:
+            raise ValueError("edge weights must be positive")
+        ui = self._require(u)
+        vi = self._require(v)
+        if ui == vi:
+            raise ValueError(f"self-loop at node {u!r}: not supported")
+        self._insert_csr_entry(self._offsets[ui + 1], vi, weight)
+        self._shift_offsets(ui + 1, 1)
+        self._insert_csr_entry(self._offsets[vi + 1], ui, weight)
+        self._shift_offsets(vi + 1, 1)
+        self.m += 1
+        self._drop_topology_caches()
+
+    def apply_edge_delete(self, u: Node, v: Node) -> None:
+        """Patch the CSR for the removal of edge ``(u, v)``.
+
+        Raises ``KeyError`` if either endpoint or the edge is missing.
+        Topology analytics caches are dropped; tie ranks survive.
+        """
+        ui = self._require(u)
+        vi = self._require(v)
+        self._delete_csr_entry(self._entry_position(ui, vi))
+        self._shift_offsets(ui + 1, -1)
+        self._delete_csr_entry(self._entry_position(vi, ui))
+        self._shift_offsets(vi + 1, -1)
+        self.m -= 1
+        self._drop_topology_caches()
+
+    def apply_weight_update(self, u: Node, v: Node, weight: float) -> None:
+        """Patch the weight of the existing edge ``(u, v)`` in place.
+
+        A weight-only edit cannot change any hop-based answer, so every
+        analytics cache (connectivity, diameter, NQ, tie ranks) survives —
+        only the weight arrays and their rounded/pair derivatives are patched.
+        """
+        if weight <= 0:
+            raise ValueError("edge weights must be positive")
+        ui = self._require(u)
+        vi = self._require(v)
+        for position in (self._entry_position(ui, vi), self._entry_position(vi, ui)):
+            self._weights[position] = weight
+            for eps, rounded in self._rounded_weights.items():
+                rounded[position] = round_weight_up(weight, eps)
+            for eps, pairs in self._adjacency_pairs.items():
+                w = weight if eps <= 0 else round_weight_up(weight, eps)
+                pairs[position] = (pairs[position][0], w)
 
     # ------------------------------------------------------------------
     # Flat BFS primitives
@@ -913,18 +1140,30 @@ class SSSPRowCache:
 
     ``rows_computed`` counts Dijkstra runs — the regression tests use it to
     assert that nothing materialises n^2 state behind a consumer's back.
+
+    The cache records the index version at construction and every read —
+    including reads of rows cached *before* a mutation — raises
+    :class:`StaleIndexError` once the index is retired or patched past that
+    version, instead of returning distances for a graph that no longer
+    exists.
     """
 
-    __slots__ = ("index", "epsilon", "rows_computed", "_rows")
+    __slots__ = ("index", "epsilon", "rows_computed", "_rows", "_version")
 
     def __init__(self, index: GraphIndex, epsilon: float = 0.0) -> None:
         self.index = index
         self.epsilon = epsilon
         self.rows_computed = 0
         self._rows: Dict[Node, "array[float]"] = {}
+        self._version = index.version
 
     def row(self, source: Node) -> "array[float]":
-        """The dense distance row of ``source`` (computed once, then cached)."""
+        """The dense distance row of ``source`` (computed once, then cached).
+
+        Raises :class:`StaleIndexError` when the underlying index was retired
+        or mutated since this cache was created.
+        """
+        self.index.ensure_current(self._version)
         cached = self._rows.get(source)
         if cached is None:
             cached = array("d", self.index.sssp_row(source, self.epsilon))
@@ -934,6 +1173,7 @@ class SSSPRowCache:
 
     def position_of(self, node: Node) -> int:
         """``node``'s column position within every cached row."""
+        self.index.ensure_current(self._version)
         return self.index.index_of[node]
 
 
@@ -944,42 +1184,114 @@ _INDEX_CACHE: "weakref.WeakKeyDictionary[nx.Graph, GraphIndex]" = (
     weakref.WeakKeyDictionary()
 )
 
+# Bounded fallback for graph-like objects the weak cache cannot hold
+# (unhashable or non-weakrefable).  Keyed by ``id()`` with the graph object
+# kept as a strong reference — both to memoise repeated queries (the old
+# behaviour rebuilt the CSR on *every* call) and to pin the id so a collected
+# object's recycled address can never alias a cache hit (an entry only
+# matches when ``entry[0] is graph``).  Lifetime note: the cache keeps the
+# last ``_FALLBACK_LIMIT`` such graphs alive until evicted in FIFO order or
+# dropped via ``invalidate_index``; weak-cacheable graphs (every ``nx.Graph``)
+# never enter it.
+_FALLBACK_LIMIT = 4
+_FALLBACK_CACHE: "OrderedDict[int, Tuple[object, GraphIndex]]" = OrderedDict()
+
+
+def _fallback_get(graph: nx.Graph) -> Optional[GraphIndex]:
+    entry = _FALLBACK_CACHE.get(id(graph))
+    if entry is not None and entry[0] is graph:
+        return entry[1]
+    return None
+
+
+def _fallback_store(graph: nx.Graph, index: GraphIndex) -> None:
+    _FALLBACK_CACHE[id(graph)] = (graph, index)
+    _FALLBACK_CACHE.move_to_end(id(graph))
+    while len(_FALLBACK_CACHE) > _FALLBACK_LIMIT:
+        _FALLBACK_CACHE.popitem(last=False)
+
+
+def _peek_index(graph: nx.Graph) -> Optional[GraphIndex]:
+    """The cached index of ``graph`` without building one (mutator hook)."""
+    try:
+        cached = _INDEX_CACHE.get(graph)
+    except TypeError:
+        cached = None
+    if cached is None:
+        cached = _fallback_get(graph)
+    return cached
+
+
+def _index_is_current(cached: GraphIndex, graph: nx.Graph) -> bool:
+    # The version comparison is the real staleness check; the node/edge-count
+    # comparison stays as a backstop for out-of-band networkx mutations that
+    # bypassed every stamping path.
+    return (
+        not cached.retired
+        and cached.version == graph_version(graph)
+        and cached.n == graph.number_of_nodes()
+        and cached.m == graph.number_of_edges()
+    )
+
 
 def get_index(graph: nx.Graph) -> GraphIndex:
     """The shared :class:`GraphIndex` of ``graph`` (built on first use).
 
-    Rebuilds automatically when the graph's node or edge count changed since
-    the index was built; see the module docstring for the (intentional)
-    rewiring caveat.
+    Staleness is version-based: the cached index is served only while its
+    :attr:`GraphIndex.version` equals :func:`graph_version`, so any mutation
+    through :class:`~repro.graphs.mutation.GraphMutator`,
+    :mod:`repro.graphs.weighted` or :func:`invalidate_index` forces a
+    rebuild — including rewirings that preserve the node and edge counts
+    (those defeated the historical count-only check).  The count comparison
+    is retained as a backstop for hand mutations that bypassed stamping.
+    Unhashable / non-weakrefable graph-like objects are memoised in a small
+    bounded strong-reference cache keyed by identity (see the lifetime note
+    on the fallback cache above).
     """
     try:
         cached = _INDEX_CACHE.get(graph)
+        weak_capable = True
     except TypeError:  # unhashable graph-like object
-        return GraphIndex(graph)
-    if (
-        cached is not None
-        and cached.n == graph.number_of_nodes()
-        and cached.m == graph.number_of_edges()
-    ):
+        cached = None
+        weak_capable = False
+    if cached is None:
+        cached = _fallback_get(graph)
+    if cached is not None and _index_is_current(cached, graph):
         return cached
     index = GraphIndex(graph)
-    try:
-        _INDEX_CACHE[graph] = index
-    except TypeError:  # graphs that cannot be weak-referenced
-        pass
+    if weak_capable:
+        try:
+            _INDEX_CACHE[graph] = index
+            return index
+        except TypeError:  # hashable but not weak-referenceable
+            pass
+    _fallback_store(graph, index)
     return index
 
 
 def invalidate_index(graph: nx.Graph) -> None:
-    """Drop ``graph``'s cached :class:`GraphIndex` (if any).
+    """Drop ``graph``'s cached :class:`GraphIndex` and bump its version.
 
-    The count-based staleness check in :func:`get_index` cannot see mutations
-    that keep the node and edge counts constant — rewiring, and since the index
-    carries a weighted CSR, *re-weighting*.  The weight-assignment helpers in
-    :mod:`repro.graphs.weighted` call this after mutating a graph in place;
-    code that edits ``graph[u][v]["weight"]`` by hand must do the same.
+    The full-drop path of the mutation protocol: the cached index (if any)
+    is marked *retired* — so caller-owned row caches and lazy tables built on
+    it raise :class:`StaleIndexError` instead of serving dead distances — and
+    the graph's version stamp advances, forcing every versioned consumer
+    (:func:`get_index`, ``HybridSimulator`` plane sends) to resynchronise.
+    The weight-assignment helpers in :mod:`repro.graphs.weighted` call this
+    after mutating a graph in place; code that edits ``graph[u][v]["weight"]``
+    by hand must do the same.  Single-edge edits should prefer
+    :class:`repro.graphs.mutation.GraphMutator`, which patches the index
+    incrementally instead of dropping it.
     """
     try:
-        _INDEX_CACHE.pop(graph, None)
+        cached = _INDEX_CACHE.pop(graph, None)
     except TypeError:
-        pass
+        cached = None
+    entry = _FALLBACK_CACHE.get(id(graph))
+    if entry is not None and entry[0] is graph:
+        if cached is None:
+            cached = entry[1]
+        del _FALLBACK_CACHE[id(graph)]
+    if cached is not None:
+        cached.retired = True
+    bump_graph_version(graph)

@@ -15,6 +15,7 @@ __all__ = [
     "CapacityExceededError",
     "LocalBandwidthExceededError",
     "RoundLifecycleError",
+    "StaleGraphError",
     "UnknownNodeError",
 ]
 
@@ -49,3 +50,14 @@ class LocalBandwidthExceededError(SimulatorError):
 class RoundLifecycleError(SimulatorError):
     """The simulator API was used out of order (e.g. reading an inbox for a round
     that has not been delivered yet)."""
+
+
+class StaleGraphError(SimulatorError):
+    """The simulator's graph was mutated after the id-native arrays were built.
+
+    Plane sends compare the graph's version stamp (see
+    :func:`repro.graphs.index.graph_version`) against the one recorded when
+    the simulator's node maps and adjacency keys were (re)built; a mismatch
+    means those arrays describe a graph that no longer exists.  Call
+    ``HybridSimulator.invalidate_index()`` after mutating the graph to
+    resynchronise."""

@@ -100,12 +100,23 @@ class LinkFailure:
 
     Endpoints are node indices; the failure is symmetric (both directions of
     the edge drop their records while the window is active).
+
+    ``permanent=True`` upgrades the window-scoped outage to a real topology
+    edit: when the window closes, the simulator *commits* the failure as an
+    edge deletion through :class:`repro.graphs.mutation.GraphMutator` — the
+    edge is gone from the graph itself (version stamp bumped, analytics index
+    patched incrementally, simulator adjacency caches resynchronised), and
+    later dissemination/APSP runs see the churned topology.  A permanent
+    failure therefore requires a *finite* ``end_round`` (an open-ended window
+    already drops everything forever and has no close to commit at); see
+    ``HybridSimulator.advance_round`` / ``committed_link_removals``.
     """
 
     u: int
     v: int
     start_round: int = 0
     end_round: Optional[int] = _FOREVER
+    permanent: bool = False
 
     def __post_init__(self) -> None:
         if self.u < 0 or self.v < 0:
@@ -113,6 +124,12 @@ class LinkFailure:
         if self.u == self.v:
             raise ValueError("link failure: endpoints must differ")
         _check_window(self.start_round, self.end_round, "link failure")
+        if self.permanent and self.end_round is None:
+            raise ValueError(
+                "link failure: permanent=True requires a finite end_round "
+                "(the deletion is committed when the window closes; an "
+                "open-ended window already drops the edge forever)"
+            )
 
     def active_at(self, round_index: int) -> bool:
         if round_index < self.start_round:
@@ -258,6 +275,7 @@ class FaultState:
         "_node_factor_cache",
         "_link_cache",
         "_has_node_degradations",
+        "_pending_permanent",
     )
 
     def __init__(self, schedule: FaultSchedule, n: int) -> None:
@@ -286,6 +304,15 @@ class FaultState:
         self._link_cache: Dict[int, FrozenSet[int]] = {}
         self._has_node_degradations = any(
             degradation.node is not None for degradation in schedule.degradations
+        )
+        # Permanent link failures awaiting their window close, ordered by
+        # closing round (ties by endpoints for determinism).  The simulator
+        # drains this via take_permanent_closures after each advanced round;
+        # the state is per-FaultState, so one frozen schedule shared by many
+        # simulators commits independently in each.
+        self._pending_permanent: List[LinkFailure] = sorted(
+            (f for f in schedule.link_failures if f.permanent),
+            key=lambda f: (f.end_round, f.u, f.v),
         )
 
     # ------------------------------------------------------------------
@@ -362,6 +389,25 @@ class FaultState:
             cached = frozenset(keys)
             self._link_cache[round_index] = cached
         return cached
+
+    def take_permanent_closures(self, round_index: int) -> List[Tuple[int, int]]:
+        """Drain permanent failures whose window has closed by ``round_index``.
+
+        Returns the ``(u, v)`` index pairs of every ``permanent=True`` failure
+        with ``end_round <= round_index`` that has not been returned before,
+        in deterministic ``(end_round, u, v)`` order — each closure is handed
+        out exactly once, so the simulator commits each deletion exactly once
+        however many rounds it advances past the window.
+        """
+        pending = self._pending_permanent
+        if not pending or pending[0].end_round > round_index:
+            return []
+        cut = 0
+        while cut < len(pending) and pending[cut].end_round <= round_index:
+            cut += 1
+        closed = pending[:cut]
+        del pending[:cut]
+        return [(failure.u, failure.v) for failure in closed]
 
     # ------------------------------------------------------------------
     # Message drops

@@ -60,10 +60,20 @@ per-node reductions, and the delivery buckets are built in one sort/group pass
 round's inbox.  The plane paths validate a workload up front and queue nothing
 on error (the tuple paths abort mid-batch, keeping the already-queued prefix).
 
-Like the analytics index, the plane paths treat the graph as **frozen**: the
-node-index maps, identifier arrays and adjacency keys are cached on first use,
-and mutating the graph mid-simulation is not detected — call
-:meth:`HybridSimulator.invalidate_index` after a deliberate mutation.
+Like the analytics index, the plane paths cache id-native state on first use
+(node-index maps, identifier arrays, adjacency keys) — but the graph is no
+longer assumed frozen: the simulator records the graph's **version stamp**
+(:func:`repro.graphs.index.graph_version`) and every plane send checks it, so
+a mutation through :class:`repro.graphs.mutation.GraphMutator`,
+:mod:`repro.graphs.weighted` or :func:`repro.graphs.index.invalidate_index`
+makes the next plane send raise
+:class:`~repro.simulator.errors.StaleGraphError` instead of silently
+validating against dead adjacency keys.  After a deliberate mid-simulation
+mutation, call :meth:`HybridSimulator.invalidate_index` to drop the cached
+arrays and resynchronise the stamp.  Node additions/removals remain
+unsupported (the node order, identifier assignment and knowledge state are
+fixed at construction); edge edits are fully supported, including permanent
+link-failure commits from the fault layer (see ``advance_round``).
 
 Legacy per-message API
 ----------------------
@@ -97,6 +107,8 @@ from typing import Any, Dict, Hashable, Iterable, List, Optional, Sequence, Set,
 
 import networkx as nx
 
+from repro.graphs.index import graph_version
+from repro.graphs.mutation import GraphMutator
 from repro.simulator import _accel
 from repro.simulator.config import IdentifierRegime, ModelConfig
 from repro.simulator.faults import FaultSchedule, FaultState
@@ -105,6 +117,7 @@ from repro.simulator.errors import (
     LocalBandwidthExceededError,
     NotANeighborError,
     RoundLifecycleError,
+    StaleGraphError,
     UnknownIdentifierError,
     UnknownNodeError,
 )
@@ -318,6 +331,14 @@ class HybridSimulator:
         )
         self.metrics = RoundMetrics()
         self.round = 0
+        # Version stamp of the graph the id-native caches describe.  Plane
+        # sends compare it against the live stamp and raise StaleGraphError on
+        # mismatch; ``invalidate_index`` resynchronises it after a deliberate
+        # mutation.
+        self._graph_version = graph_version(graph)
+        # Edges the fault layer deleted for good (permanent link failures
+        # committed at window close, in commit order).  See ``advance_round``.
+        self.committed_link_removals: List[Tuple[Node, Node]] = []
 
         self._nodes: List[Node] = sorted(graph.nodes, key=node_sort_key)
         self._node_set: Set[Node] = set(self._nodes)
@@ -431,14 +452,17 @@ class HybridSimulator:
         return index
 
     def invalidate_index(self) -> None:
-        """Drop the cached id-native arrays (identifier and adjacency keys).
+        """Drop the cached id-native arrays and resynchronise the graph stamp.
 
-        The plane paths treat the graph as frozen; a deliberate mid-simulation
-        mutation of the graph must be followed by this call (mirroring
-        :func:`repro.graphs.index.invalidate_index` for the analytics layer).
-        Node additions/removals are not supported — the node order, identifier
+        A deliberate mid-simulation mutation of the graph must be followed by
+        this call (mirroring :func:`repro.graphs.index.invalidate_index` for
+        the analytics layer); until then, plane sends raise
+        :class:`~repro.simulator.errors.StaleGraphError` because the cached
+        adjacency keys describe a graph that no longer exists.  Node
+        additions/removals are not supported — the node order, identifier
         assignment and knowledge state are fixed at construction.
         """
+        self._graph_version = graph_version(self.graph)
         self._ids_by_index = None
         self._ids_np = None
         self._edge_keys = None
@@ -450,6 +474,21 @@ class HybridSimulator:
         # pairs is merely slow, never wrong.
         self._validated_global_pairs = _PairMemo()
         self._taught_pairs = _PairMemo()
+
+    def _check_graph_version(self) -> None:
+        """Raise :class:`StaleGraphError` if the graph mutated behind us.
+
+        One weak-dict lookup per plane shard — negligible against the shard
+        work it guards.  Tuple-path sends don't need it: they validate against
+        the live ``graph`` object, never against cached adjacency keys.
+        """
+        current = graph_version(self.graph)
+        if current != self._graph_version:
+            raise StaleGraphError(
+                f"graph version moved from {self._graph_version} to {current} "
+                "since the simulator's id-native arrays were built; call "
+                "invalidate_index() after mutating the graph"
+            )
 
     def _identifier_array(self) -> List[int]:
         """Identifier of every node, aligned with the node order (cached)."""
@@ -873,6 +912,7 @@ class HybridSimulator:
             raise CapacityExceededError(
                 f"global mode disabled in model {self.config.name!r}"
             )
+        self._check_graph_version()
         s_sel, r_sel, w_sel, positions = self._select_plane_columns(plane, positions)
         count = len(s_sel)
         if count == 0:
@@ -950,6 +990,7 @@ class HybridSimulator:
             raise LocalBandwidthExceededError(
                 f"local mode disabled in model {self.config.name!r}"
             )
+        self._check_graph_version()
         s_sel, r_sel, w_sel, positions = self._select_plane_columns(plane, positions)
         count = len(s_sel)
         if count == 0:
@@ -1243,6 +1284,39 @@ class HybridSimulator:
         self._delivered_round = self.round
         self.round += 1
         self.metrics.record_round()
+        if fault_state is not None:
+            self._commit_permanent_link_failures(fault_state)
+
+    def _commit_permanent_link_failures(self, fault_state: FaultState) -> None:
+        """Turn closed permanent link-failure windows into real edge deletions.
+
+        A ``LinkFailure(..., permanent=True)`` whose window has closed (the
+        just-entered round is at or past its ``end_round``) is committed as a
+        graph mutation through :class:`~repro.graphs.mutation.GraphMutator` —
+        the edge is deleted for good, the graph's version stamp advances, and
+        the cached analytics :class:`~repro.graphs.index.GraphIndex` is
+        patched incrementally, so dissemination/APSP re-runs on the churned
+        graph see the committed topology.  The simulator resynchronises its
+        own id-native caches via :meth:`invalidate_index` (knowledge and
+        identifiers are untouched: nodes never disappear).  Committed edges
+        are appended to :attr:`committed_link_removals` in commit order.
+        """
+        closures = fault_state.take_permanent_closures(self.round)
+        if not closures:
+            return
+        nodes = self._nodes
+        mutator = GraphMutator(self.graph)
+        removed: List[Tuple[Node, Node]] = []
+        for ui, vi in closures:
+            u, v = nodes[ui], nodes[vi]
+            # A schedule may name a non-edge (or a pair a previous window
+            # already removed) — committing it is a no-op, not an error.
+            if self.graph.has_edge(u, v):
+                mutator.remove_edge(u, v)
+                removed.append((u, v))
+        if removed:
+            self.committed_link_removals.extend(removed)
+            self.invalidate_index()
 
     def _learn_from_planes(self, planes: List["_PlaneBatch"]) -> None:
         """Sparse-regime sender-identifier learning, per unique (r, s) pair.

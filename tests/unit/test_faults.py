@@ -263,6 +263,81 @@ def test_fault_schedule_range_errors_surface_at_construction():
 
 
 # ----------------------------------------------------------------------
+# Permanent link failures: committed topology churn
+# ----------------------------------------------------------------------
+def test_permanent_link_failure_requires_finite_window():
+    LinkFailure(0, 1, start_round=0, end_round=3, permanent=True)  # fine
+    with pytest.raises(ValueError, match="finite end_round"):
+        LinkFailure(0, 1, permanent=True)  # open-ended: nothing to commit
+
+
+def test_take_permanent_closures_drains_each_failure_exactly_once():
+    schedule = FaultSchedule(
+        link_failures=(
+            LinkFailure(2, 3, start_round=0, end_round=3, permanent=True),
+            LinkFailure(0, 1, start_round=0, end_round=2, permanent=True),
+            LinkFailure(4, 5, start_round=0, end_round=2),  # window-scoped
+        )
+    )
+    state = FaultState(schedule, n=6)
+    assert state.take_permanent_closures(1) == []
+    assert state.take_permanent_closures(2) == [(0, 1)]
+    assert state.take_permanent_closures(2) == []  # handed out once
+    assert state.take_permanent_closures(10) == [(2, 3)]
+    assert state.take_permanent_closures(10) == []
+
+
+def test_permanent_failure_commits_edge_deletion_at_window_close():
+    from repro.graphs.index import get_index, graph_version
+    from repro.graphs.generators import cycle_graph
+
+    graph = cycle_graph(6)
+    index = get_index(graph)
+    schedule = FaultSchedule(
+        link_failures=(
+            LinkFailure(0, 1, start_round=0, end_round=2, permanent=True),
+            LinkFailure(3, 4, start_round=0, end_round=2),  # not permanent
+        )
+    )
+    sim = HybridSimulator(graph, ModelConfig.hybrid(), fault_schedule=schedule)
+    sim.advance_round()  # round 0 -> 1: window still open
+    assert graph.has_edge(0, 1)
+    assert sim.committed_link_removals == []
+    sim.advance_round()  # round 1 -> 2: window closed, deletion committed
+    assert not graph.has_edge(0, 1)
+    assert graph.has_edge(3, 4)  # the window-scoped outage left no trace
+    assert sim.committed_link_removals == [(0, 1)]
+    assert graph_version(graph) == 1
+    # The analytics index was patched in place, not rebuilt.
+    assert get_index(graph) is index
+    assert index.m == 5
+    # Committing exactly once: further rounds change nothing.
+    sim.advance_round()
+    assert sim.committed_link_removals == [(0, 1)]
+    # The simulator resynchronised itself: plane sends work on the new graph.
+    sim.global_send_batch_ids([2], [5], ["post-churn"])
+    sim.advance_round()
+
+
+def test_resilient_dissemination_reports_removed_edges():
+    from repro.core.resilience import ResilientDissemination
+    from repro.graphs.generators import cycle_graph
+
+    graph = cycle_graph(8)
+    schedule = FaultSchedule(
+        link_failures=(LinkFailure(2, 3, start_round=0, end_round=2, permanent=True),)
+    )
+    sim = HybridSimulator(
+        graph, ModelConfig.hybrid(), seed=5, fault_schedule=schedule
+    )
+    result = ResilientDissemination(sim, {0: ["alpha", "beta"]}).run()
+    assert result.complete
+    assert result.all_live_nodes_know_all_tokens()
+    assert result.removed_edges == [(2, 3)]
+    assert not graph.has_edge(2, 3)
+
+
+# ----------------------------------------------------------------------
 # invalidate_index regression (satellite: memos and cached arrays reset)
 # ----------------------------------------------------------------------
 def test_invalidate_index_resets_arrays_and_pair_memos():

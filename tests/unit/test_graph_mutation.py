@@ -1,0 +1,272 @@
+"""Unit tests for the versioned graph-mutation layer.
+
+Covers :class:`~repro.graphs.mutation.GraphMutator` validation and cache
+synchronisation, the :class:`~repro.graphs.index.GraphIndex` self-loop
+rejection (via the public BFS and Dijkstra entry points), the bounded
+``get_index`` fallback memo for non-weakrefable graph-likes, and the
+staleness guards downstream of the version stamp: ``SSSPRowCache``,
+``DenseDistanceTable`` and the simulator plane-send paths.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.graphs import index as index_module
+from repro.graphs.generators import cycle_graph, path_graph
+from repro.graphs.index import (
+    GraphIndex,
+    SSSPRowCache,
+    StaleIndexError,
+    get_index,
+    graph_version,
+    invalidate_index,
+)
+from repro.graphs.mutation import GraphMutator
+from repro.graphs.properties import h_hop_limited_distances, weighted_distances_from
+from repro.core.shortest_paths import DenseDistanceTable
+from repro.simulator.config import ModelConfig
+from repro.simulator.errors import StaleGraphError
+from repro.simulator.metrics import RoundMetrics
+from repro.simulator.network import HybridSimulator
+
+
+# ----------------------------------------------------------------------
+# GraphMutator validation
+# ----------------------------------------------------------------------
+def test_mutator_rejects_invalid_edits():
+    graph = path_graph(5)
+    mutator = GraphMutator(graph)
+    with pytest.raises(ValueError, match="self-loop"):
+        mutator.add_edge(2, 2)
+    with pytest.raises(ValueError, match="positive"):
+        mutator.add_edge(0, 4, weight=0)
+    with pytest.raises(ValueError, match="update_weight"):
+        mutator.add_edge(0, 1)  # already present
+    with pytest.raises(KeyError):
+        mutator.remove_edge(0, 4)  # not an edge
+    with pytest.raises(KeyError):
+        mutator.update_weight(0, 4, 3)
+    with pytest.raises(ValueError, match="positive"):
+        mutator.update_weight(0, 1, -1)
+    # None of the rejected edits advanced the version stamp.
+    assert graph_version(graph) == 0
+
+
+def test_mutator_returns_monotone_versions_and_syncs_index():
+    graph = path_graph(6)
+    index = get_index(graph)
+    assert index.version == graph_version(graph) == 0
+    mutator = GraphMutator(graph)
+    v1 = mutator.add_edge(0, 5, weight=2)
+    v2 = mutator.update_weight(0, 5, 7)
+    v3 = mutator.remove_edge(0, 5)
+    assert (v1, v2, v3) == (1, 2, 3)
+    assert get_index(graph) is index
+    assert index.version == graph_version(graph) == 3
+
+
+def test_new_node_edge_takes_the_full_drop_path():
+    graph = path_graph(4)
+    stale = get_index(graph)
+    version = GraphMutator(graph).add_edge(3, 99, weight=1)
+    assert version == graph_version(graph)
+    assert stale.retired
+    fresh = get_index(graph)
+    assert fresh is not stale
+    assert fresh.n == 5 and 99 in fresh.nodes
+
+
+def test_weight_only_edit_keeps_hop_caches_topology_edit_drops_them():
+    graph = path_graph(8)
+    nx.set_edge_attributes(graph, 1, "weight")
+    index = get_index(graph)
+    assert index.is_connected() and index.diameter() == 7
+    tie_ranks = index._tie_ranks
+    mutator = GraphMutator(graph)
+    mutator.update_weight(3, 4, 9)
+    # Hop-based caches survive a pure re-weighting untouched.
+    assert index._connected is True and index._diameter == 7
+    assert index._tie_ranks is tie_ranks
+    mutator.add_edge(0, 7, weight=1)
+    # A topology edit drops connectivity/diameter (recomputed on demand)...
+    assert index._connected is None and index._diameter is None
+    # ...but the node set did not change, so tie ranks are kept.
+    assert index._tie_ranks is tie_ranks
+    assert index.diameter() == 4  # the new chord shortened the path
+
+
+# ----------------------------------------------------------------------
+# Self-loop rejection (CSR double-write regression)
+# ----------------------------------------------------------------------
+def _looped_graph():
+    graph = cycle_graph(6)
+    graph.add_edge(2, 2, weight=1)
+    return graph
+
+
+def test_self_loop_rejected_on_bfs_entry_point():
+    with pytest.raises(ValueError, match="self-loop"):
+        h_hop_limited_distances(_looped_graph(), 0, 3)
+
+
+def test_self_loop_rejected_on_dijkstra_entry_point():
+    with pytest.raises(ValueError, match="self-loop"):
+        weighted_distances_from(_looped_graph(), 0)
+
+
+def test_self_loop_rejected_at_index_construction():
+    with pytest.raises(ValueError, match="self-loop"):
+        GraphIndex(_looped_graph())
+
+
+# ----------------------------------------------------------------------
+# get_index fallback memo (non-weakrefable graph-likes)
+# ----------------------------------------------------------------------
+class _UnhashableGraph:
+    """A graph-like wrapper that defeats the weak-dict cache.
+
+    Unhashable, so both the weak lookup and the version registry raise
+    ``TypeError`` — exercising the bounded id()-keyed fallback memo.
+    """
+
+    __hash__ = None  # type: ignore[assignment]
+
+    def __init__(self, graph):
+        self._graph = graph
+
+    def __getattr__(self, name):
+        return getattr(self._graph, name)
+
+    def __getitem__(self, key):
+        return self._graph[key]
+
+    def __contains__(self, node):
+        return node in self._graph
+
+    def __len__(self):
+        return len(self._graph)
+
+    def __iter__(self):
+        return iter(self._graph)
+
+
+@pytest.fixture
+def clean_fallback_cache():
+    index_module._FALLBACK_CACHE.clear()
+    yield
+    index_module._FALLBACK_CACHE.clear()
+
+
+def test_fallback_memo_serves_repeat_queries(clean_fallback_cache):
+    wrapper = _UnhashableGraph(path_graph(5))
+    first = get_index(wrapper)
+    assert get_index(wrapper) is first  # memoised, not rebuilt per call
+    assert first.hop_distance_row(0) == [0, 1, 2, 3, 4]
+    invalidate_index(wrapper)
+    assert first.retired
+    assert get_index(wrapper) is not first
+
+
+def test_fallback_memo_evicts_fifo_beyond_limit(clean_fallback_cache):
+    wrappers = [_UnhashableGraph(path_graph(4)) for _ in range(index_module._FALLBACK_LIMIT + 1)]
+    first = get_index(wrappers[0])
+    for wrapper in wrappers[1:]:
+        get_index(wrapper)
+    assert len(index_module._FALLBACK_CACHE) == index_module._FALLBACK_LIMIT
+    # The oldest entry was evicted; a repeat query rebuilds it.
+    assert get_index(wrappers[0]) is not first
+    # The newest entries are still memoised.
+    assert get_index(wrappers[-1]) is get_index(wrappers[-1])
+
+
+def test_mutator_on_unstampable_graph_falls_back_to_full_drop(clean_fallback_cache):
+    wrapper = _UnhashableGraph(path_graph(5))
+    stale = get_index(wrapper)
+    version = GraphMutator(wrapper).add_edge(0, 4, weight=2)
+    assert version == 0  # no stamp to advance
+    assert stale.retired
+    fresh = get_index(wrapper)
+    assert fresh is not stale
+    assert fresh.hop_distance_row(0)[4] == 1
+
+
+# ----------------------------------------------------------------------
+# Staleness guards: SSSPRowCache, DenseDistanceTable, simulator planes
+# ----------------------------------------------------------------------
+def test_sssp_row_cache_raises_after_mutation():
+    graph = path_graph(6)
+    nx.set_edge_attributes(graph, 2, "weight")
+    cache = SSSPRowCache(get_index(graph))
+    assert cache.row(0)[5] == 10
+    GraphMutator(graph).update_weight(0, 1, 5)
+    with pytest.raises(StaleIndexError):
+        cache.row(0)
+    with pytest.raises(StaleIndexError):
+        cache.position_of(3)
+    # A cache built against the post-edit index works (and sees the edit).
+    assert SSSPRowCache(get_index(graph)).row(0)[5] == 13
+
+
+def test_sssp_row_cache_raises_after_invalidate():
+    graph = path_graph(6)
+    cache = SSSPRowCache(get_index(graph))
+    cache.row(0)
+    invalidate_index(graph)
+    with pytest.raises(StaleIndexError):
+        cache.row(0)
+
+
+def test_dense_distance_table_guard_raises_after_mutation():
+    graph = path_graph(6)
+    nx.set_edge_attributes(graph, 1, "weight")
+    index = get_index(graph)
+    table = DenseDistanceTable(
+        row_nodes=index.nodes,
+        columns=index.nodes,
+        row_factory=index.sssp_row,
+        stretch_bound=1.0,
+        metrics=RoundMetrics(),
+        index=index,
+    )
+    assert table.estimate(0, 5) == 5
+    GraphMutator(graph).remove_edge(2, 3)
+    with pytest.raises(StaleIndexError):
+        table.row(0)
+    with pytest.raises(StaleIndexError):
+        table.estimate(0, 5)
+    with pytest.raises(StaleIndexError):
+        table.estimates
+
+
+def test_dense_distance_table_without_guard_is_unchecked():
+    # Tables over graphs the caller promises not to mutate opt out by
+    # omitting ``index=`` — exactly the historical behaviour.
+    graph = path_graph(4)
+    index = get_index(graph)
+    table = DenseDistanceTable(
+        row_nodes=index.nodes,
+        columns=index.nodes,
+        row_factory=index.hop_distance_row,
+        stretch_bound=1.0,
+        metrics=RoundMetrics(),
+    )
+    assert table.estimate(0, 3) == 3
+    invalidate_index(graph)
+    assert table.estimate(0, 3) == 3  # no guard, no raise
+
+
+def test_simulator_plane_send_raises_until_invalidate_resync():
+    graph = path_graph(6)
+    sim = HybridSimulator(graph, ModelConfig.hybrid(), seed=3)
+    sim.global_send_batch_ids([0], [1], ["before"])
+    sim.advance_round()
+    GraphMutator(graph).remove_edge(4, 5)  # behind the simulator's back
+    with pytest.raises(StaleGraphError, match="invalidate_index"):
+        sim.global_send_batch_ids([0], [1], ["stale"])
+    with pytest.raises(StaleGraphError):
+        sim.local_send_batch_ids([0], [1], ["stale"])
+    sim.invalidate_index()  # acknowledge the mutation
+    sim.global_send_batch_ids([0], [1], ["after"])
+    sim.advance_round()
