@@ -281,8 +281,9 @@ class KDissemination(BatchAlgorithm):
         nq: Optional[int] = None,
         clustering: Optional[Clustering] = None,
         engine: str = "batch",
+        charge_only: bool = False,
     ) -> None:
-        super().__init__(simulator, engine=engine)
+        super().__init__(simulator, engine=engine, charge_only=charge_only)
         node_set = set(simulator.nodes)
         self.tokens_by_node = {
             node: list(tokens) for node, tokens in tokens_by_node.items() if tokens
@@ -637,11 +638,18 @@ class KDissemination(BatchAlgorithm):
         str-sorted token list.  The fallback builds the same columns with
         list-pattern arithmetic.  Token order is identical to the tuple
         engines' workload, so the shard boundaries coincide.
+
+        Under ``charge_only`` the payload pass is skipped entirely — the
+        plane is built payload-free (``payloads=None``).  The id/word columns
+        (and hence the schedule and every metric) are untouched by the
+        elision; this is where charge-only dissemination stops scaling with
+        token *content* and the n ~ 10^6 tier becomes feasible.
         """
         np = _accel.np
         sorted_tokens = self._sorted_tokens
         uniform = self._uniform_token_words
-        payloads: List[Any] = []
+        charge_only = self.charge_only
+        payloads: Optional[List[Any]] = None if charge_only else []
         if np is not None:
             member_arrays = self._member_arrays
             sender_chunks = []
@@ -657,16 +665,19 @@ class KDissemination(BatchAlgorithm):
                 sender_chunks.append(np.resize(source, count))
                 receiver_chunks.append(np.resize(pattern, count))
                 rank_chunks.append(ranks)
+                if charge_only:
+                    continue
                 if count == len(sorted_tokens):
                     payloads.extend(sorted_tokens)
                 elif count == 1:
                     payloads.append(sorted_tokens[ranks[0]])
                 else:
                     payloads.extend(operator.itemgetter(*ranks)(sorted_tokens))
-            if not payloads:
+            if not sender_chunks:
                 return None
             if uniform is not None:
-                words = np.full(len(payloads), uniform, dtype=np.int64)
+                count_total = sum(chunk.size for chunk in sender_chunks)
+                words = np.full(count_total, uniform, dtype=np.int64)
             else:
                 table = np.asarray(self._words_by_rank, dtype=np.int64)
                 words = table.take(np.concatenate(rank_chunks))
@@ -695,8 +706,9 @@ class KDissemination(BatchAlgorithm):
                 words.extend([uniform] * len(ranks))
             else:
                 words.extend([words_by_rank[rank] for rank in ranks])
-            payloads.extend(sorted_tokens[rank] for rank in ranks)
-        if not payloads:
+            if not charge_only:
+                payloads.extend(sorted_tokens[rank] for rank in ranks)
+        if not senders:
             return None
         return TokenPlane(senders, receivers, words, payloads)
 

@@ -169,8 +169,9 @@ class ApproxSSSP(BatchAlgorithm):
         epsilon: float = 0.25,
         *,
         engine: str = "batch",
+        charge_only: bool = False,
     ) -> None:
-        super().__init__(simulator, engine=engine)
+        super().__init__(simulator, engine=engine, charge_only=charge_only)
         if source not in set(simulator.nodes):
             raise KeyError(f"source {source!r} is not a node of the network")
         if epsilon <= 0:

@@ -33,7 +33,7 @@ and the version-stamp protocol") for the decision table.
 
 from __future__ import annotations
 
-from typing import Hashable, Optional
+from typing import Hashable, Iterable, List, Optional, Tuple
 
 import networkx as nx
 
@@ -47,6 +47,12 @@ from repro.graphs.index import (
 Node = Hashable
 
 __all__ = ["GraphMutator"]
+
+#: Crossover constant of :meth:`GraphMutator.apply_batch`: patching costs
+#: roughly a constant number of CSR/derivative touches per edit while a full
+#: rebuild costs O(n + m), so a batch of ``k`` edits prefers the single
+#: rebuild once ``k * _BATCH_REBUILD_FACTOR`` reaches ``n + m``.
+_BATCH_REBUILD_FACTOR = 4
 
 
 class GraphMutator:
@@ -130,6 +136,132 @@ class GraphMutator:
             raise KeyError(f"edge ({u!r}, {v!r}) not in graph")
         graph[u][v]["weight"] = weight
         return self._commit(lambda index: index.apply_weight_update(u, v, weight))
+
+    def apply_batch(self, edits: Iterable[Tuple]) -> int:
+        """Apply a burst of edits as **one** versioned mutation.
+
+        ``edits`` is an iterable of tuples: ``("add", u, v)``,
+        ``("add", u, v, weight)``, ``("remove", u, v)`` or
+        ``("update", u, v, weight)``, applied to the graph in order (so an
+        edge added earlier in the batch may be re-weighted later in it), with
+        the same per-edit validation as the single-edit methods.  The whole
+        batch bumps the version stamp exactly once and makes one index
+        decision: the cached :class:`~repro.graphs.index.GraphIndex` is
+        either patched with all ``k`` edits in order, or — when ``k`` is
+        large enough that a from-scratch build is cheaper
+        (``k * _BATCH_REBUILD_FACTOR >= n + m``), when an edit adds a new
+        node, or when the index is untrustworthy — retired once up front
+        instead of being patched ``k`` times only to be dropped.  Returns
+        the new version stamp.
+
+        An empty batch is a no-op (no bump; returns the current version).
+        If a mid-batch edit fails validation, the earlier edits are already
+        applied to the graph — the burst is then still committed as one
+        mutation (version bumped, index retired) before the error propagates,
+        so a partially-applied batch can never be served from a stale index.
+        """
+        graph = self.graph
+        staged = [self._stage_edit(edit) for edit in edits]
+        if not staged:
+            return graph_version(graph)
+        patches: List = []
+        needs_full = False
+        applied = 0
+        try:
+            for op, u, v, weight in staged:
+                if op == "add":
+                    if u == v:
+                        raise ValueError(f"self-loop at node {u!r}: not supported")
+                    if weight is not None and weight <= 0:
+                        raise ValueError("edge weights must be positive")
+                    if graph.has_edge(u, v):
+                        raise ValueError(
+                            f"edge ({u!r}, {v!r}) already exists; use update_weight()"
+                        )
+                    if u not in graph or v not in graph:
+                        needs_full = True
+                    if weight is None:
+                        graph.add_edge(u, v)
+                    else:
+                        graph.add_edge(u, v, weight=weight)
+                    patches.append(
+                        lambda index, u=u, v=v, w=1 if weight is None else weight:
+                            index.apply_edge_insert(u, v, w)
+                    )
+                elif op == "remove":
+                    if not graph.has_edge(u, v):
+                        raise KeyError(f"edge ({u!r}, {v!r}) not in graph")
+                    graph.remove_edge(u, v)
+                    patches.append(
+                        lambda index, u=u, v=v: index.apply_edge_delete(u, v)
+                    )
+                else:  # "update"
+                    if weight <= 0:
+                        raise ValueError("edge weights must be positive")
+                    if not graph.has_edge(u, v):
+                        raise KeyError(f"edge ({u!r}, {v!r}) not in graph")
+                    graph[u][v]["weight"] = weight
+                    patches.append(
+                        lambda index, u=u, v=v, w=weight:
+                            index.apply_weight_update(u, v, w)
+                    )
+                applied += 1
+        except Exception:
+            if applied:
+                # The graph holds a partial batch: commit it as one mutation
+                # (invalidate_index bumps once and retires the index).
+                invalidate_index(graph)
+            raise
+        index = _peek_index(graph)
+        before = graph_version(graph)
+        rebuild_cheaper = (
+            _BATCH_REBUILD_FACTOR * len(patches)
+            >= graph.number_of_nodes() + graph.number_of_edges()
+        )
+        if (
+            index is not None
+            and not needs_full
+            and not index.retired
+            and index.version == before
+            and not rebuild_cheaper
+        ):
+            version = bump_graph_version(graph)
+            if version is None:
+                invalidate_index(graph)
+                return 0
+            try:
+                for patch in patches:
+                    patch(index)
+            except Exception:
+                invalidate_index(graph)
+                raise
+            index.version = version
+            return version
+        if index is None:
+            version = bump_graph_version(graph)
+            if version is None:
+                invalidate_index(graph)
+                return 0
+            return version
+        return self._full_drop()
+
+    @staticmethod
+    def _stage_edit(edit: Tuple) -> Tuple[str, Node, Node, Optional[float]]:
+        """Normalise one batch edit to ``(op, u, v, weight)``; shape errors
+        raise before anything touches the graph."""
+        if not isinstance(edit, tuple) or not edit:
+            raise ValueError(f"batch edit must be a non-empty tuple, got {edit!r}")
+        op = edit[0]
+        if op == "add" and len(edit) in (3, 4):
+            return ("add", edit[1], edit[2], edit[3] if len(edit) == 4 else None)
+        if op == "remove" and len(edit) == 3:
+            return ("remove", edit[1], edit[2], None)
+        if op == "update" and len(edit) == 4:
+            return ("update", edit[1], edit[2], edit[3])
+        raise ValueError(
+            f"unsupported batch edit {edit!r}; use ('add', u, v[, weight]), "
+            f"('remove', u, v) or ('update', u, v, weight)"
+        )
 
     # ------------------------------------------------------------------
     # Version / index synchronisation

@@ -65,7 +65,7 @@ from typing import (
 )
 
 from repro.simulator import _accel
-from repro.simulator.errors import UnknownNodeError
+from repro.simulator.errors import ChargeOnlyError, UnknownNodeError
 from repro.simulator.messages import payload_words
 from repro.simulator.network import HybridSimulator
 
@@ -82,6 +82,8 @@ __all__ = [
     "ResilientExchangeResult",
     "PhaseRecord",
     "BatchAlgorithm",
+    "install_planner",
+    "installed_planner",
 ]
 
 #: One unit of batch work: ``(sender, receiver, payload)``.
@@ -107,11 +109,20 @@ class TokenPlane:
     application object; the scheduler and the capacity accounting never touch
     it.  With NumPy active the three id/word columns are ``int64`` arrays,
     otherwise plain lists — either way the schedule they produce is identical.
+
+    ``payloads`` may be ``None``: a **charge-only** plane carries only the
+    three columns.  Scheduling, capacity accounting, round counts and
+    HYBRID_0 identifier learning are exact (none of them ever read a
+    payload), but content-level operations — :meth:`iter_triples`,
+    ``collect=True`` exchanges, inbox reads of the delivered traffic — raise
+    :class:`~repro.simulator.errors.ChargeOnlyError`.
     """
 
     __slots__ = ("senders", "receivers", "words", "payloads", "_pair_spine")
 
-    def __init__(self, senders, receivers, words, payloads: List[Any]) -> None:
+    def __init__(
+        self, senders, receivers, words, payloads: Optional[List[Any]] = None
+    ) -> None:
         np = _accel.np
         if np is not None:
             self.senders = np.asarray(senders, dtype=np.int64)
@@ -125,7 +136,26 @@ class TokenPlane:
         self._pair_spine = None
 
     def __len__(self) -> int:
-        return len(self.payloads)
+        return len(self.senders)
+
+    def charge_view(self) -> "TokenPlane":
+        """A payload-free view sharing this plane's columns (and spine cache).
+
+        The charge-only substitution at the plane level: the view schedules,
+        sends and accounts identically to ``self`` — the columns are the very
+        same objects — but carries no payload list, so delivering it does no
+        inbox/knowledge payload work.  Already-payload-free planes return
+        themselves.
+        """
+        if self.payloads is None:
+            return self
+        view = TokenPlane.__new__(TokenPlane)
+        view.senders = self.senders
+        view.receivers = self.receivers
+        view.words = self.words
+        view.payloads = None
+        view._pair_spine = self._pair_spine
+        return view
 
     def pair_spine(self, np):
         """Sorted positions of each distinct (sender, receiver) pair's first
@@ -184,6 +214,11 @@ class TokenPlane:
         (equivalence tests and speedup baselines only — the hot path never
         materialises tuples).
         """
+        if self.payloads is None:
+            raise ChargeOnlyError(
+                "charge-only planes carry no payloads and cannot be lowered "
+                "to tuples; use the plane engine, or rebuild with payloads"
+            )
         nodes = simulator.nodes
         for sender, receiver, payload, size in zip(
             self.senders, self.receivers, self.payloads, self.words
@@ -719,6 +754,55 @@ def plan_token_rounds(
 
 
 # ----------------------------------------------------------------------
+# Pluggable planner (sharded multi-core scheduling, see repro.simulator.sharding)
+# ----------------------------------------------------------------------
+#: The installed planner (``None`` = single-process :func:`plan_token_rounds`)
+#: and whether the ``REPRO_SHARD_WORKERS`` environment default was resolved.
+_active_planner: Optional[Any] = None
+_env_planner_resolved = False
+
+
+def install_planner(planner: Optional[Any]) -> None:
+    """Route every exchange's scheduling through ``planner`` (a
+    :class:`~repro.simulator.sharding.ShardedPlanner`, or anything with the
+    same ``plan(plane, budget, tag_words)`` contract).
+
+    ``install_planner(None)`` restores single-process planning *and* marks the
+    environment default as resolved, so tests that installed a planner can
+    deterministically uninstall it regardless of ``REPRO_SHARD_WORKERS``.
+    Planners are schedule-preserving by contract — installing one never
+    changes a shard boundary, only which cores compute it.
+    """
+    global _active_planner, _env_planner_resolved
+    _active_planner = planner
+    _env_planner_resolved = True
+
+
+def installed_planner() -> Optional[Any]:
+    """The active planner, resolving the ``REPRO_SHARD_WORKERS`` environment
+    default lazily on first use (the sharding module imports this one, so the
+    import below cannot run at module load)."""
+    global _active_planner, _env_planner_resolved
+    if not _env_planner_resolved:
+        _env_planner_resolved = True
+        from repro.simulator.sharding import planner_from_env
+
+        _active_planner = planner_from_env()
+    return _active_planner
+
+
+def _planned_rounds(plane: TokenPlane, budget: int, tag_words: int):
+    """Scheduling entry point of the exchanges: the installed sharded planner
+    when one is active, the single-process :func:`plan_token_rounds` otherwise
+    (both produce identical shards — see the sharding module's identity
+    suite)."""
+    planner = installed_planner()
+    if planner is None:
+        return plan_token_rounds(plane, budget, tag_words)
+    return planner.plan(plane, budget, tag_words)
+
+
+# ----------------------------------------------------------------------
 # Exchange tags
 # ----------------------------------------------------------------------
 _EXCHANGE_SERIAL = itertools.count(1)
@@ -762,6 +846,7 @@ def batched_global_exchange(
     tag: Optional[str] = None,
     max_rounds: Optional[int] = None,
     collect: bool = True,
+    charge_only: bool = False,
 ) -> Dict[Node, List[Any]]:
     """Deliver a workload over the global mode without exceeding capacity.
 
@@ -781,17 +866,33 @@ def batched_global_exchange(
     when ``collect=False`` (several broadcast algorithms track delivery state
     themselves and ignore the result).  Raises ``RuntimeError`` if
     ``max_rounds`` is given and the schedule would exceed it.
+
+    With ``charge_only=True`` the plane is demoted to its payload-free
+    :meth:`~TokenPlane.charge_view` before anything is queued: schedules,
+    rounds and metrics are bit-identical (the scheduler and the accounting
+    only ever read the id/word columns), but no payload is retained anywhere.
+    ``collect=True`` on a payload-free workload — whether demoted here or
+    submitted as a payload-free plane — raises
+    :class:`~repro.simulator.errors.ChargeOnlyError` rather than silently
+    returning nothing.
     """
     plane = (
         triples
         if isinstance(triples, TokenPlane)
         else TokenPlane.from_triples(simulator, triples)
     )
+    if charge_only:
+        plane = plane.charge_view()
+    if collect and plane.payloads is None:
+        raise ChargeOnlyError(
+            "collect=True requires payloads; charge-only exchanges must pass "
+            "collect=False (delivery state, if needed, is tracked by the caller)"
+        )
     if not len(plane):
         return {}
     exchange_tag = ExchangeTag(tag)
     budget = simulator.global_budget_words()
-    shards = plan_token_rounds(plane, budget, exchange_tag.payload_words_override)
+    shards = _planned_rounds(plane, budget, exchange_tag.payload_words_override)
     if (
         len(shards) == 1
         and len(shards[0]) == len(plane)
@@ -915,6 +1016,7 @@ def resilient_batched_global_exchange(
     max_attempts: int = 16,
     backoff_cap: int = 8,
     collect: bool = True,
+    charge_only: bool = False,
 ) -> ResilientExchangeResult:
     """Ack-tracked delivery with retransmission under a fault schedule.
 
@@ -954,6 +1056,16 @@ def resilient_batched_global_exchange(
         if isinstance(triples, TokenPlane)
         else TokenPlane.from_triples(simulator, triples)
     )
+    if charge_only:
+        plane = plane.charge_view()
+    if collect and plane.payloads is None:
+        # The ack channel (delivered_plane_positions) is position-based and
+        # fully charge-only compatible; only payload harvest is impossible.
+        raise ChargeOnlyError(
+            "collect=True requires payloads; charge-only resilient exchanges "
+            "must pass collect=False (acks and undelivered positions are "
+            "still tracked exactly)"
+        )
     total = len(plane)
     if not total:
         return ResilientExchangeResult({}, [], 0, 0)
@@ -996,11 +1108,11 @@ def resilient_batched_global_exchange(
                 [senders[p] for p in sendable],
                 [receivers[p] for p in sendable],
                 [words[p] for p in sendable],
-                [payloads[p] for p in sendable],
+                None if payloads is None else [payloads[p] for p in sendable],
             )
             attempt_tag = ExchangeTag(tag)
             budget = simulator.global_budget_words()
-            shards = plan_token_rounds(
+            shards = _planned_rounds(
                 attempt_plane, budget, attempt_tag.payload_words_override
             )
             acked: set = set()
@@ -1072,15 +1184,34 @@ class BatchAlgorithm:
         per-message :func:`~repro.core.transport.throttled_global_exchange`.
         All three produce identical inboxes, metrics and round counts — the
         slower paths exist so equivalence tests and benchmarks can compare.
+    charge_only: when true, every :meth:`exchange` demotes its workload to a
+        payload-free charge view before queueing — metrics and round counts
+        stay bit-identical to the payload run (property-pinned), but no
+        payload is materialised or retained, which is what makes n ~ 10^6
+        metrics-only experiments feasible.  Requires ``engine="batch"``
+        (the comparison engines are tuple-based and cannot run without
+        payloads).
     """
 
-    def __init__(self, simulator: HybridSimulator, *, engine: str = "batch") -> None:
+    def __init__(
+        self,
+        simulator: HybridSimulator,
+        *,
+        engine: str = "batch",
+        charge_only: bool = False,
+    ) -> None:
         if engine not in ENGINES:
             raise ValueError(
                 f"unknown engine {engine!r}; use one of {', '.join(ENGINES)}"
             )
+        if charge_only and engine != "batch":
+            raise ValueError(
+                f"charge_only requires engine='batch'; the {engine!r} engine "
+                f"materialises payload tuples and cannot run charge-only"
+            )
         self.simulator = simulator
         self.engine = engine
+        self.charge_only = bool(charge_only)
         self.phase_log: List[PhaseRecord] = []
 
     # ------------------------------------------------------------------
@@ -1158,7 +1289,7 @@ class BatchAlgorithm:
         if self.use_plane:
             return batched_global_exchange(
                 self.simulator, triples, tag=tag, max_rounds=max_rounds,
-                collect=collect,
+                collect=collect, charge_only=self.charge_only,
             )
         # The comparison engines reproduce their historical behaviour —
         # harvesting unconditionally, exactly as they did before the round
@@ -1214,4 +1345,5 @@ class BatchAlgorithm:
             max_attempts=max_attempts,
             backoff_cap=backoff_cap,
             collect=collect,
+            charge_only=self.charge_only,
         )

@@ -17,6 +17,7 @@ __all__ = [
     "RoundLifecycleError",
     "StaleGraphError",
     "UnknownNodeError",
+    "ChargeOnlyError",
 ]
 
 
@@ -50,6 +51,17 @@ class LocalBandwidthExceededError(SimulatorError):
 class RoundLifecycleError(SimulatorError):
     """The simulator API was used out of order (e.g. reading an inbox for a round
     that has not been delivered yet)."""
+
+
+class ChargeOnlyError(SimulatorError):
+    """Payload content was requested from charge-only traffic.
+
+    Charge-only simulation (``HybridSimulator(charge_only=True)``, or a
+    payload-free :class:`~repro.simulator.engine.TokenPlane`) carries only the
+    (sender, receiver, words) columns — schedules, capacity accounting and
+    round counts are exact, but payloads were never materialised, so reading
+    an inbox, collecting an exchange, or lowering the plane to tuples cannot
+    be answered.  Re-run with payloads for content-level queries."""
 
 
 class StaleGraphError(SimulatorError):

@@ -123,6 +123,22 @@ class RoundMetrics:
         )
         return merged
 
+    def diff(self, other: "RoundMetrics") -> Dict[str, Tuple[object, object]]:
+        """Summary keys whose values differ between two runs: ``{} == identical``.
+
+        The identity-assertion helper for the charge-only and sharded-engine
+        suites: instead of dumping two full summaries on mismatch, tests and
+        benchmarks report exactly the diverging counters as
+        ``key -> (self value, other value)``.
+        """
+        mine = self.summary()
+        theirs = other.summary()
+        return {
+            key: (mine[key], theirs[key])
+            for key in mine
+            if mine[key] != theirs[key]
+        }
+
     def summary(self) -> Dict[str, object]:
         """Plain-dict summary used by the benchmark harness."""
         return {

@@ -114,6 +114,7 @@ from repro.simulator.config import IdentifierRegime, ModelConfig
 from repro.simulator.faults import FaultSchedule, FaultState
 from repro.simulator.errors import (
     CapacityExceededError,
+    ChargeOnlyError,
     LocalBandwidthExceededError,
     NotANeighborError,
     RoundLifecycleError,
@@ -211,7 +212,10 @@ class _PlaneBatch:
     ``senders`` / ``receivers`` / ``words`` are the *selected* columns of the
     submitted plane (tag words already folded into ``words``), ``payloads``
     the plane's full side list and ``positions`` the selected indices into it
-    (``None`` when the whole plane was sent).  ``fresh_pairs`` (optional) is
+    (``None`` when the whole plane was sent).  ``payloads`` is ``None`` for
+    charge-only traffic — scheduling, fault filtering, capacity accounting
+    and id learning never read it; only :meth:`records` (inbox assembly)
+    does, and raises.  ``fresh_pairs`` (optional) is
     the precomputed ``receiver * n + sender`` key column of the shard's
     first-occurrence pairs — the only pairs sender-id learning can concern —
     so delivery never rescans the full columns.  Per-receiver record tuples
@@ -242,6 +246,12 @@ class _PlaneBatch:
         """Yield ``(receiver, record)`` pairs in submission order."""
         tag = self.tag
         payloads = self.payloads
+        if payloads is None:
+            raise ChargeOnlyError(
+                "this plane traffic was queued charge-only (no payload "
+                "column); its schedule and accounting are exact, but the "
+                "round's inbox contents were never materialised"
+            )
         positions = self.positions
         senders = self.senders
         receivers = self.receivers
@@ -298,6 +308,16 @@ class HybridSimulator:
         drop the traffic of crashed nodes and failed links, apply seeded
         per-mode message drops, and degrade the global budget per the
         schedule's windows (see :mod:`repro.simulator.faults`).
+    charge_only:
+        When true, plane sends queue **no payload references**: the round
+        engine runs on the (sender, receiver, words) columns alone, so
+        schedules, capacity accounting, metrics, round counts and HYBRID_0
+        identifier learning are bit-identical to a payload run (the
+        property suites pin this), while memory stays flat in the payload
+        volume.  Reading a round's inbox for charge-only plane traffic
+        raises :class:`~repro.simulator.errors.ChargeOnlyError`; fault
+        filtering, delivery acks (``delivered_plane_positions``) and the
+        tuple-based ``*_send_batch`` paths are unaffected.
     """
 
     def __init__(
@@ -309,6 +329,7 @@ class HybridSimulator:
         capacity_multiplier: int = 1,
         enforce_receive_capacity: bool = False,
         fault_schedule: Optional[FaultSchedule] = None,
+        charge_only: bool = False,
     ) -> None:
         if graph.number_of_nodes() == 0:
             raise ValueError("cannot simulate an empty network")
@@ -320,6 +341,7 @@ class HybridSimulator:
         self.rng = random.Random(seed)
         self.capacity_multiplier = capacity_multiplier
         self.enforce_receive_capacity = enforce_receive_capacity
+        self.charge_only = bool(charge_only)
         self.fault_schedule = fault_schedule
         # The empty-schedule identity guarantee: only a non-empty schedule
         # builds a FaultState; with fault_state None not a single fault branch
@@ -970,7 +992,9 @@ class HybridSimulator:
                     counters[nodes[index]] += words
         self._pending_global_planes.append(
             _PlaneBatch(
-                s_sel, r_sel, wt, plane.payloads, positions, tag, fresh_pairs
+                s_sel, r_sel, wt,
+                None if self.charge_only else plane.payloads,
+                positions, tag, fresh_pairs,
             )
         )
         self._pending_global_msgs += count
@@ -1045,7 +1069,11 @@ class HybridSimulator:
                 for _ in range(oversized):
                     self.metrics.record_violation()
         self._pending_local_planes.append(
-            _PlaneBatch(s_sel, r_sel, wt, plane.payloads, positions, tag)
+            _PlaneBatch(
+                s_sel, r_sel, wt,
+                None if self.charge_only else plane.payloads,
+                positions, tag,
+            )
         )
         self._pending_local_msgs += count
         self._pending_local_words += total

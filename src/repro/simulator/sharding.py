@@ -1,0 +1,453 @@
+"""Sharded multi-core round scheduling with a deterministic merge.
+
+The single-process two-tier scheduler (:func:`repro.simulator.engine.
+plan_token_rounds`) is exact but serial: every congested exchange plans its
+whole token plane on one core.  This module partitions a plane into
+**node-disjoint** position buckets, plans each bucket independently — on a
+persistent ``multiprocessing`` pool over shared-memory NumPy columns when
+available, sequentially in-process otherwise — and merges the per-bucket
+schedules back into one schedule that is **token-for-token identical** to the
+single-process reference (and hence to ``_reference_shard_transfers``, the
+repo's standing oracle).
+
+Why per-bucket planning is exact
+--------------------------------
+The greedy-FIFO admits a token iff its sender's sent-counter and its
+receiver's received-counter still fit the budget.  Sent- and received-
+counters are *separate* per node, so the conflict structure is the bipartite
+graph with one vertex per sender role and one per receiver role and one edge
+per distinct (sender, receiver) pair.  Partitioning tokens by the connected
+components of that graph (union-find over the distinct pairs) means no two
+buckets ever touch the same counter: the greedy's admission decision for a
+token depends only on tokens of its own component.
+
+Rounds also stay aligned across buckets: at the start of every round all
+counters are zero, so the first pending token of every component is always
+admitted — **provided no token is individually oversized** (``words +
+tag_words > budget``).  Each component therefore admits at least one token
+per round until it drains, which makes "bucket-local round r" equal "global
+round r restricted to the bucket".  Because the greedy preserves submission
+order, every global shard lists its tokens in ascending plane position — so
+merging the buckets' round-``r`` shards in ascending position order
+reconstructs the global shard exactly.  Workloads containing *any*
+individually-oversized token fall back to the single-process planner (the
+forced-oversized branch is a global condition that can couple components);
+the oversized property tests pass through that fallback unchanged.
+
+Determinism
+-----------
+Every choice is a pure function of the plane and the worker count: components
+are keyed by their smallest bipartite vertex, ordered by (descending token
+count, ascending first position), and assigned to the least-loaded bucket
+(ties to the lowest bucket index) via a heap.  Worker processes only compute
+— the merge order is fixed by plane positions, so scheduling is bit-identical
+whether buckets ran in-process, on 2 workers, or on 7.
+
+Process execution
+-----------------
+The process path lays the (senders, receivers, words-with-tag, positions)
+columns into one shared-memory ``int64`` block per plan call; workers attach
+read-only, plan their bucket with the engine's own ``_plan_rounds_numpy``,
+and return position arrays.  The pool is persistent (created lazily, reused
+across plan calls, ``close()``/context-manager to dispose) and any pool
+failure degrades permanently to in-process planning for the planner's
+lifetime — never to a different schedule.  Under ``REPRO_NO_NUMPY=1`` (or a
+monkeypatched ``_accel.np``) the whole path is sequential pure Python over
+the same partition, preserving identity on the fallback backend.
+
+``REPRO_SHARD_WORKERS=k`` (k >= 2) installs a planner process-wide for every
+exchange via :func:`planner_from_env` (resolved lazily by
+:func:`repro.simulator.engine.installed_planner`).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.simulator import _accel
+from repro.simulator.config import resolve_shard_workers
+
+__all__ = [
+    "ShardedPlanner",
+    "planner_from_env",
+    "token_components",
+    "assign_buckets",
+    "merge_round_schedules",
+]
+
+#: Pool dispatch failures that demote a planner to in-process execution.
+_POOL_ERRORS = (OSError, ImportError, ValueError)
+
+
+# ----------------------------------------------------------------------
+# Partition: bipartite components -> deterministic buckets
+# ----------------------------------------------------------------------
+def token_components(senders, receivers) -> List[int]:
+    """Component label per token (a plain list; labels are root vertex keys).
+
+    Union-find over the distinct (sender, receiver) pairs of the bipartite
+    role graph: sender node ``s`` is vertex ``2 * s``, receiver node ``r`` is
+    vertex ``2 * r + 1`` (a node's sender and receiver counters are
+    independent, so the two roles must not be conflated).  Tokens sharing a
+    component share at least one greedy counter transitively; tokens in
+    different components provably never interact.
+    """
+    np = _accel.np
+    if np is not None and isinstance(senders, np.ndarray):
+        span = int(max(int(senders.max()), int(receivers.max()))) + 1
+        pair_keys = np.unique(senders * span + receivers)
+        pair_list = [(int(key) // span, int(key) % span) for key in pair_keys]
+        sender_column = senders.tolist()
+    else:
+        pair_list = sorted(set(zip(senders, receivers)))
+        sender_column = senders
+    parent: Dict[int, int] = {}
+
+    def find(vertex: int) -> int:
+        root = vertex
+        while parent[root] != root:
+            root = parent[root]
+        while parent[vertex] != root:  # path compression
+            parent[vertex], vertex = root, parent[vertex]
+        return root
+
+    for s, r in pair_list:
+        a, b = 2 * s, 2 * r + 1
+        if a not in parent:
+            parent[a] = a
+        if b not in parent:
+            parent[b] = b
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            if ra < rb:  # smallest vertex key wins: deterministic labels
+                parent[rb] = ra
+            else:
+                parent[ra] = rb
+    return [find(2 * s) for s in sender_column]
+
+
+def assign_buckets(labels: Sequence[int], workers: int) -> List[List[int]]:
+    """Group component labels into at most ``workers`` position buckets.
+
+    Components are ordered by (descending size, ascending first position) and
+    greedily placed on the least-loaded bucket, ties to the lowest bucket
+    index — the classic LPT balance, made deterministic.  Each bucket's
+    positions are returned in ascending order (the order the per-bucket
+    planners and the merge both rely on).  Buckets that received nothing are
+    dropped.
+    """
+    positions_by_label: Dict[int, List[int]] = {}
+    for position, label in enumerate(labels):
+        positions_by_label.setdefault(label, []).append(position)
+    components = sorted(
+        positions_by_label.values(), key=lambda ps: (-len(ps), ps[0])
+    )
+    heap = [(0, index) for index in range(max(1, workers))]
+    buckets: List[List[int]] = [[] for _ in range(max(1, workers))]
+    for positions in components:
+        load, index = heapq.heappop(heap)
+        buckets[index].extend(positions)
+        heapq.heappush(heap, (load + len(positions), index))
+    return [sorted(bucket) for bucket in buckets if bucket]
+
+
+def merge_round_schedules(schedules: List[List[Any]]) -> List[Any]:
+    """Merge per-bucket schedules round-by-round in ascending position order.
+
+    ``schedules[b][r]`` holds bucket ``b``'s global plane positions admitted
+    in round ``r``.  Because buckets are node-disjoint and gap-free (every
+    bucket admits at least one token per round until it drains), the global
+    round-``r`` shard is exactly the ascending-position union of the buckets'
+    round-``r`` shards.
+    """
+    np = _accel.np
+    depth = max((len(schedule) for schedule in schedules), default=0)
+    merged: List[Any] = []
+    for r in range(depth):
+        chunks = [
+            schedule[r]
+            for schedule in schedules
+            if r < len(schedule) and len(schedule[r])
+        ]
+        if np is not None and chunks and isinstance(chunks[0], np.ndarray):
+            shard = chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
+            merged.append(np.sort(shard))
+        else:
+            flat: List[int] = []
+            for chunk in chunks:
+                flat.extend(chunk)
+            flat.sort()
+            merged.append(flat)
+    return merged
+
+
+# ----------------------------------------------------------------------
+# Worker-side bucket planning (top level: picklable by reference)
+# ----------------------------------------------------------------------
+def _plan_bucket_worker(
+    shm_name: str, total: int, offset: int, length: int, budget: int
+):
+    """Plan one bucket from the shared-memory columns (runs in a worker).
+
+    The block layout is ``[senders | receivers | wt | positions...]`` with
+    the three column segments ``total`` long and this bucket's positions at
+    ``[offset, offset + length)``.  Returned shards are position arrays
+    copied out of the (parent-owned, parent-unlinked) block.
+    """
+    from multiprocessing import shared_memory
+
+    from repro.simulator.engine import _plan_rounds_numpy
+
+    np = _accel.np
+    shm = shared_memory.SharedMemory(name=shm_name)
+    try:
+        try:
+            # The parent owns the block and unlinks it; stop this process's
+            # resource tracker from double-unlinking (and warning) at exit.
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(shm._name, "shared_memory")
+        except Exception:
+            pass
+        block = np.ndarray((shm.size // 8,), dtype=np.int64, buffer=shm.buf)
+        positions = block[offset : offset + length].copy()
+        senders = block[0:total][positions]
+        receivers = block[total : 2 * total][positions]
+        wt = block[2 * total : 3 * total][positions]
+        del block
+        shards = _plan_rounds_numpy(np, senders, receivers, wt, budget)
+        return [positions[shard] for shard in shards]
+    finally:
+        shm.close()
+
+
+# ----------------------------------------------------------------------
+# The planner
+# ----------------------------------------------------------------------
+class ShardedPlanner:
+    """Plan token planes over node-disjoint buckets, optionally on a pool.
+
+    Drop-in for :func:`~repro.simulator.engine.plan_token_rounds` — install
+    process-wide with :func:`repro.simulator.engine.install_planner` (or
+    ``REPRO_SHARD_WORKERS``) or call :meth:`plan` directly.  Schedules are
+    bit-identical to the single-process planner for every worker count (see
+    the module docstring for the argument and
+    ``tests/properties/test_sharded_engine.py`` for the pins).
+
+    Parameters
+    ----------
+    workers: bucket / pool size; ``None`` reads ``REPRO_SHARD_WORKERS``.
+    use_processes: ``True`` forces the pool for every sharded plan, ``False``
+        keeps all planning in-process (the property grids use this), and
+        ``None`` (default) uses the pool only for workloads of at least
+        ``process_min_tokens`` tokens — below that the fork/IPC overhead
+        dwarfs the planning itself.
+    min_tokens: workloads smaller than this skip partitioning entirely and
+        delegate to the single-process planner.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        *,
+        use_processes: Optional[bool] = None,
+        min_tokens: int = 256,
+        process_min_tokens: int = 4096,
+    ) -> None:
+        self.workers = resolve_shard_workers() if workers is None else int(workers)
+        if self.workers < 1:
+            raise ValueError("workers must be at least 1")
+        self.use_processes = use_processes
+        self.min_tokens = int(min_tokens)
+        self.process_min_tokens = int(process_min_tokens)
+        self._pool: Optional[Any] = None
+        self._pool_broken = False
+        #: Introspection counters: plans that went through the partition
+        #: machinery, and the subset executed on the process pool.
+        self.sharded_plans = 0
+        self.process_plans = 0
+
+    # -- lifecycle -----------------------------------------------------
+    def close(self) -> None:
+        """Dispose of the worker pool (idempotent; the planner stays usable
+        in-process afterwards)."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.terminate()
+            pool.join()
+
+    def __enter__(self) -> "ShardedPlanner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- planning ------------------------------------------------------
+    def plan(self, plane, budget: int, tag_words: int = 0) -> List[Any]:
+        """Schedule ``plane`` into per-round position shards (see
+        :func:`~repro.simulator.engine.plan_token_rounds` for the contract)."""
+        from repro.simulator.engine import plan_token_rounds
+
+        m = len(plane)
+        if m == 0:
+            return []
+        if self.workers <= 1 or m < self.min_tokens:
+            return plan_token_rounds(plane, budget, tag_words)
+        np = _accel.np
+        senders = plane.senders
+        if np is not None and isinstance(senders, np.ndarray):
+            return self._plan_numpy(np, plane, budget, tag_words)
+        return self._plan_python(plane, budget, tag_words)
+
+    def _plan_numpy(self, np, plane, budget: int, tag_words: int) -> List[Any]:
+        from repro.simulator.engine import _plan_rounds_numpy, plan_token_rounds
+
+        senders = plane.senders
+        receivers = plane.receivers
+        wt = plane.words + tag_words if tag_words else plane.words
+        if int(wt.max()) > budget:
+            # Oversized tokens couple components through the global
+            # forced-oversized branch: fall back rather than approximate.
+            return plan_token_rounds(plane, budget, tag_words)
+        sent = np.bincount(senders, weights=wt, minlength=1)
+        if sent.max() <= budget:
+            recv = np.bincount(receivers, weights=wt, minlength=1)
+            if recv.max() <= budget:
+                # Uncongested: one shard, nothing to shard or merge.
+                return [np.arange(senders.size, dtype=np.int64)]
+        labels = token_components(senders, receivers)
+        buckets = assign_buckets(labels, self.workers)
+        if len(buckets) <= 1:
+            # One connected component: sharding cannot help; stay serial.
+            return plan_token_rounds(plane, budget, tag_words)
+        self.sharded_plans += 1
+        position_arrays = [
+            np.asarray(bucket, dtype=np.int64) for bucket in buckets
+        ]
+        schedules = None
+        if self._want_processes(senders.size):
+            try:
+                schedules = self._plan_buckets_pool(
+                    np, senders, receivers, wt, position_arrays, budget
+                )
+            except _POOL_ERRORS:
+                self._pool_broken = True
+                self.close()
+        if schedules is None:
+            schedules = [
+                [
+                    positions[shard]
+                    for shard in _plan_rounds_numpy(
+                        np,
+                        senders[positions],
+                        receivers[positions],
+                        wt[positions],
+                        budget,
+                    )
+                ]
+                for positions in position_arrays
+            ]
+        return merge_round_schedules(schedules)
+
+    def _plan_python(self, plane, budget: int, tag_words: int) -> List[Any]:
+        from repro.simulator.engine import _plan_rounds_python, plan_token_rounds
+
+        senders = plane.senders
+        receivers = plane.receivers
+        words = plane.words
+        if hasattr(senders, "tolist"):  # numpy columns, gate forced off
+            senders = senders.tolist()
+            receivers = receivers.tolist()
+            words = words.tolist()
+        wt = [w + tag_words for w in words] if tag_words else words
+        if max(wt) > budget:
+            return plan_token_rounds(plane, budget, tag_words)
+        labels = token_components(senders, receivers)
+        buckets = assign_buckets(labels, self.workers)
+        if len(buckets) <= 1:
+            return plan_token_rounds(plane, budget, tag_words)
+        self.sharded_plans += 1
+        schedules = []
+        for positions in buckets:
+            shards = _plan_rounds_python(
+                [senders[p] for p in positions],
+                [receivers[p] for p in positions],
+                [wt[p] for p in positions],
+                budget,
+            )
+            schedules.append(
+                [[positions[i] for i in shard] for shard in shards]
+            )
+        return merge_round_schedules(schedules)
+
+    # -- process pool --------------------------------------------------
+    def _want_processes(self, total: int) -> bool:
+        if self._pool_broken or self.use_processes is False:
+            return False
+        if self.use_processes:
+            return True
+        return total >= self.process_min_tokens
+
+    def _ensure_pool(self):
+        pool = self._pool
+        if pool is None:
+            import multiprocessing
+
+            methods = multiprocessing.get_all_start_methods()
+            context = multiprocessing.get_context(
+                "fork" if "fork" in methods else None
+            )
+            pool = self._pool = context.Pool(processes=self.workers)
+        return pool
+
+    def _plan_buckets_pool(
+        self, np, senders, receivers, wt, position_arrays, budget: int
+    ) -> List[List[Any]]:
+        from multiprocessing import shared_memory
+
+        pool = self._ensure_pool()
+        total = int(senders.size)
+        positions_total = sum(int(p.size) for p in position_arrays)
+        shm = shared_memory.SharedMemory(
+            create=True, size=8 * (3 * total + positions_total)
+        )
+        try:
+            block = np.ndarray(
+                (3 * total + positions_total,), dtype=np.int64, buffer=shm.buf
+            )
+            block[0:total] = senders
+            block[total : 2 * total] = receivers
+            block[2 * total : 3 * total] = wt.astype(np.int64, copy=False)
+            offset = 3 * total
+            tasks = []
+            for positions in position_arrays:
+                block[offset : offset + positions.size] = positions
+                tasks.append(
+                    pool.apply_async(
+                        _plan_bucket_worker,
+                        (shm.name, total, offset, int(positions.size), budget),
+                    )
+                )
+                offset += positions.size
+            schedules = [task.get() for task in tasks]
+            del block
+        finally:
+            shm.close()
+            try:
+                shm.unlink()
+            except (FileNotFoundError, OSError):  # pragma: no cover
+                pass
+        self.process_plans += 1
+        return schedules
+
+
+def planner_from_env() -> Optional[ShardedPlanner]:
+    """The process-wide default planner: a :class:`ShardedPlanner` when
+    ``REPRO_SHARD_WORKERS`` asks for 2+ workers, else ``None`` (single-process
+    planning).  Called lazily by
+    :func:`repro.simulator.engine.installed_planner` on the first exchange."""
+    workers = resolve_shard_workers()
+    if workers <= 1:
+        return None
+    return ShardedPlanner(workers=workers)

@@ -1,0 +1,284 @@
+"""Charge-only mode must be *accounting-identical* to payload runs.
+
+Charge-only traffic carries only the (sender, receiver, words) columns — no
+payload objects are materialised, queued or delivered — yet schedules, round
+counts and every :class:`~repro.simulator.metrics.RoundMetrics` field must be
+bit-identical to the payload run, because the engine's accounting reads only
+the words columns.  Three activation levels are pinned across the 6-family x
+3-seed grid on both backends:
+
+* **algorithm-level** — ``KDissemination(..., charge_only=True)`` builds
+  payload-free planes at the source;
+* **simulator-level** — ``HybridSimulator(charge_only=True)`` drops payload
+  references when plane batches are queued;
+* **exchange-level** — ``batched_global_exchange(..., charge_only=True)``
+  demotes one workload via ``TokenPlane.charge_view()``.
+
+Reading payload *content* out of charge-only traffic is a hard
+:class:`~repro.simulator.errors.ChargeOnlyError`, never a silent wrong
+answer.  The fault layer must filter payload-free planes exactly like
+payload planes: a crash/drop/link-failure schedule replays bit-identically
+in both modes (the fault x charge-only regression).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.dissemination import KDissemination
+from repro.graphs.generators import (
+    barbell_graph,
+    broom_graph,
+    cycle_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    path_graph,
+)
+from repro.simulator import _accel
+from repro.simulator.config import ModelConfig
+from repro.simulator.engine import (
+    BatchAlgorithm,
+    TokenPlane,
+    batched_global_exchange,
+    resilient_batched_global_exchange,
+)
+from repro.simulator.errors import ChargeOnlyError
+from repro.simulator.faults import CrashEvent, FaultSchedule, LinkFailure
+from repro.simulator.messages import GLOBAL_MODE
+from repro.simulator.network import HybridSimulator
+
+SEEDS = [0, 1, 2]
+
+GRAPH_FAMILIES = {
+    "path": lambda seed: path_graph(30),
+    "cycle": lambda seed: cycle_graph(30),
+    "grid": lambda seed: grid_graph(6, 2),
+    "barbell": lambda seed: barbell_graph(8, 12),
+    "broom": lambda seed: broom_graph(18, 10),
+    "erdos_renyi": lambda seed: erdos_renyi_graph(30, 0.12, seed=seed),
+}
+
+CASES = [(family, seed) for family in sorted(GRAPH_FAMILIES) for seed in SEEDS]
+
+
+def _ids(case):
+    family, seed = case
+    return f"{family}-s{seed}"
+
+
+@pytest.fixture(params=["numpy", "python"])
+def backend(request, monkeypatch):
+    """Run the test body under both array backends."""
+    if request.param == "python":
+        monkeypatch.setattr(_accel, "np", None)
+    elif _accel.np is None:
+        pytest.skip("NumPy not available; vectorised leg is inactive")
+    return request.param
+
+
+# ----------------------------------------------------------------------
+# The grid: payload vs algorithm-level vs simulator-level charge-only
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("case", CASES, ids=_ids)
+def test_dissemination_charge_only_is_accounting_identical(case, backend):
+    family, seed = case
+    graph = GRAPH_FAMILIES[family](seed)
+    holders = sorted(graph.nodes, key=str)
+    rng = random.Random(f"co-{family}-{seed}")
+    tokens = {}
+    for index in range(rng.randrange(10, 22)):
+        tokens.setdefault(rng.choice(holders), []).append(("tok", index))
+
+    def run(sim_charge_only, algo_charge_only):
+        sim = HybridSimulator(
+            graph, ModelConfig.hybrid0(), seed=seed, charge_only=sim_charge_only
+        )
+        algo = KDissemination(sim, tokens, charge_only=algo_charge_only)
+        result = algo.run()
+        assert result.all_nodes_know_all_tokens()
+        return result.metrics, tuple(algo.phase_log)
+
+    payload_metrics, payload_phases = run(False, False)
+    algo_metrics, algo_phases = run(False, True)
+    sim_metrics, sim_phases = run(True, False)
+
+    assert payload_metrics.diff(algo_metrics) == {}
+    assert payload_metrics.diff(sim_metrics) == {}
+    assert algo_phases == payload_phases
+    assert sim_phases == payload_phases
+    assert payload_metrics.capacity_violations == 0
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_exchange_level_charge_only_is_accounting_identical(seed, backend):
+    graph = erdos_renyi_graph(28, 0.18, seed=seed)
+    rng = random.Random(900 + seed)
+    triples = [
+        (
+            rng.randrange(28),
+            rng.randrange(28),
+            ("m", i, "x" * (rng.choice([1, 2, 5, 9]) * 8)),
+        )
+        for i in range(rng.randrange(60, 140))
+    ]
+
+    def run(**kwargs):
+        sim = HybridSimulator(graph, ModelConfig(strict=False), seed=seed)
+        batched_global_exchange(sim, list(triples), tag="ce", collect=False, **kwargs)
+        return sim.metrics
+
+    payload_metrics = run()
+    charged_metrics = run(charge_only=True)
+    assert payload_metrics.diff(charged_metrics) == {}
+    assert payload_metrics.global_messages > 0
+
+
+# ----------------------------------------------------------------------
+# Guards: payload content is unreachable, loudly
+# ----------------------------------------------------------------------
+def test_charge_view_shares_columns_and_drops_payloads(backend):
+    plane = TokenPlane([0, 1, 2], [3, 4, 5], [1, 2, 3], ["a", "b", "c"])
+    view = plane.charge_view()
+    assert view.payloads is None
+    assert len(view) == len(plane) == 3
+    assert view.senders is plane.senders
+    assert view.receivers is plane.receivers
+    assert view.words is plane.words
+    # Idempotent: a charge-only plane is its own charge view.
+    assert view.charge_view() is view
+    with pytest.raises(ChargeOnlyError):
+        list(view.iter_triples(HybridSimulator(path_graph(6), ModelConfig.hybrid())))
+
+
+def test_collect_from_charge_only_exchange_raises(backend):
+    sim = HybridSimulator(path_graph(8), ModelConfig.hybrid(), seed=0)
+    triples = [(0, 5, "x"), (1, 6, "y")]
+    with pytest.raises(ChargeOnlyError):
+        batched_global_exchange(sim, triples, tag="g", charge_only=True)
+    with pytest.raises(ChargeOnlyError):
+        resilient_batched_global_exchange(sim, triples, tag="g", charge_only=True)
+    # collect=False is the supported combination and must work.
+    assert (
+        batched_global_exchange(
+            sim, triples, tag="g", collect=False, charge_only=True
+        )
+        == {}
+    )
+
+
+def test_charge_only_inbox_read_raises(backend):
+    sim = HybridSimulator(path_graph(8), ModelConfig.hybrid(), seed=0, charge_only=True)
+    batched_global_exchange(sim, [(0, 5, "x"), (1, 6, "y")], tag="g", collect=False)
+    with pytest.raises(ChargeOnlyError):
+        sim.per_node_inbox(GLOBAL_MODE)
+
+
+def test_charge_only_requires_the_batch_engine():
+    sim = HybridSimulator(path_graph(6), ModelConfig.hybrid())
+    with pytest.raises(ValueError, match="charge_only"):
+        BatchAlgorithm(sim, engine="legacy", charge_only=True)
+    with pytest.raises(ValueError, match="charge_only"):
+        KDissemination(sim, {0: ["t"]}, engine="batch-reference", charge_only=True)
+
+
+# ----------------------------------------------------------------------
+# Fault x charge-only: filtering works on payload-free planes
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", SEEDS)
+def test_fault_schedule_replays_identically_charge_only(seed, backend):
+    """Crash windows, drops and retransmission under charge-only traffic
+    must replay the payload run's fault trajectory bit-for-bit."""
+    graph = erdos_renyi_graph(24, 0.2, seed=seed)
+    schedule = FaultSchedule(
+        seed=seed,
+        global_drop_rate=0.3,
+        crashes=(CrashEvent(node=3, crash_round=1, recover_round=5),),
+    )
+    rng = random.Random(1500 + seed)
+    triples = [
+        (rng.randrange(24), rng.randrange(24), ("f", i))
+        for i in range(rng.randrange(40, 90))
+    ]
+
+    def run(charge_only):
+        sim = HybridSimulator(
+            graph, ModelConfig.hybrid(), seed=seed, fault_schedule=schedule
+        )
+        outcome = resilient_batched_global_exchange(
+            sim,
+            list(triples),
+            tag="fco",
+            collect=False,
+            charge_only=charge_only,
+        )
+        return (
+            sim.metrics.summary(),
+            outcome.attempts,
+            outcome.retransmissions,
+            sorted(outcome.undelivered_positions),
+        )
+
+    payload_run = run(False)
+    charged_run = run(True)
+    assert charged_run == payload_run
+    assert payload_run[0]["dropped_messages"] > 0  # faults actually fired
+
+
+def test_failed_edge_filtering_matches_on_charge_only_planes(backend):
+    """Local-mode link-failure filtering must drop the same records whether
+    or not the plane carries payloads."""
+    graph = path_graph(8)
+    schedule = FaultSchedule(link_failures=(LinkFailure(2, 3, end_round=2),))
+
+    def run(charge_only):
+        sim = HybridSimulator(
+            graph,
+            ModelConfig.hybrid(),
+            seed=0,
+            fault_schedule=schedule,
+            charge_only=charge_only,
+        )
+        for r in range(3):
+            sim.local_send_batch_ids(
+                [2, 3, 4],
+                [3, 2, 5],
+                [("p", r, 0), ("p", r, 1), ("p", r, 2)],
+                tag="lf",
+            )
+            sim.advance_round()
+        return sim.metrics.summary()
+
+    payload_summary = run(False)
+    charged_summary = run(True)
+    assert charged_summary == payload_summary
+    assert payload_summary["dropped_messages"] == 4
+
+
+@pytest.mark.parametrize("case", CASES[::3], ids=_ids)
+def test_crashed_endpoint_dissemination_identical_charge_only(case, backend):
+    """A transient crash window mid-dissemination: payload and simulator-level
+    charge-only runs must agree on every metric including the fault counters."""
+    family, seed = case
+    graph = GRAPH_FAMILIES[family](seed)
+    holders = sorted(graph.nodes, key=str)
+    rng = random.Random(f"cof-{family}-{seed}")
+    tokens = {}
+    for index in range(12):
+        tokens.setdefault(rng.choice(holders), []).append(("tok", index))
+    schedule = FaultSchedule(
+        seed=seed, crashes=(CrashEvent(node=1, crash_round=2, recover_round=4),)
+    )
+
+    def run(charge_only):
+        sim = HybridSimulator(
+            graph,
+            ModelConfig.hybrid0(),
+            seed=seed,
+            fault_schedule=schedule,
+            charge_only=charge_only,
+        )
+        return KDissemination(sim, tokens).run().metrics.summary()
+
+    assert run(True) == run(False)

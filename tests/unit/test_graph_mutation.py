@@ -270,3 +270,102 @@ def test_simulator_plane_send_raises_until_invalidate_resync():
     sim.invalidate_index()  # acknowledge the mutation
     sim.global_send_batch_ids([0], [1], ["after"])
     sim.advance_round()
+
+
+# ----------------------------------------------------------------------
+# apply_batch: k edits, one version bump, one index decision
+# ----------------------------------------------------------------------
+def test_apply_batch_patches_in_place_below_crossover():
+    # path_graph(40): n + m = 79, so 4 edits (cost 16) stay on the patch path.
+    graph = path_graph(40)
+    index = get_index(graph)
+    version = GraphMutator(graph).apply_batch(
+        [
+            ("add", 0, 5, 2),
+            ("update", 0, 1, 3),
+            ("remove", 3, 4),
+            ("add", 3, 7),
+        ]
+    )
+    # One bump for the whole burst, and the same index object, patched.
+    assert version == graph_version(graph) == 1
+    assert get_index(graph) is index
+    assert index.version == version
+    assert graph.has_edge(0, 5) and graph.has_edge(3, 7)
+    assert not graph.has_edge(3, 4)
+    # Value identity: the patched index answers like a from-scratch build.
+    fresh = GraphIndex(graph)
+    for source in (0, 7, 39):
+        assert index.sssp_dict(source) == fresh.sssp_dict(source)
+
+
+def test_apply_batch_prefers_rebuild_when_cheaper():
+    # path_graph(5): after three adds n + m = 12 and the batch costs
+    # 4 * 3 = 12 >= 12, so the planner retires the index instead of patching.
+    graph = path_graph(5)
+    stale = get_index(graph)
+    version = GraphMutator(graph).apply_batch(
+        [("add", 0, 2), ("add", 0, 3), ("add", 0, 4)]
+    )
+    assert version == graph_version(graph) == 1  # still exactly one bump
+    assert stale.retired
+    fresh = get_index(graph)
+    assert fresh is not stale
+    assert fresh.sssp_dict(0) == GraphIndex(graph).sssp_dict(0)
+
+
+def test_apply_batch_empty_is_a_noop():
+    graph = path_graph(6)
+    index = get_index(graph)
+    mutator = GraphMutator(graph)
+    assert mutator.apply_batch([]) == 0
+    assert graph_version(graph) == 0
+    assert get_index(graph) is index and not index.retired
+
+
+def test_apply_batch_new_node_takes_the_full_drop_path():
+    graph = path_graph(20)
+    stale = get_index(graph)
+    version = GraphMutator(graph).apply_batch([("add", 0, 99, 2)])
+    assert version == graph_version(graph) == 1
+    assert stale.retired
+    assert 99 in get_index(graph).nodes
+
+
+def test_apply_batch_applies_edits_sequentially():
+    # An edge added earlier in the batch may be re-weighted later in it.
+    graph = path_graph(30)
+    index = get_index(graph)
+    version = GraphMutator(graph).apply_batch(
+        [("add", 0, 9), ("update", 0, 9, 7)]
+    )
+    assert version == 1
+    assert get_index(graph) is index
+    assert graph[0][9]["weight"] == 7
+    assert index.sssp_dict(0) == GraphIndex(graph).sssp_dict(0)
+
+
+def test_apply_batch_rejects_malformed_edits_before_mutating():
+    graph = path_graph(6)
+    index = get_index(graph)
+    mutator = GraphMutator(graph)
+    for bad in [("frobnicate", 1, 2), ("add",), ("remove", 1), "add-0-2", ()]:
+        with pytest.raises(ValueError, match="batch edit|unsupported"):
+            mutator.apply_batch([("add", 0, 2), bad])
+        # Staging validates every edit before the first one touches the graph.
+        assert not graph.has_edge(0, 2)
+    assert graph_version(graph) == 0
+    assert get_index(graph) is index and not index.retired
+
+
+def test_apply_batch_midway_failure_commits_partial_burst_safely():
+    graph = path_graph(6)
+    stale = get_index(graph)
+    with pytest.raises(KeyError):
+        GraphMutator(graph).apply_batch([("add", 0, 2), ("remove", 0, 5)])
+    # The first edit is on the graph; the burst was still committed as one
+    # mutation, so the stale index can never be served.
+    assert graph.has_edge(0, 2)
+    assert stale.retired
+    assert graph_version(graph) == 1
+    assert get_index(graph).sssp_dict(0) == GraphIndex(graph).sssp_dict(0)

@@ -1,0 +1,257 @@
+"""Unit tests for the sharded-planner building blocks.
+
+Covers the bipartite-role union-find (:func:`token_components`), the
+deterministic LPT bucket assignment (:func:`assign_buckets`), the ascending-
+position round merge (:func:`merge_round_schedules`), the planner's
+delegation/fallback decisions, ``REPRO_SHARD_WORKERS`` parsing
+(:func:`resolve_shard_workers` / :func:`planner_from_env`) and the permanent
+in-process degradation after a pool failure.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.simulator import _accel
+from repro.simulator.config import resolve_shard_workers
+from repro.simulator.engine import TokenPlane, plan_token_rounds
+from repro.simulator.sharding import (
+    ShardedPlanner,
+    assign_buckets,
+    merge_round_schedules,
+    planner_from_env,
+    token_components,
+)
+
+requires_numpy = pytest.mark.skipif(
+    _accel.np is None, reason="NumPy not available; vectorised leg is inactive"
+)
+
+
+@pytest.fixture(params=["numpy", "python"])
+def backend(request, monkeypatch):
+    """Run the test body under both array backends."""
+    if request.param == "python":
+        monkeypatch.setattr(_accel, "np", None)
+    elif _accel.np is None:
+        pytest.skip("NumPy not available; vectorised leg is inactive")
+    return request.param
+
+
+def _plane(senders, receivers, words):
+    return TokenPlane(
+        senders, receivers, words, [("p", i) for i in range(len(words))]
+    )
+
+
+def _as_lists(shards):
+    return [[int(position) for position in shard] for shard in shards]
+
+
+# ----------------------------------------------------------------------
+# token_components: the bipartite role graph
+# ----------------------------------------------------------------------
+def test_sender_and_receiver_roles_are_independent(backend):
+    # Node 1 appears as a receiver of token 0 and as the sender of token 1;
+    # its sent and received counters are separate, so the tokens must land
+    # in *different* components.
+    labels = token_components([0, 1], [1, 2])
+    assert labels[0] != labels[1]
+
+
+def test_shared_counters_are_coupled_transitively(backend):
+    # (0->1), (2->1) share receiver 1; (2->3) shares sender 2 with (2->1):
+    # all three tokens form one component.  (5->6) stays separate.
+    labels = token_components([0, 2, 2, 5], [1, 1, 3, 6])
+    assert labels[0] == labels[1] == labels[2]
+    assert labels[3] != labels[0]
+
+
+def test_component_labels_are_deterministic_root_keys(backend):
+    # Roots are the smallest bipartite vertex key: sender s is vertex 2s,
+    # receiver r is vertex 2r+1.
+    assert token_components([0], [4]) == [0]       # min(0, 9) = 0
+    assert token_components([4], [0]) == [1]       # min(8, 1) = 1
+    # A 2-cycle still splits: (0->1) touches sent[0]/recv[1], (1->0) touches
+    # sent[1]/recv[0] — no counter shared, so two components.
+    assert token_components([0, 1], [1, 0]) == [0, 1]
+
+
+@requires_numpy
+def test_components_agree_across_backends(monkeypatch):
+    rng = random.Random(11)
+    senders = [rng.randrange(20) for _ in range(200)]
+    receivers = [rng.randrange(20) for _ in range(200)]
+    np = _accel.np
+    from_numpy = token_components(
+        np.asarray(senders, dtype=np.int64), np.asarray(receivers, dtype=np.int64)
+    )
+    monkeypatch.setattr(_accel, "np", None)
+    assert token_components(senders, receivers) == from_numpy
+
+
+# ----------------------------------------------------------------------
+# assign_buckets: deterministic LPT
+# ----------------------------------------------------------------------
+def test_buckets_balance_by_component_size():
+    # Components: label 7 x5 tokens, label 3 x3, label 9 x3, label 1 x1.
+    labels = [7] * 5 + [3] * 3 + [9] * 3 + [1]
+    buckets = assign_buckets(labels, 2)
+    sizes = sorted(len(bucket) for bucket in buckets)
+    assert sizes == [6, 6]  # LPT: 5+1 vs 3+3
+    # Positions within each bucket are ascending and globally disjoint.
+    for bucket in buckets:
+        assert bucket == sorted(bucket)
+    assert sorted(p for bucket in buckets for p in bucket) == list(range(12))
+
+
+def test_bucket_assignment_is_deterministic_and_drops_empties():
+    labels = [4, 4, 8, 8, 2]
+    first = assign_buckets(labels, 7)
+    second = assign_buckets(labels, 7)
+    assert first == second
+    assert len(first) == 3  # only 3 components; 4 empty buckets dropped
+    single = assign_buckets(labels, 1)
+    assert single == [list(range(5))]
+
+
+# ----------------------------------------------------------------------
+# merge_round_schedules: ascending-position union per round
+# ----------------------------------------------------------------------
+def test_merge_interleaves_rounds_in_position_order(backend):
+    merged = merge_round_schedules([[[0, 2], [5]], [[1], [4], [7]]])
+    assert [list(map(int, shard)) for shard in merged] == [[0, 1, 2], [4, 5], [7]]
+    assert merge_round_schedules([]) == []
+
+
+@requires_numpy
+def test_merge_handles_numpy_chunks():
+    np = _accel.np
+    merged = merge_round_schedules(
+        [
+            [np.asarray([0, 3], dtype=np.int64)],
+            [np.asarray([1], dtype=np.int64), np.asarray([2], dtype=np.int64)],
+        ]
+    )
+    assert [shard.tolist() for shard in merged] == [[0, 1, 3], [2]]
+
+
+# ----------------------------------------------------------------------
+# Planner delegation decisions
+# ----------------------------------------------------------------------
+def test_planner_rejects_nonpositive_workers():
+    with pytest.raises(ValueError, match="workers"):
+        ShardedPlanner(0)
+
+
+def test_small_and_empty_planes_delegate(backend):
+    planner = ShardedPlanner(4, use_processes=False)  # default min_tokens=256
+    assert planner.plan(_plane([], [], []), 8) == []
+    plane = _plane([0, 1, 2], [3, 4, 5], [9, 9, 9])
+    assert _as_lists(planner.plan(plane, 8, 1)) == _as_lists(
+        plan_token_rounds(plane, 8, 1)
+    )
+    assert planner.sharded_plans == 0
+
+
+def test_single_worker_always_delegates(backend):
+    plane = _plane([0] * 40, [1] * 40, [5] * 40)
+    planner = ShardedPlanner(1, use_processes=False, min_tokens=1)
+    assert _as_lists(planner.plan(plane, 8)) == _as_lists(plan_token_rounds(plane, 8))
+    assert planner.sharded_plans == 0
+
+
+def test_oversized_token_forces_the_serial_fallback(backend):
+    # Two disjoint congested pairs plus one oversized token: partitionable
+    # in shape, but the oversized branch is global, so the planner delegates.
+    senders = [0] * 6 + [2] * 6 + [4]
+    receivers = [1] * 6 + [3] * 6 + [5]
+    words = [5] * 12 + [10_000]
+    plane = _plane(senders, receivers, words)
+    planner = ShardedPlanner(2, use_processes=False, min_tokens=1)
+    assert _as_lists(planner.plan(plane, 8, 1)) == _as_lists(
+        plan_token_rounds(plane, 8, 1)
+    )
+    assert planner.sharded_plans == 0
+
+
+@requires_numpy
+def test_uncongested_plane_takes_the_single_shard_fast_path():
+    plane = _plane([0, 2, 4, 6], [1, 3, 5, 7], [2, 2, 2, 2])
+    planner = ShardedPlanner(4, use_processes=False, min_tokens=1)
+    shards = planner.plan(plane, 8, 1)
+    assert _as_lists(shards) == [[0, 1, 2, 3]]
+    assert planner.sharded_plans == 0
+
+
+# ----------------------------------------------------------------------
+# Environment resolution
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "raw,expected",
+    [(None, 1), ("", 1), ("  ", 1), ("garbage", 1), ("0", 1), ("-3", 1), ("4", 4)],
+)
+def test_resolve_shard_workers_parsing(monkeypatch, raw, expected):
+    if raw is None:
+        monkeypatch.delenv("REPRO_SHARD_WORKERS", raising=False)
+    else:
+        monkeypatch.setenv("REPRO_SHARD_WORKERS", raw)
+    assert resolve_shard_workers() == expected
+
+
+def test_planner_from_env(monkeypatch):
+    monkeypatch.delenv("REPRO_SHARD_WORKERS", raising=False)
+    assert planner_from_env() is None
+    monkeypatch.setenv("REPRO_SHARD_WORKERS", "1")
+    assert planner_from_env() is None
+    monkeypatch.setenv("REPRO_SHARD_WORKERS", "3")
+    planner = planner_from_env()
+    try:
+        assert isinstance(planner, ShardedPlanner)
+        assert planner.workers == 3
+    finally:
+        planner.close()
+
+
+def test_workers_default_reads_environment(monkeypatch):
+    monkeypatch.setenv("REPRO_SHARD_WORKERS", "5")
+    planner = ShardedPlanner()
+    assert planner.workers == 5
+
+
+# ----------------------------------------------------------------------
+# Pool failure: permanent, schedule-preserving degradation
+# ----------------------------------------------------------------------
+@requires_numpy
+def test_pool_failure_degrades_to_in_process_permanently(monkeypatch):
+    senders = [0] * 10 + [2] * 10
+    receivers = [1] * 10 + [3] * 10
+    words = [5] * 20
+    plane = _plane(senders, receivers, words)
+    planner = ShardedPlanner(2, use_processes=True, min_tokens=1)
+    calls = []
+
+    def broken_pool(*args, **kwargs):
+        calls.append(1)
+        raise OSError("synthetic pool failure")
+
+    monkeypatch.setattr(planner, "_plan_buckets_pool", broken_pool)
+    expected = _as_lists(plan_token_rounds(plane, 8, 1))
+    assert _as_lists(planner.plan(plane, 8, 1)) == expected
+    assert planner._pool_broken
+    assert len(calls) == 1
+    # The degradation is permanent: the pool is never tried again.
+    assert _as_lists(planner.plan(plane, 8, 1)) == expected
+    assert len(calls) == 1
+    assert planner.process_plans == 0
+    assert planner.sharded_plans == 2
+
+
+def test_close_is_idempotent_and_keeps_planner_usable(backend):
+    planner = ShardedPlanner(2, use_processes=False, min_tokens=1)
+    planner.close()
+    planner.close()
+    plane = _plane([0] * 8 + [2] * 8, [1] * 8 + [3] * 8, [5] * 16)
+    assert _as_lists(planner.plan(plane, 8)) == _as_lists(plan_token_rounds(plane, 8))
