@@ -271,9 +271,11 @@ class FaultState:
         "schedule",
         "n",
         "_crash_cache",
+        "_crash_arr_cache",
         "_factor_cache",
         "_node_factor_cache",
         "_link_cache",
+        "_link_arr_cache",
         "_has_node_degradations",
         "_pending_permanent",
     )
@@ -299,9 +301,11 @@ class FaultState:
         self.schedule = schedule
         self.n = n
         self._crash_cache: Dict[int, FrozenSet[int]] = {}
+        self._crash_arr_cache: Dict[int, object] = {}
         self._factor_cache: Dict[int, float] = {}
         self._node_factor_cache: Dict[int, Dict[int, float]] = {}
         self._link_cache: Dict[int, FrozenSet[int]] = {}
+        self._link_arr_cache: Dict[int, object] = {}
         self._has_node_degradations = any(
             degradation.node is not None for degradation in schedule.degradations
         )
@@ -332,6 +336,22 @@ class FaultState:
 
     def is_crashed(self, node_index: int, round_index: int) -> bool:
         return node_index in self.crashed_indices(round_index)
+
+    def crashed_index_array(self, np, round_index: int):
+        """:meth:`crashed_indices` as a **sorted** int64 array (cached).
+
+        The vectorised plane fault filter probes crash membership with one
+        ``searchsorted`` sweep per token column; building (and sorting) the
+        array once per round keeps that probe allocation-free across the
+        round's batches.
+        """
+        cached = self._crash_arr_cache.get(round_index)
+        if cached is None:
+            crashed = self.crashed_indices(round_index)
+            cached = np.fromiter(crashed, dtype=np.int64, count=len(crashed))
+            cached.sort()
+            self._crash_arr_cache[round_index] = cached
+        return cached
 
     # ------------------------------------------------------------------
     # Capacity degradation
@@ -388,6 +408,20 @@ class FaultState:
                     keys.add(failure.v * n + failure.u)
             cached = frozenset(keys)
             self._link_cache[round_index] = cached
+        return cached
+
+    def failed_edge_key_array(self, np, round_index: int):
+        """:meth:`failed_edge_keys` as a **sorted** int64 array (cached).
+
+        The directed ``u * n + v`` twin of :meth:`crashed_index_array`, for
+        the vectorised plane fault filter's edge probe.
+        """
+        cached = self._link_arr_cache.get(round_index)
+        if cached is None:
+            keys = self.failed_edge_keys(round_index)
+            cached = np.fromiter(keys, dtype=np.int64, count=len(keys))
+            cached.sort()
+            self._link_arr_cache[round_index] = cached
         return cached
 
     def take_permanent_closures(self, round_index: int) -> List[Tuple[int, int]]:

@@ -125,6 +125,7 @@ from repro.simulator.errors import (
 from repro.simulator.knowledge import KnowledgeTracker
 from repro.simulator.messages import GLOBAL_MODE, LOCAL_MODE, Message, payload_words
 from repro.simulator.metrics import RoundMetrics
+from repro.simulator.sharding import span_keep_mask
 
 Node = Hashable
 
@@ -134,6 +135,20 @@ __all__ = ["HybridSimulator", "BatchRecord", "node_sort_key"]
 #: ``(sender, payload, tag, words)``.  The receiver is the bucket key and the
 #: round is the simulator's ``_delivered_round``.
 BatchRecord = Tuple[Node, Any, Optional[str], int]
+
+
+# HYBRID_0 identifiers come from a polynomial range [n^c] (c = 3).  The
+# range is capped so every identifier fits both a C ssize_t (required by
+# random.sample over a range) and an int64 (required by the packed
+# knowledge arrays); the cap stays >= n^2 for any graph that fits memory,
+# so identifier collisions remain impossible and the sparse-regime
+# semantics are unchanged.  Below the cap (n < ~1.66 * 10^6) the draw is
+# bit-identical to the uncapped formulation.
+_ID_UNIVERSE_CAP = 1 << 62
+
+
+def _identifier_universe(n: int) -> int:
+    return max(min(n**3, _ID_UNIVERSE_CAP), 8)
 
 
 def node_sort_key(node: Node) -> Tuple[int, Any]:
@@ -180,6 +195,15 @@ class _PairMemo:
             slot[slot == level.size] = 0
             keys = keys[level[slot] != keys]
         return keys
+
+    def levels(self):
+        """The non-empty sorted views, for the span-parallel filter twin of
+        :meth:`unknown` (:meth:`repro.simulator.sharding.ShardedDelivery.fresh_keys`)."""
+        return tuple(
+            level
+            for level in (self._sorted, self._recent)
+            if level is not None and level.size
+        )
 
     def absorb(self, np, fresh) -> None:
         """Fold a sorted array of newly-seen keys into the recent buffer.
@@ -309,15 +333,17 @@ class HybridSimulator:
         per-mode message drops, and degrade the global budget per the
         schedule's windows (see :mod:`repro.simulator.faults`).
     charge_only:
-        When true, plane sends queue **no payload references**: the round
-        engine runs on the (sender, receiver, words) columns alone, so
-        schedules, capacity accounting, metrics, round counts and HYBRID_0
-        identifier learning are bit-identical to a payload run (the
-        property suites pin this), while memory stays flat in the payload
-        volume.  Reading a round's inbox for charge-only plane traffic
+        When true, sends queue **no payload references**: the round engine
+        runs on the (sender, receiver, words) data alone, so schedules,
+        capacity accounting, metrics, round counts and HYBRID_0 identifier
+        learning are bit-identical to a payload run (the property suites pin
+        this), while memory stays flat in the payload volume.  This covers
+        both the id-native plane paths and the legacy tuple
+        ``*_send_batch``/``*_send`` paths, so mixed-era workloads run
+        payload-free too.  Reading a round's inbox for charge-only traffic
         raises :class:`~repro.simulator.errors.ChargeOnlyError`; fault
-        filtering, delivery acks (``delivered_plane_positions``) and the
-        tuple-based ``*_send_batch`` paths are unaffected.
+        filtering and delivery acks (``delivered_plane_positions``) are
+        unaffected.
     """
 
     def __init__(
@@ -372,6 +398,7 @@ class HybridSimulator:
         # as flat s * n + r keys for O(1)/vectorised edge validation.
         self._ids_by_index: Optional[List[int]] = None
         self._ids_np: Optional[Any] = None
+        self._ids_table: Optional[Any] = None
         self._edge_keys: Optional[Any] = None
         # Monotone plane-path memos: knowledge only ever grows, so an (s, r)
         # pair that validated once stays valid, and an (r, s) pair whose
@@ -380,6 +407,10 @@ class HybridSimulator:
         # per-round knowledge work to the first occurrence of each pair.
         self._validated_global_pairs = _PairMemo()
         self._taught_pairs = _PairMemo()
+        # Sharded delivery engine of the process-wide installed planner,
+        # resolved lazily per planner identity (None = serial delivery).
+        self._delivery_planner: Optional[Any] = None
+        self._delivery_engine: Optional[Any] = None
         self._assign_identifiers()
         self._init_knowledge()
 
@@ -429,8 +460,9 @@ class HybridSimulator:
                 self._node_to_id = {v: index for index, v in enumerate(self._nodes)}
         else:
             # HYBRID_0: identifiers from a polynomial range [n^c]; we draw
-            # distinct random integers from [n^3].
-            universe = max(self.n**3, 8)
+            # distinct random integers from [n^3] (capped, see
+            # _identifier_universe).
+            universe = _identifier_universe(self.n)
             ids = self.rng.sample(range(universe), self.n)
             self._node_to_id = {v: ids[index] for index, v in enumerate(self._nodes)}
         self._id_to_node: Dict[int, Node] = {
@@ -487,6 +519,7 @@ class HybridSimulator:
         self._graph_version = graph_version(self.graph)
         self._ids_by_index = None
         self._ids_np = None
+        self._ids_table = None
         self._edge_keys = None
         # The pair memos cache per-(sender, receiver) validation/teaching
         # facts keyed on flat indices; although knowledge itself is monotone,
@@ -531,21 +564,62 @@ class HybridSimulator:
         """
         take = self._ids_np
         if take is None:
-            ids = self._identifier_array()
-            np = _accel.np
-            if np is not None and all(type(i) is int for i in ids):
-                table = np.asarray(ids, dtype=np.int64)
+            table = self._identifier_table()
+            if table is not None:
 
                 def take(indices):
                     return table[indices].tolist()
 
             else:
+                ids = self._identifier_array()
 
                 def take(indices):
                     return [ids[i] for i in indices.tolist()]
 
             self._ids_np = take
         return take
+
+    def _identifier_table(self):
+        """The identifiers as an int64 array (cached), or ``None``.
+
+        Available exactly when the accelerator is active and every identifier
+        is a plain int (the sparse-regime default) — the array twin of
+        :meth:`_identifier_take` for callers that keep identifier columns
+        native (grouped validation, packed sender-id learning).
+        """
+        table = self._ids_table
+        if table is False:
+            return None
+        if table is None:
+            np = _accel.np
+            ids = self._identifier_array()
+            if np is not None and all(type(i) is int for i in ids):
+                table = self._ids_table = np.asarray(ids, dtype=np.int64)
+            else:
+                self._ids_table = False
+                return None
+        return table
+
+    def _sharded_delivery(self):
+        """The installed planner's delivery engine (``None`` = serial).
+
+        Resolved per planner identity, so ``install_planner`` (or a planner
+        ``close()``/re-install) mid-simulation is picked up on the next use;
+        holding the engine never extends the planner's pool lease — the
+        engine leases lazily on its first pool dispatch.
+        """
+        from repro.simulator.engine import installed_planner
+
+        planner = installed_planner()
+        if planner is not self._delivery_planner:
+            self._delivery_planner = planner
+            engine = None
+            if planner is not None and getattr(planner, "workers", 1) > 1:
+                factory = getattr(planner, "delivery", None)
+                if factory is not None:
+                    engine = factory()
+            self._delivery_engine = engine
+        return self._delivery_engine
 
     def _edge_key_index(self):
         """The directed adjacency as flat ``s * n + r`` keys (cached).
@@ -669,6 +743,7 @@ class HybridSimulator:
         node_set = self._node_set
         has_edge = self.graph.has_edge
         buckets = self._pending_local
+        charge_only = self.charge_only
         count = 0
         total_words = 0
         # The try/finally keeps the aggregate counters in sync with the
@@ -700,7 +775,15 @@ class HybridSimulator:
                 bucket = buckets.get(receiver)
                 if bucket is None:
                     bucket = buckets[receiver] = []
-                bucket.append((sender, payload, tag, words))
+                # Charge-only runs queue no payload reference: scheduling,
+                # capacity accounting and fault filtering only touch the
+                # other fields, and inbox reads raise before any record
+                # escapes (see _local_buckets).
+                bucket.append(
+                    (sender, None, tag, words)
+                    if charge_only
+                    else (sender, payload, tag, words)
+                )
                 count += 1
                 total_words += words
         finally:
@@ -739,6 +822,7 @@ class HybridSimulator:
         buckets = self._pending_global
         sent_words = self._global_sent_words
         recv_words = self._global_recv_words
+        charge_only = self.charge_only
         count = 0
         total_words = 0
         # As in local_send_batch: a validation error mid-batch must leave the
@@ -773,7 +857,12 @@ class HybridSimulator:
                 bucket = buckets.get(receiver)
                 if bucket is None:
                     bucket = buckets[receiver] = []
-                bucket.append((sender, payload, tag, words))
+                # See local_send_batch: charge-only queues no payload ref.
+                bucket.append(
+                    (sender, None, tag, words)
+                    if charge_only
+                    else (sender, payload, tag, words)
+                )
                 sent_words[sender] += words
                 recv_words[receiver] += words
                 count += 1
@@ -874,17 +963,39 @@ class HybridSimulator:
             if not candidates.size:
                 return
             uniq = np.unique(candidates)
+            sender_col = uniq // n
+            target_col = uniq % n
+            starts = np.flatnonzero(
+                np.concatenate(
+                    (np.ones(1, dtype=bool), sender_col[1:] != sender_col[:-1])
+                )
+            )
+            bounds = np.append(starts, sender_col.size).tolist()
+            table = self._identifier_table()
+            packed_mask = self.knowledge.packed_known_mask
             offending: Set[int] = set()
-            current = -1
-            known: Set[int] = set()
-            for sender_index, target_index in zip(
-                (uniq // n).tolist(), (uniq % n).tolist()
-            ):
-                if sender_index != current:
-                    current = sender_index
-                    known = known_view(ids[sender_index])
-                if ids[target_index] not in known:
-                    offending.add(sender_index * n + target_index)
+            for g, sender_index in enumerate(sender_col[starts].tolist()):
+                lo, hi = bounds[g], bounds[g + 1]
+                targets = target_col[lo:hi]
+                sender_id = ids[sender_index]
+                if table is not None and targets.size >= 64:
+                    # Vectorised pre-filter: pairs the packed knowledge layer
+                    # already covers skip the per-target probe loop (bulk
+                    # reply traffic along learned pairs is the common case).
+                    target_ids = table[targets]
+                    miss = ~packed_mask(np, sender_id, target_ids)
+                    if not bool(miss.any()):
+                        continue
+                    probe_indices = targets[miss].tolist()
+                    probe_ids = target_ids[miss].tolist()
+                else:
+                    probe_indices = targets.tolist()
+                    probe_ids = [ids[t] for t in probe_indices]
+                known = known_view(sender_id)
+                base = sender_index * n
+                for target_index, target_id in zip(probe_indices, probe_ids):
+                    if target_id not in known:
+                        offending.add(base + target_index)
             if offending:
                 # Report the earliest offending token in submission order,
                 # matching the tuple path and the pure-Python fallback.  The
@@ -979,8 +1090,16 @@ class HybridSimulator:
             if sent_arr is None:
                 sent_arr = self._plane_sent_arr = np.zeros(self.n)
                 self._plane_recv_arr = np.zeros(self.n)
-            sent_arr += np.bincount(s_sel, weights=wt, minlength=self.n)
-            self._plane_recv_arr += np.bincount(r_sel, weights=wt, minlength=self.n)
+            delivery = self._sharded_delivery()
+            if delivery is not None:
+                delivery.apply_counters(
+                    np, s_sel, r_sel, wt, sent_arr, self._plane_recv_arr
+                )
+            else:
+                sent_arr += np.bincount(s_sel, weights=wt, minlength=self.n)
+                self._plane_recv_arr += np.bincount(
+                    r_sel, weights=wt, minlength=self.n
+                )
         else:
             wt = [w + tag_words for w in w_sel] if tag_words else list(w_sel)
             total = sum(wt)
@@ -1210,38 +1329,50 @@ class HybridSimulator:
                 # Plane-only round: the capacity sweep is two whole-array
                 # comparisons over the grouped counters — identical accounting
                 # to the per-node loop (the metrics only keep the max load and
-                # the violation count).
+                # the violation count).  At paper scale the sweep may run
+                # range-parallel on the delivery engine; its per-range
+                # (max, over-count, first-over) summaries merge by
+                # max / sum / min into exactly the serial numbers.
+                np = _accel.np
                 recv_arr = self._plane_recv_arr
-                sent_max = int(sent_arr.max())
-                if sent_max:
-                    metrics.record_node_round_load(sent_max)
-                if sent_max > budget:
-                    np = _accel.np
-                    over = np.flatnonzero(sent_arr > budget)
-                    if strict:
-                        metrics.record_violation()
-                        node = self._nodes[int(over[0])]
-                        raise CapacityExceededError(
-                            f"node {node!r} sent {int(sent_arr[over[0]])} global "
-                            f"words in round {self.round}, budget is {budget}"
-                        )
-                    for _ in range(over.size):
-                        metrics.record_violation()
-                recv_max = int(recv_arr.max())
-                if recv_max:
-                    metrics.record_node_round_load(recv_max)
-                if recv_max > budget:
-                    np = _accel.np
-                    over = np.flatnonzero(recv_arr > budget)
-                    if strict and self.enforce_receive_capacity:
-                        metrics.record_violation()
-                        node = self._nodes[int(over[0])]
-                        raise CapacityExceededError(
-                            f"node {node!r} received {int(recv_arr[over[0]])} global "
-                            f"words in round {self.round}, budget is {budget}"
-                        )
-                    for _ in range(over.size):
-                        metrics.record_violation()
+                delivery = self._sharded_delivery()
+                swept = (
+                    delivery.sweep(np, sent_arr, recv_arr, budget)
+                    if delivery is not None
+                    else None
+                )
+                if swept is None:
+                    swept = []
+                    for arr in (sent_arr, recv_arr):
+                        peak = int(arr.max())
+                        if peak > budget:
+                            over = np.flatnonzero(arr > budget)
+                            swept.append((peak, int(over.size), int(over[0])))
+                        else:
+                            swept.append((peak, 0, -1))
+                for verb, arr, (peak, over_count, first_over), enforce in (
+                    ("sent", sent_arr, swept[0], strict),
+                    (
+                        "received",
+                        recv_arr,
+                        swept[1],
+                        strict and self.enforce_receive_capacity,
+                    ),
+                ):
+                    peak = int(peak)
+                    if peak:
+                        metrics.record_node_round_load(peak)
+                    if peak > budget:
+                        if enforce:
+                            metrics.record_violation()
+                            node = self._nodes[first_over]
+                            raise CapacityExceededError(
+                                f"node {node!r} {verb} {int(arr[first_over])} "
+                                f"global words in round {self.round}, budget "
+                                f"is {budget}"
+                            )
+                        for _ in range(over_count):
+                            metrics.record_violation()
             else:
                 index_of = self._index_of
                 for node, words in self._global_sent_words.items():
@@ -1360,19 +1491,16 @@ class HybridSimulator:
         taught = memo.known
         n = self.n
         np = _accel.np
+        delivery = self._sharded_delivery() if np is not None else None
         sender_ids_of: Dict[int, Set[int]] = {}
         fresh_chunks: List[Any] = []
         for batch in planes:
             s_sel = batch.senders
             r_sel = batch.receivers
             if np is not None and batch.fresh_pairs is not None:
-                candidates = memo.unknown(np, batch.fresh_pairs)
-                if candidates.size:
-                    fresh_chunks.append(candidates)
+                keys = batch.fresh_pairs
             elif np is not None and isinstance(s_sel, np.ndarray):
-                candidates = memo.unknown(np, r_sel * n + s_sel)
-                if candidates.size:
-                    fresh_chunks.append(candidates)
+                keys = r_sel * n + s_sel
             else:
                 for k in range(len(s_sel)):
                     key = r_sel[k] * n + s_sel[k]
@@ -1380,6 +1508,13 @@ class HybridSimulator:
                         continue
                     taught.add(key)
                     sender_ids_of.setdefault(r_sel[k], set()).add(ids[s_sel[k]])
+                continue
+            if delivery is not None:
+                candidates = delivery.fresh_keys(np, keys, memo.levels())
+            else:
+                candidates = memo.unknown(np, keys)
+            if candidates.size:
+                fresh_chunks.append(candidates)
         for receiver_index, id_set in sender_ids_of.items():
             learn_known(ids[receiver_index], id_set)
         if not fresh_chunks:
@@ -1397,14 +1532,28 @@ class HybridSimulator:
         validated.known.update(uniq_list)
         validated.absorb(np, uniq)
         receiver_col = uniq // n
-        sender_ids = self._identifier_take()(uniq % n)
+        sender_col = uniq % n
         starts = np.flatnonzero(
             np.concatenate((np.ones(1, dtype=bool), receiver_col[1:] != receiver_col[:-1]))
         )
         bounds = np.append(starts, receiver_col.size).tolist()
         receiver_ids = self._identifier_take()(receiver_col[starts])
-        for g, receiver_id in enumerate(receiver_ids):
-            learn_known(receiver_id, sender_ids[bounds[g] : bounds[g + 1]])
+        table = self._identifier_table()
+        if table is not None:
+            # Packed learning: each receiver's new sender ids as a sorted
+            # int64 array folded into the knowledge tracker's packed layer —
+            # C-speed merges instead of per-id set inserts (see
+            # KnowledgeTracker.learn_known_array).
+            sender_id_col = table[sender_col]
+            learn_array = self.knowledge.learn_known_array
+            for g, receiver_id in enumerate(receiver_ids):
+                learn_array(
+                    receiver_id, np.sort(sender_id_col[bounds[g] : bounds[g + 1]])
+                )
+        else:
+            sender_ids = self._identifier_take()(sender_col)
+            for g, receiver_id in enumerate(receiver_ids):
+                learn_known(receiver_id, sender_ids[bounds[g] : bounds[g + 1]])
 
     # ------------------------------------------------------------------
     # Fault injection (see repro.simulator.faults)
@@ -1422,6 +1571,7 @@ class HybridSimulator:
         """
         round_index = self.round
         metrics = self.metrics
+        np = _accel.np
         crashed = fault_state.crashed_indices(round_index)
         if crashed:
             metrics.record_crashed_nodes(len(crashed))
@@ -1437,7 +1587,17 @@ class HybridSimulator:
             if not crashed and edges is None and rng is None:
                 continue
             dropped += self._filter_tuple_buckets(buckets, crashed, edges, rate, rng)
-            dropped += self._filter_planes(planes, crashed, edges, rate, rng)
+            crashed_arr = failed_arr = None
+            if np is not None and planes:
+                crashed_arr = fault_state.crashed_index_array(np, round_index)
+                failed_arr = (
+                    fault_state.failed_edge_key_array(np, round_index)
+                    if edges is not None
+                    else crashed_arr[:0]
+                )
+            dropped += self._filter_planes(
+                planes, crashed, edges, rate, rng, crashed_arr, failed_arr
+            )
         if dropped:
             metrics.record_dropped(dropped)
 
@@ -1476,23 +1636,82 @@ class HybridSimulator:
                     del buckets[receiver]
         return dropped
 
-    def _filter_planes(self, planes, crashed, failed_edges, rate, rng) -> int:
+    def _filter_planes(
+        self,
+        planes,
+        crashed,
+        failed_edges,
+        rate,
+        rng,
+        crashed_arr=None,
+        failed_arr=None,
+    ) -> int:
         """Filter queued plane batches in place; return the drop count.
 
         Surviving batches keep their original column objects when nothing was
-        dropped; a filtered batch is rebuilt with plain-list columns (the
-        fault path favours simplicity over vectorisation) and loses its
-        precomputed ``fresh_pairs`` — the id-learning pass recomputes pairs
-        from the surviving records instead of trusting a stale spine.
+        dropped.  Array-backed batches filter vectorised: the crash/edge
+        keep-mask is computed per batch (span-parallel on the delivery engine
+        when installed — elementwise, so bit-identical for any worker count),
+        then the RNG consumes one draw per crash/edge survivor in ascending
+        token order, exactly like the scalar loop — the drop decisions and
+        the draw stream match the serial path bit for bit.  A filtered batch
+        loses its precomputed ``fresh_pairs``; the id-learning pass recomputes
+        pairs from the surviving columns instead of trusting a stale spine.
         """
         if not planes:
             return 0
         n = self.n
+        np = _accel.np
+        delivery = self._sharded_delivery() if np is not None else None
         dropped = 0
         for i, batch in enumerate(planes):
             senders = batch.senders
             receivers = batch.receivers
             words = batch.words
+            if (
+                crashed_arr is not None
+                and np is not None
+                and isinstance(senders, np.ndarray)
+            ):
+                if delivery is not None:
+                    keep_mask = delivery.keep_mask(
+                        np, senders, receivers, crashed_arr, failed_arr, n
+                    )
+                else:
+                    keep_mask = span_keep_mask(
+                        np, senders, receivers, crashed_arr, failed_arr, n
+                    )
+                if rng is not None:
+                    passing = np.flatnonzero(keep_mask)
+                    if passing.size:
+                        draw = rng.random
+                        draws = np.fromiter(
+                            (draw() for _ in range(passing.size)),
+                            dtype=np.float64,
+                            count=passing.size,
+                        )
+                        keep_mask[passing[draws < rate]] = False
+                kept = np.flatnonzero(keep_mask)
+                if kept.size == len(senders):
+                    continue
+                dropped += len(senders) - int(kept.size)
+                positions = batch.positions
+                if positions is None:
+                    new_positions = kept
+                else:
+                    if not isinstance(positions, np.ndarray):
+                        positions = np.asarray(positions, dtype=np.int64)
+                    new_positions = positions[kept]
+                planes[i] = _PlaneBatch(
+                    senders[kept],
+                    receivers[kept],
+                    words[kept],
+                    batch.payloads,
+                    new_positions,
+                    batch.tag,
+                    None,
+                )
+                continue
             if hasattr(senders, "tolist"):
                 senders = senders.tolist()
                 receivers = receivers.tolist()
@@ -1517,17 +1736,17 @@ class HybridSimulator:
                 continue
             positions = batch.positions
             if positions is None:
-                new_positions: List[int] = keep
+                new_positions_list: List[int] = keep
             else:
                 if hasattr(positions, "tolist"):
                     positions = positions.tolist()
-                new_positions = [positions[k] for k in keep]
+                new_positions_list = [positions[k] for k in keep]
             planes[i] = _PlaneBatch(
                 [senders[k] for k in keep],
                 [receivers[k] for k in keep],
                 [words[k] for k in keep],
                 batch.payloads,
-                new_positions,
+                new_positions_list,
                 batch.tag,
                 None,
             )
@@ -1593,6 +1812,7 @@ class HybridSimulator:
         raise ValueError(f"unknown mode {mode!r}")
 
     def _global_buckets(self) -> Dict[Node, List[BatchRecord]]:
+        self._check_charge_only_read(self._delivered_global)
         if not self._delivered_global_planes:
             return self._delivered_global
         merged = self._merged_global
@@ -1603,6 +1823,7 @@ class HybridSimulator:
         return merged
 
     def _local_buckets(self) -> Dict[Node, List[BatchRecord]]:
+        self._check_charge_only_read(self._delivered_local)
         if not self._delivered_local_planes:
             return self._delivered_local
         merged = self._merged_local
@@ -1611,6 +1832,22 @@ class HybridSimulator:
                 self._delivered_local, self._delivered_local_planes
             )
         return merged
+
+    def _check_charge_only_read(self, eager: Dict[Node, List[BatchRecord]]) -> None:
+        """Raise on inbox reads of charge-only *tuple* traffic.
+
+        The plane twin of this guard lives in :meth:`_PlaneBatch.records`;
+        tuple records are stored with a ``None`` payload slot in charge-only
+        mode, so they must never escape to a reader either.  Rounds with no
+        tuple traffic pass through — an empty inbox is exact, not a content
+        read.
+        """
+        if self.charge_only and eager:
+            raise ChargeOnlyError(
+                "this round's tuple traffic was queued charge-only (no "
+                "payload references); its schedule and accounting are exact, "
+                "but the round's inbox contents were never materialised"
+            )
 
     def _merge_buckets(
         self,

@@ -58,11 +58,37 @@ the same partition, preserving identity on the fallback backend.
 ``REPRO_SHARD_WORKERS=k`` (k >= 2) installs a planner process-wide for every
 exchange via :func:`planner_from_env` (resolved lazily by
 :func:`repro.simulator.engine.installed_planner`).
+
+Shared worker-pool service
+--------------------------
+Planners do not own pools.  :class:`WorkerPoolService` holds the one
+persistent process pool of the whole simulator process; planners (and the
+delivery engine, below) acquire refcounted leases from
+:func:`shared_pool_service` and release them on ``close()`` or garbage
+collection, so re-installing planners never stacks up idle pools, and an
+``atexit`` hook disposes whatever is still alive at interpreter exit.  The
+shared-memory blocks themselves stay per-call, parent-owned and unlinked in
+a ``finally`` — a leaked planner can never leak a block.
+
+Sharded delivery
+----------------
+:class:`ShardedDelivery` extends the same machinery from planning to
+``advance_round``'s delivery stages: fault keep-masks over the plane
+columns, grouped per-node capacity reductions, the round capacity sweep,
+and the sparse-regime learning-key filter.  Unlike scheduling — which needs
+the component partition — every delivery stage is either token-elementwise
+or an exact reduce-then-merge (integer word weights summed in float64 are
+exact below 2^53), so ascending contiguous spans partition the work and the
+span-order merge reproduces the serial arrays **bit-identically** for every
+worker count, with or without the process pool (see DESIGN.md, "Sharded
+delivery").
 """
 
 from __future__ import annotations
 
+import atexit
 import heapq
+import weakref
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.simulator import _accel
@@ -70,7 +96,10 @@ from repro.simulator.config import resolve_shard_workers
 
 __all__ = [
     "ShardedPlanner",
+    "ShardedDelivery",
+    "WorkerPoolService",
     "planner_from_env",
+    "shared_pool_service",
     "token_components",
     "assign_buckets",
     "merge_round_schedules",
@@ -78,6 +107,132 @@ __all__ = [
 
 #: Pool dispatch failures that demote a planner to in-process execution.
 _POOL_ERRORS = (OSError, ImportError, ValueError)
+
+
+# ----------------------------------------------------------------------
+# The shared worker-pool service
+# ----------------------------------------------------------------------
+class WorkerPoolService:
+    """One persistent process pool, leased to planners and delivery engines.
+
+    The pool is created lazily on the first dispatch (``fork`` start method
+    when available) and disposed when the last lease is released — or at
+    interpreter exit via the ``atexit`` hook registered by
+    :func:`shared_pool_service`.  ``close()`` is idempotent and never breaks
+    the service: a later dispatch simply re-creates the pool.  The service
+    keeps no per-call state; shared-memory blocks are owned by the caller.
+    """
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        self.workers = int(workers)
+        self._pool: Optional[Any] = None
+        self._refs = 0
+
+    # -- leases --------------------------------------------------------
+    @property
+    def refs(self) -> int:
+        return self._refs
+
+    @property
+    def pool_alive(self) -> bool:
+        return self._pool is not None
+
+    def acquire(self) -> "WorkerPoolService":
+        self._refs += 1
+        return self
+
+    def release(self) -> None:
+        """Drop one lease; the last release disposes the pool (the service
+        object itself stays reusable)."""
+        self._refs -= 1
+        if self._refs <= 0:
+            self._refs = 0
+            self.close()
+
+    def grow(self, workers: int) -> None:
+        """Raise the pool size (disposing a smaller live pool, if any)."""
+        if workers > self.workers:
+            self.workers = int(workers)
+            self.close()
+
+    # -- lifecycle -----------------------------------------------------
+    def close(self) -> None:
+        """Dispose of the pool processes (idempotent)."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.terminate()
+            pool.join()
+
+    # -- dispatch ------------------------------------------------------
+    def _ensure_pool(self):
+        pool = self._pool
+        if pool is None:
+            import multiprocessing
+
+            methods = multiprocessing.get_all_start_methods()
+            method = "fork" if "fork" in methods else None
+            context = multiprocessing.get_context(method)
+            # Forked workers inherit the parent's resource tracker: their
+            # block attachments must NOT be unregistered child-side (the
+            # parent's unlink dedupes the one shared cache entry).  Spawned
+            # workers have private trackers and must unregister, or each
+            # worker exit would try to unlink the parent-owned block.
+            pool = self._pool = context.Pool(
+                processes=self.workers,
+                initializer=_set_tracker_shared,
+                initargs=(method == "fork",),
+            )
+        return pool
+
+    def apply_async(self, func, args):
+        return self._ensure_pool().apply_async(func, args)
+
+
+_shared_service: Optional[WorkerPoolService] = None
+_atexit_registered = False
+
+
+def _shutdown_shared_service() -> None:  # pragma: no cover - exit hook
+    service = _shared_service
+    if service is not None:
+        service.close()
+
+
+def shared_pool_service(workers: int) -> WorkerPoolService:
+    """Acquire a lease on the process-wide pool service (creating or growing
+    it as needed).  Callers must :meth:`~WorkerPoolService.release` the
+    returned lease exactly once."""
+    global _shared_service, _atexit_registered
+    service = _shared_service
+    if service is None:
+        service = _shared_service = WorkerPoolService(workers)
+        if not _atexit_registered:
+            atexit.register(_shutdown_shared_service)
+            _atexit_registered = True
+    else:
+        service.grow(workers)
+    return service.acquire()
+
+
+class _ServiceLease:
+    """A release-once handle on a :class:`WorkerPoolService` reference.
+
+    Both an explicit ``close()`` and the holder's ``weakref.finalize`` route
+    through :meth:`release`, which forwards to the service exactly once —
+    so close-then-GC never double-releases the refcount.
+    """
+
+    __slots__ = ("service",)
+
+    def __init__(self, service: WorkerPoolService) -> None:
+        self.service: Optional[WorkerPoolService] = service
+
+    def release(self) -> None:
+        service, self.service = self.service, None
+        if service is not None:
+            service.release()
 
 
 # ----------------------------------------------------------------------
@@ -183,8 +338,36 @@ def merge_round_schedules(schedules: List[List[Any]]) -> List[Any]:
 
 
 # ----------------------------------------------------------------------
-# Worker-side bucket planning (top level: picklable by reference)
+# Worker-side tasks (top level: picklable by reference)
 # ----------------------------------------------------------------------
+#: Set by the pool initializer in workers: ``True`` when this worker shares
+#: the parent's resource tracker (fork start method).
+_tracker_shared = False
+
+
+def _set_tracker_shared(flag: bool) -> None:
+    global _tracker_shared
+    _tracker_shared = bool(flag)
+
+
+def _attach_block(shm_name: str):
+    """Attach a parent-owned shared-memory block (workers never unlink)."""
+    from multiprocessing import shared_memory
+
+    shm = shared_memory.SharedMemory(name=shm_name)
+    if not _tracker_shared:
+        try:
+            # A private (spawn-style) resource tracker would unlink the
+            # parent-owned block when this worker exits; drop the
+            # registration the attach just made.
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(shm._name, "shared_memory")
+        except Exception:
+            pass
+    return shm
+
+
 def _plan_bucket_worker(
     shm_name: str, total: int, offset: int, length: int, budget: int
 ):
@@ -195,21 +378,11 @@ def _plan_bucket_worker(
     ``[offset, offset + length)``.  Returned shards are position arrays
     copied out of the (parent-owned, parent-unlinked) block.
     """
-    from multiprocessing import shared_memory
-
     from repro.simulator.engine import _plan_rounds_numpy
 
     np = _accel.np
-    shm = shared_memory.SharedMemory(name=shm_name)
+    shm = _attach_block(shm_name)
     try:
-        try:
-            # The parent owns the block and unlinks it; stop this process's
-            # resource tracker from double-unlinking (and warning) at exit.
-            from multiprocessing import resource_tracker
-
-            resource_tracker.unregister(shm._name, "shared_memory")
-        except Exception:
-            pass
         block = np.ndarray((shm.size // 8,), dtype=np.int64, buffer=shm.buf)
         positions = block[offset : offset + length].copy()
         senders = block[0:total][positions]
@@ -218,6 +391,150 @@ def _plan_bucket_worker(
         del block
         shards = _plan_rounds_numpy(np, senders, receivers, wt, budget)
         return [positions[shard] for shard in shards]
+    finally:
+        shm.close()
+
+
+def isin_sorted(np, values, table):
+    """Vectorised membership of ``values`` in a **sorted** int64 ``table``."""
+    if not len(table):
+        return np.zeros(len(values), dtype=bool)
+    slots = np.searchsorted(table, values)
+    slots[slots == len(table)] = 0
+    return table[slots] == values
+
+
+def span_keep_mask(np, senders, receivers, crashed, failed, n: int):
+    """Crash/edge keep-mask over one span of plane tokens.
+
+    ``crashed`` / ``failed`` are sorted int64 arrays (crashed node indices,
+    directed ``u * n + v`` failed-edge keys).  Pure elementwise — the mask of
+    a span equals the span of the whole-column mask, so any contiguous
+    partition concatenates back bit-identically.  Drop draws are *not* taken
+    here: the RNG consumes one draw per crash/edge survivor in ascending
+    token order, which the caller applies serially after the merge.
+    """
+    keep = np.ones(len(senders), dtype=bool)
+    if len(crashed):
+        keep &= ~isin_sorted(np, senders, crashed)
+        keep &= ~isin_sorted(np, receivers, crashed)
+    if len(failed):
+        keep &= ~isin_sorted(np, senders * n + receivers, failed)
+    return keep
+
+
+def _keep_mask_worker(shm_name: str, m: int, c: int, f: int, lo: int, hi: int, n: int):
+    """Keep-mask for the token span ``[lo, hi)`` (runs in a worker).
+
+    Block layout: ``[senders(m) | receivers(m) | crashed(c) | failed(f)]``.
+    """
+    np = _accel.np
+    shm = _attach_block(shm_name)
+    try:
+        block = np.ndarray((2 * m + c + f,), dtype=np.int64, buffer=shm.buf)
+        return span_keep_mask(
+            np,
+            block[lo:hi],
+            block[m + lo : m + hi],
+            block[2 * m : 2 * m + c],
+            block[2 * m + c :],
+            n,
+        )
+    finally:
+        shm.close()
+
+
+def span_counters(np, senders, receivers, wt):
+    """Grouped per-node word sums of one span, compressed.
+
+    Returns ``(sent_nodes, sent_sums, recv_nodes, recv_sums)`` — the distinct
+    node indices of each role with their word totals.  Scatter-adding the
+    spans into the round's counter arrays in any order equals one whole-shard
+    ``bincount``: word weights are integers, so every partial sum is an
+    exactly-representable float64 and addition is exact.
+    """
+    sent_nodes, sent_inverse = np.unique(senders, return_inverse=True)
+    sent_sums = np.bincount(sent_inverse, weights=wt)
+    recv_nodes, recv_inverse = np.unique(receivers, return_inverse=True)
+    recv_sums = np.bincount(recv_inverse, weights=wt)
+    return sent_nodes, sent_sums, recv_nodes, recv_sums
+
+
+def _counter_span_worker(shm_name: str, m: int, lo: int, hi: int):
+    """Grouped counters for the token span ``[lo, hi)`` (runs in a worker).
+
+    Block layout: ``[senders(m) | receivers(m) | wt(m)]``.
+    """
+    np = _accel.np
+    shm = _attach_block(shm_name)
+    try:
+        block = np.ndarray((3 * m,), dtype=np.int64, buffer=shm.buf)
+        return span_counters(
+            np, block[lo:hi], block[m + lo : m + hi], block[2 * m + lo : 2 * m + hi]
+        )
+    finally:
+        shm.close()
+
+
+def _sweep_range_worker(shm_name: str, n: int, lo: int, hi: int, budget: int):
+    """Capacity-sweep summary of the node range ``[lo, hi)`` (in a worker).
+
+    Block layout: ``[sent(n) | recv(n)]`` as float64.  Returns, per
+    direction, ``(range_max, over_budget_count, first_over_index or -1)`` —
+    everything the serial sweep derives from the whole arrays, merged by
+    max / sum / min respectively.
+    """
+    np = _accel.np
+    shm = _attach_block(shm_name)
+    try:
+        block = np.ndarray((2 * n,), dtype=np.float64, buffer=shm.buf)
+        summary = []
+        for base in (0, n):
+            span = block[base + lo : base + hi]
+            over = np.flatnonzero(span > budget)
+            summary.append(
+                (
+                    float(span.max()) if span.size else 0.0,
+                    int(over.size),
+                    int(over[0]) + lo if over.size else -1,
+                )
+            )
+        return summary
+    finally:
+        shm.close()
+
+
+def filter_fresh_keys(np, keys, levels):
+    """Order-preserving filter of ``keys`` against sorted memo ``levels``.
+
+    The span-parallel twin of ``_PairMemo.unknown``: filtering a span equals
+    the span of the whole-column filter, so concatenating span results in
+    ascending span order reproduces the serial candidate stream exactly.
+    """
+    filtered = False
+    for level in levels:
+        if len(level) and len(keys):
+            slots = np.searchsorted(level, keys)
+            slots[slots == len(level)] = 0
+            keys = keys[level[slots] != keys]
+            filtered = True
+    return keys if filtered else np.array(keys, dtype=np.int64)
+
+
+def _fresh_keys_worker(shm_name: str, k: int, l1: int, l2: int, lo: int, hi: int):
+    """Memo-filter the key span ``[lo, hi)`` (runs in a worker).
+
+    Block layout: ``[keys(k) | level1(l1) | level2(l2)]``.
+    """
+    np = _accel.np
+    shm = _attach_block(shm_name)
+    try:
+        block = np.ndarray((k + l1 + l2,), dtype=np.int64, buffer=shm.buf)
+        return filter_fresh_keys(
+            np,
+            block[lo:hi],
+            (block[k : k + l1], block[k + l1 : k + l1 + l2]),
+        )
     finally:
         shm.close()
 
@@ -245,6 +562,11 @@ class ShardedPlanner:
         dwarfs the planning itself.
     min_tokens: workloads smaller than this skip partitioning entirely and
         delegate to the single-process planner.
+    pool_service: an explicit :class:`WorkerPoolService` to lease from;
+        ``None`` (default) leases the process-wide shared service on first
+        pool use.  The planner never owns the pool — ``close()`` (or garbage
+        collection) releases the lease, and the pool survives as long as any
+        other planner or delivery engine still holds one.
     """
 
     def __init__(
@@ -254,6 +576,7 @@ class ShardedPlanner:
         use_processes: Optional[bool] = None,
         min_tokens: int = 256,
         process_min_tokens: int = 4096,
+        pool_service: Optional[WorkerPoolService] = None,
     ) -> None:
         self.workers = resolve_shard_workers() if workers is None else int(workers)
         if self.workers < 1:
@@ -261,27 +584,51 @@ class ShardedPlanner:
         self.use_processes = use_processes
         self.min_tokens = int(min_tokens)
         self.process_min_tokens = int(process_min_tokens)
-        self._pool: Optional[Any] = None
+        self._pool_service = pool_service
+        self._lease: Optional[_ServiceLease] = None
+        self._finalizer = None
         self._pool_broken = False
+        self._delivery: Optional["ShardedDelivery"] = None
         #: Introspection counters: plans that went through the partition
         #: machinery, and the subset executed on the process pool.
         self.sharded_plans = 0
         self.process_plans = 0
 
     # -- lifecycle -----------------------------------------------------
+    def _service(self) -> WorkerPoolService:
+        """The leased pool service (acquired lazily, released by close/GC)."""
+        lease = self._lease
+        if lease is None:
+            if self._pool_service is not None:
+                service = self._pool_service.acquire()
+            else:
+                service = shared_pool_service(self.workers)
+            lease = self._lease = _ServiceLease(service)
+            # GC of an un-closed planner must release its lease, or a
+            # re-install over a live pool would pin the pool forever.
+            self._finalizer = weakref.finalize(self, lease.release)
+        return lease.service
+
     def close(self) -> None:
-        """Dispose of the worker pool (idempotent; the planner stays usable
-        in-process afterwards)."""
-        pool, self._pool = self._pool, None
-        if pool is not None:
-            pool.terminate()
-            pool.join()
+        """Release the worker-pool lease (idempotent; the planner stays
+        usable — in-process, or re-leasing the pool on the next plan)."""
+        lease, self._lease = self._lease, None
+        self._finalizer = None
+        if lease is not None:
+            lease.release()
 
     def __enter__(self) -> "ShardedPlanner":
         return self
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+    def delivery(self) -> "ShardedDelivery":
+        """The delivery-stage engine riding this planner's pool lease."""
+        engine = self._delivery
+        if engine is None:
+            engine = self._delivery = ShardedDelivery(self)
+        return engine
 
     # -- planning ------------------------------------------------------
     def plan(self, plane, budget: int, tag_words: int = 0) -> List[Any]:
@@ -389,24 +736,12 @@ class ShardedPlanner:
             return True
         return total >= self.process_min_tokens
 
-    def _ensure_pool(self):
-        pool = self._pool
-        if pool is None:
-            import multiprocessing
-
-            methods = multiprocessing.get_all_start_methods()
-            context = multiprocessing.get_context(
-                "fork" if "fork" in methods else None
-            )
-            pool = self._pool = context.Pool(processes=self.workers)
-        return pool
-
     def _plan_buckets_pool(
         self, np, senders, receivers, wt, position_arrays, budget: int
     ) -> List[List[Any]]:
         from multiprocessing import shared_memory
 
-        pool = self._ensure_pool()
+        service = self._service()
         total = int(senders.size)
         positions_total = sum(int(p.size) for p in position_arrays)
         shm = shared_memory.SharedMemory(
@@ -424,7 +759,7 @@ class ShardedPlanner:
             for positions in position_arrays:
                 block[offset : offset + positions.size] = positions
                 tasks.append(
-                    pool.apply_async(
+                    service.apply_async(
                         _plan_bucket_worker,
                         (shm.name, total, offset, int(positions.size), budget),
                     )
@@ -440,6 +775,237 @@ class ShardedPlanner:
                 pass
         self.process_plans += 1
         return schedules
+
+
+class ShardedDelivery:
+    """Span-parallel execution of ``advance_round``'s delivery stages.
+
+    Rides the owning :class:`ShardedPlanner`'s pool lease and degrade state:
+    a pool failure in either layer permanently degrades both to in-process
+    execution.  Unlike planning — where components matter because the greedy
+    counters couple tokens — every delivery stage is either token-elementwise
+    (fault masks, memo filtering) or an exact reduction of integer word
+    weights (per-node counters, capacity sweep), so *any* contiguous
+    partition merged in ascending span order is bit-identical to the serial
+    whole-array computation.  The in-process fallback of each stage therefore
+    IS the serial twin — identity is structural, not probabilistic (see
+    DESIGN.md "Sharded delivery" and ``tests/properties/test_sharded_delivery.py``).
+
+    Thresholds mirror the planner's: stages engage the pool only when the
+    operand is at least ``min_tokens`` long *and* the planner's process
+    policy wants the pool (``use_processes=True`` forces it, ``None`` needs
+    ``process_min_tokens``; delivery's default is higher than planning's
+    because one shared-memory round-trip must beat a single vectorised
+    sweep, not a greedy planning loop).  The capacity sweep additionally
+    needs ``sweep_min_nodes`` nodes: below that the two counter arrays are
+    cheaper to scan serially than to copy into shared memory.
+    """
+
+    def __init__(
+        self,
+        planner: ShardedPlanner,
+        *,
+        min_tokens: int = 256,
+        process_min_tokens: int = 1 << 16,
+        sweep_min_nodes: int = 1 << 22,
+    ) -> None:
+        self.planner = planner
+        self.min_tokens = int(min_tokens)
+        self.process_min_tokens = int(process_min_tokens)
+        self.sweep_min_nodes = int(sweep_min_nodes)
+        #: Introspection counter: stages executed on the worker pool.
+        self.pool_stages = 0
+
+    @property
+    def workers(self) -> int:
+        return self.planner.workers
+
+    def _bounds(self, total: int) -> List[int]:
+        """Deterministic contiguous span boundaries (ascending)."""
+        spans = min(self.workers, total)
+        return [total * i // spans for i in range(spans + 1)]
+
+    def _want_pool(self, total: int) -> bool:
+        planner = self.planner
+        if (
+            self.workers <= 1
+            or total < self.min_tokens
+            or planner._pool_broken
+            or planner.use_processes is False
+        ):
+            return False
+        if planner.use_processes:
+            return True
+        return total >= self.process_min_tokens
+
+    def _pool_spans(self, np, block_values, dtype, worker, task_args):
+        """Run ``worker`` over one shared block, one task per span.
+
+        ``block_values`` are concatenated into a fresh shared-memory block
+        (parent-owned: created and unlinked here, workers only attach);
+        ``task_args(shm_name)`` yields each task's argument tuple in
+        ascending span order, which is also the order results are returned
+        in.  Returns ``None`` when the pool path failed — the planner (and
+        with it this engine) degrades permanently to in-process execution.
+        """
+        planner = self.planner
+        try:
+            from multiprocessing import shared_memory
+
+            service = planner._service()
+            size = sum(len(values) for values in block_values)
+            shm = shared_memory.SharedMemory(
+                create=True, size=max(1, dtype().itemsize * size)
+            )
+            try:
+                block = np.ndarray((size,), dtype=dtype, buffer=shm.buf)
+                offset = 0
+                for values in block_values:
+                    block[offset : offset + len(values)] = values
+                    offset += len(values)
+                tasks = [
+                    service.apply_async(worker, args)
+                    for args in task_args(shm.name)
+                ]
+                results = [task.get() for task in tasks]
+                del block
+            finally:
+                shm.close()
+                try:
+                    shm.unlink()
+                except (FileNotFoundError, OSError):  # pragma: no cover
+                    pass
+        except _POOL_ERRORS:
+            planner._pool_broken = True
+            planner.close()
+            return None
+        self.pool_stages += 1
+        return results
+
+    # -- stages --------------------------------------------------------
+    def keep_mask(self, np, senders, receivers, crashed, failed, n: int):
+        """Crash/edge keep-mask over a plane's token columns.
+
+        ``crashed`` / ``failed`` are the fault state's sorted index/edge-key
+        arrays.  Elementwise, so the span concatenation is bit-identical to
+        the serial :func:`span_keep_mask` over the whole columns.
+        """
+        m = len(senders)
+        if self._want_pool(m):
+            bounds = self._bounds(m)
+            crashed_len, failed_len = len(crashed), len(failed)
+            parts = self._pool_spans(
+                np,
+                (senders, receivers, crashed, failed),
+                np.int64,
+                _keep_mask_worker,
+                lambda name: [
+                    (name, m, crashed_len, failed_len, lo, hi, n)
+                    for lo, hi in zip(bounds, bounds[1:])
+                ],
+            )
+            if parts is not None:
+                return np.concatenate(parts)
+        return span_keep_mask(np, senders, receivers, crashed, failed, n)
+
+    def apply_counters(self, np, senders, receivers, wt, sent_arr, recv_arr) -> None:
+        """Accumulate a shard's grouped per-node word sums into the round's
+        counter arrays.
+
+        Pool path: each span returns compressed ``(nodes, sums)`` pairs that
+        the parent scatter-adds.  Word weights are integers, so every
+        partial sum is an exactly-representable float64 and the result
+        equals the serial whole-shard ``bincount`` bit for bit, in any
+        span order.
+        """
+        m = len(senders)
+        if self._want_pool(m):
+            bounds = self._bounds(m)
+            parts = self._pool_spans(
+                np,
+                (senders, receivers, wt),
+                np.int64,
+                _counter_span_worker,
+                lambda name: [
+                    (name, m, lo, hi) for lo, hi in zip(bounds, bounds[1:])
+                ],
+            )
+            if parts is not None:
+                for sent_nodes, sent_sums, recv_nodes, recv_sums in parts:
+                    sent_arr[sent_nodes] += sent_sums
+                    recv_arr[recv_nodes] += recv_sums
+                return
+        sent_arr += np.bincount(senders, weights=wt, minlength=len(sent_arr))
+        recv_arr += np.bincount(receivers, weights=wt, minlength=len(recv_arr))
+
+    def sweep(self, np, sent_arr, recv_arr, budget: int):
+        """Pool-parallel capacity sweep of the round's counter arrays.
+
+        Returns ``[(max, over_count, first_over), ...]`` for the sent and
+        received directions (``first_over`` is ``-1`` when nothing exceeds
+        ``budget``), merged from per-range summaries by max / sum / min —
+        exactly what the serial sweep derives from the whole arrays.
+        Returns ``None`` when not engaged; the caller sweeps serially.
+        """
+        n = len(sent_arr)
+        if not self._want_pool(n):
+            return None
+        if self.planner.use_processes is not True and n < self.sweep_min_nodes:
+            return None
+        bounds = self._bounds(n)
+        parts = self._pool_spans(
+            np,
+            (sent_arr, recv_arr),
+            np.float64,
+            _sweep_range_worker,
+            lambda name: [
+                (name, n, lo, hi, budget) for lo, hi in zip(bounds, bounds[1:])
+            ],
+        )
+        if parts is None:
+            return None
+        merged = []
+        for direction in (0, 1):
+            ranges = [part[direction] for part in parts]
+            merged.append(
+                (
+                    max(entry[0] for entry in ranges),
+                    sum(entry[1] for entry in ranges),
+                    min(
+                        (entry[2] for entry in ranges if entry[2] >= 0),
+                        default=-1,
+                    ),
+                )
+            )
+        return merged
+
+    def fresh_keys(self, np, keys, levels):
+        """Order-preserving pair-memo filter of a plane's packed pair keys.
+
+        ``levels`` are the memo's sorted arrays (at most two).  Elementwise
+        and order-preserving, so ascending-span concatenation equals the
+        serial :func:`filter_fresh_keys` over the whole key column.
+        """
+        k = len(keys)
+        if self._want_pool(k):
+            levels = [level for level in levels if len(level)][:2]
+            while len(levels) < 2:
+                levels.append(keys[:0])
+            bounds = self._bounds(k)
+            level_sizes = (len(levels[0]), len(levels[1]))
+            parts = self._pool_spans(
+                np,
+                (keys, levels[0], levels[1]),
+                np.int64,
+                _fresh_keys_worker,
+                lambda name: [
+                    (name, k, level_sizes[0], level_sizes[1], lo, hi)
+                    for lo, hi in zip(bounds, bounds[1:])
+                ],
+            )
+            if parts is not None:
+                return np.concatenate(parts)
+        return filter_fresh_keys(np, keys, levels)
 
 
 def planner_from_env() -> Optional[ShardedPlanner]:

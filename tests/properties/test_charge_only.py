@@ -282,3 +282,133 @@ def test_crashed_endpoint_dissemination_identical_charge_only(case, backend):
         return KDissemination(sim, tokens).run().metrics.summary()
 
     assert run(True) == run(False)
+
+
+# ----------------------------------------------------------------------
+# Legacy tuple paths: *_send_batch bucket deliveries, charge-only
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", SEEDS)
+def test_tuple_batches_charge_only_are_accounting_identical(seed, backend):
+    """Multi-round legacy-tuple traffic (global + local) under a crash +
+    drop schedule: charge-only must replay every metric bit-for-bit."""
+    n = 24
+    graph = path_graph(n)
+    schedule = FaultSchedule(
+        seed=seed,
+        crashes=(CrashEvent(node=2, crash_round=1, recover_round=3),),
+        link_failures=(LinkFailure(5, 6, end_round=3),),
+        global_drop_rate=0.2,
+        local_drop_rate=0.15,
+    )
+
+    def run(charge_only):
+        rng = random.Random(f"tuple-{seed}")
+        sim = HybridSimulator(
+            graph,
+            ModelConfig.hybrid(strict=False),
+            seed=seed,
+            fault_schedule=schedule,
+            charge_only=charge_only,
+        )
+        for r in range(4):
+            sim.global_send_batch(
+                [
+                    (rng.randrange(n), rng.randrange(n), ("p", r, i))
+                    for i in range(40)
+                ],
+                tag="tg",
+            )
+            sim.local_send_batch(
+                [(i, i + 1, ("l", r, i)) for i in range(0, n - 1, 2)],
+                tag="tl",
+            )
+            sim.advance_round()
+        return sim.metrics.summary()
+
+    payload_summary = run(False)
+    charged_summary = run(True)
+    assert charged_summary == payload_summary
+    assert payload_summary["dropped_messages"] > 0
+
+
+def test_tuple_inbox_read_raises_charge_only(backend):
+    """Reading tuple traffic queued charge-only is a hard error on both
+    modes; a traffic-free round stays readable (an empty inbox is exact)."""
+    sim = HybridSimulator(
+        path_graph(8), ModelConfig.hybrid(), seed=0, charge_only=True
+    )
+    sim.global_send_to_node(0, 5, ("g", 0))
+    sim.local_send(3, 4, ("l", 0))
+    sim.advance_round()
+    with pytest.raises(ChargeOnlyError):
+        sim.global_inbox(5)
+    with pytest.raises(ChargeOnlyError):
+        sim.local_inbox(4)
+    # The next round carries nothing: empty inboxes are exact, not a read
+    # of suppressed payloads.
+    sim.advance_round()
+    assert sim.global_inbox(5) == []
+    assert sim.local_inbox(4) == []
+
+
+def test_mixed_tuple_and_plane_round_charge_only_identical(backend):
+    """One round mixing a token plane with legacy tuple sends: accounting
+    must match the payload run, and the read guard must still fire."""
+    n = 16
+
+    def run(charge_only):
+        sim = HybridSimulator(
+            path_graph(n),
+            ModelConfig.hybrid(strict=False),
+            seed=7,
+            charge_only=charge_only,
+        )
+        rng = random.Random("mixed")
+        count = 48
+        plane = TokenPlane(
+            [rng.randrange(n) for _ in range(count)],
+            [rng.randrange(n) for _ in range(count)],
+            [rng.choice([1, 2]) for _ in range(count)],
+            [("pp", i) for i in range(count)],
+        )
+        sim.global_send_plane(plane, tag="mx")
+        sim.global_send_batch(
+            [(rng.randrange(n), rng.randrange(n), ("tp", i)) for i in range(20)],
+            tag="mt",
+        )
+        sim.advance_round()
+        return sim
+
+    payload_sim = run(False)
+    charged_sim = run(True)
+    assert charged_sim.metrics.diff(payload_sim.metrics) == {}
+    with pytest.raises(ChargeOnlyError):
+        charged_sim.global_inbox(1)
+
+
+def test_tuple_charge_only_sparse_learning_is_identical(backend):
+    """HYBRID_0 sender-id learning reads only the sender column, so tuple
+    traffic with suppressed payloads must teach exactly the same ids."""
+    n = 12
+    graph = path_graph(n)
+
+    def run(charge_only):
+        sim = HybridSimulator(
+            graph, ModelConfig.hybrid0(), seed=5, charge_only=charge_only
+        )
+        # Teach node 0 a distant identifier so its sends genuinely extend
+        # the receiver's knowledge (neighbors are known from the start).
+        far_id = sim.id_of(9)
+        sim.declare_learned_ids(0, [far_id])
+        for r in range(3):
+            sim.global_send(0, far_id, ("t", r))
+            sim.global_send_batch(
+                [(i, i + 1, ("u", r, i)) for i in range(n - 1)], tag="k"
+            )
+            sim.advance_round()
+        return (
+            {node: sim.known_ids(node) for node in sim.nodes},
+            sim.metrics.summary(),
+        )
+
+    assert run(True) == run(False)

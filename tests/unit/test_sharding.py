@@ -10,18 +10,24 @@ in-process degradation after a pool failure.
 
 from __future__ import annotations
 
+import gc
 import random
 
 import pytest
 
 from repro.simulator import _accel
+from repro.simulator import engine as engine_module
+from repro.simulator import sharding as sharding_module
 from repro.simulator.config import resolve_shard_workers
-from repro.simulator.engine import TokenPlane, plan_token_rounds
+from repro.simulator.engine import TokenPlane, install_planner, plan_token_rounds
 from repro.simulator.sharding import (
     ShardedPlanner,
+    WorkerPoolService,
+    _ServiceLease,
     assign_buckets,
     merge_round_schedules,
     planner_from_env,
+    shared_pool_service,
     token_components,
 )
 
@@ -255,3 +261,160 @@ def test_close_is_idempotent_and_keeps_planner_usable(backend):
     planner.close()
     plane = _plane([0] * 8 + [2] * 8, [1] * 8 + [3] * 8, [5] * 16)
     assert _as_lists(planner.plan(plane, 8)) == _as_lists(plan_token_rounds(plane, 8))
+
+
+# ----------------------------------------------------------------------
+# WorkerPoolService lifecycle: leases, growth, atexit, GC
+# ----------------------------------------------------------------------
+class _StubPool:
+    """Stands in for a multiprocessing pool: records disposal."""
+
+    def __init__(self):
+        self.terminated = False
+        self.joined = False
+
+    def terminate(self):
+        self.terminated = True
+
+    def join(self):
+        self.joined = True
+
+
+def test_service_refcounts_dispose_the_pool_on_last_release():
+    service = WorkerPoolService(2)
+    stub = _StubPool()
+    service._pool = stub
+    assert service.acquire() is service
+    service.acquire()
+    assert service.refs == 2
+    service.release()
+    assert service.refs == 1 and service.pool_alive
+    service.release()
+    assert service.refs == 0
+    assert not service.pool_alive
+    assert stub.terminated and stub.joined
+    # The service object stays reusable after full release.
+    service.acquire()
+    assert service.refs == 1
+    service.release()
+
+
+def test_service_close_is_idempotent():
+    service = WorkerPoolService(1)
+    stub = _StubPool()
+    service._pool = stub
+    service.close()
+    service.close()
+    assert stub.terminated and not service.pool_alive
+
+
+def test_service_grow_disposes_a_smaller_live_pool():
+    service = WorkerPoolService(2)
+    stub = _StubPool()
+    service._pool = stub
+    service.grow(4)
+    assert service.workers == 4
+    assert stub.terminated and not service.pool_alive
+    # Shrinking is a no-op: an existing larger pool keeps serving.
+    other = _StubPool()
+    service._pool = other
+    service.grow(3)
+    assert service.workers == 4
+    assert not other.terminated and service.pool_alive
+    service.close()
+
+
+def test_service_rejects_nonpositive_workers():
+    with pytest.raises(ValueError):
+        WorkerPoolService(0)
+
+
+def test_shared_service_is_created_grown_and_registered_atexit(monkeypatch):
+    hooks = []
+    monkeypatch.setattr(sharding_module, "_shared_service", None)
+    monkeypatch.setattr(sharding_module, "_atexit_registered", False)
+    monkeypatch.setattr(
+        sharding_module.atexit, "register", lambda hook: hooks.append(hook)
+    )
+    first = shared_pool_service(2)
+    assert first.refs == 1 and first.workers == 2
+    assert hooks == [sharding_module._shutdown_shared_service]
+    # A second acquisition reuses (and grows) the same service — and does
+    # not re-register the exit hook.
+    second = shared_pool_service(4)
+    assert second is first
+    assert second.refs == 2 and second.workers == 4
+    assert len(hooks) == 1
+    stub = _StubPool()
+    first._pool = stub
+    # The exit hook tears the pool down even with leases outstanding.
+    hooks[0]()
+    assert stub.terminated and not first.pool_alive
+    first.release()
+    first.release()
+    assert first.refs == 0
+
+
+def test_lease_releases_exactly_once():
+    service = WorkerPoolService(2)
+    service.acquire()
+    lease = _ServiceLease(service)
+    lease.release()
+    lease.release()
+    assert service.refs == 0
+
+
+def test_planner_close_then_gc_releases_the_lease_once():
+    service = WorkerPoolService(2)
+    planner = ShardedPlanner(2, use_processes=True, pool_service=service)
+    assert planner._service() is service
+    assert service.refs == 1
+    planner.close()
+    assert service.refs == 0
+    planner.close()  # idempotent
+    assert service.refs == 0
+    # After close the planner re-leases on demand.
+    assert planner._service() is service
+    assert service.refs == 1
+    del planner
+    gc.collect()
+    assert service.refs == 0
+
+
+def test_reinstalling_a_planner_over_a_live_pool_does_not_leak(monkeypatch):
+    monkeypatch.setattr(
+        engine_module, "_active_planner", engine_module._active_planner
+    )
+    monkeypatch.setattr(
+        engine_module, "_env_planner_resolved", engine_module._env_planner_resolved
+    )
+    service = WorkerPoolService(2)
+    stub = _StubPool()
+    service._pool = stub
+    first = ShardedPlanner(2, use_processes=True, pool_service=service)
+    first._service()
+    install_planner(first)
+    assert service.refs == 1
+    # Re-install a replacement while the first planner's lease is live.
+    second = ShardedPlanner(2, use_processes=True, pool_service=service)
+    second._service()
+    install_planner(second)
+    assert service.refs == 2
+    # Dropping the displaced planner (no explicit close) must release its
+    # lease via the GC finalizer — the pool survives for the replacement.
+    del first
+    gc.collect()
+    assert service.refs == 1
+    assert service.pool_alive
+    install_planner(None)
+    second.close()
+    assert service.refs == 0
+    assert stub.terminated and not service.pool_alive
+
+
+def test_delivery_engine_is_cached_and_rides_the_planner():
+    planner = ShardedPlanner(3, use_processes=False)
+    engine = planner.delivery()
+    assert planner.delivery() is engine
+    assert engine.planner is planner
+    assert engine.workers == 3

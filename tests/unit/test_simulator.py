@@ -1,6 +1,8 @@
 """Unit tests for the HYBRID(lambda, gamma) simulator: configuration, message
 accounting, knowledge tracking, capacity enforcement and the round lifecycle."""
 
+import random
+
 import pytest
 
 from repro.graphs.generators import path_graph, grid_graph, complete_graph
@@ -122,6 +124,84 @@ class TestKnowledgeTracker:
             tracker.knows(99, 1)
 
 
+class TestPackedKnowledge:
+    """The packed sorted-array layer behind ``learn_known_array``."""
+
+    @staticmethod
+    def _np():
+        from repro.simulator import _accel
+
+        if _accel.np is None:
+            pytest.skip("accelerator gate off; packed layer degrades to sets")
+        return _accel.np
+
+    def _tracker(self, n=64):
+        tracker = KnowledgeTracker(range(n))
+        tracker.initialize_node(0, [1])
+        return tracker
+
+    def test_packed_ids_are_visible_through_every_probe(self):
+        np = self._np()
+        tracker = self._tracker()
+        tracker.learn_known_array(0, np.array([7, 11, 30], dtype=np.int64))
+        assert tracker.knows(0, 11)
+        assert not tracker.knows(0, 12)
+        assert tracker.known_ids(0) == {0, 1, 7, 11, 30}
+        view = tracker.known_ids_view(0)
+        assert 30 in view and 1 in view and 29 not in view
+        assert tracker.knowledge_count(0) == 5
+
+    def test_geometric_merge_keeps_membership_exact(self):
+        np = self._np()
+        tracker = self._tracker(4096)
+        rng = __import__("random").Random(13)
+        expected = {0, 1}
+        for _ in range(40):
+            chunk = sorted(rng.sample(range(2, 4096), rng.randrange(1, 9)))
+            tracker.learn_known_array(0, np.array(chunk, dtype=np.int64))
+            expected.update(chunk)
+        assert tracker.known_ids(0) == expected
+        # Two levels at most, each sorted, recent < snapshot geometrically.
+        levels = tracker._packed_levels(0)
+        assert 1 <= len(levels) <= 2
+        for level in levels:
+            assert list(level) == sorted(level.tolist())
+
+    def test_packed_known_mask_matches_scalar_probes(self):
+        np = self._np()
+        tracker = self._tracker(128)
+        tracker.learn_known_array(0, np.array([5, 9, 90], dtype=np.int64))
+        tracker.learn_known_array(0, np.array([3, 127], dtype=np.int64))
+        targets = np.arange(128, dtype=np.int64)
+        mask = tracker.packed_known_mask(np, 0, targets)
+        packed = {3, 5, 9, 90, 127}
+        assert set(targets[mask].tolist()) == packed
+        # The mask covers the packed layer only: personal ids stay False.
+        assert not mask[0] and not mask[1]
+
+    def test_degrades_to_the_set_layer_without_numpy(self, monkeypatch):
+        from repro.simulator import _accel
+
+        monkeypatch.setattr(_accel, "np", None)
+        tracker = self._tracker()
+        tracker.learn_known_array(0, [4, 8])
+        assert tracker.knows(0, 8)
+        assert tracker.known_ids(0) == {0, 1, 4, 8}
+        assert not tracker._packed_levels(0)
+
+    def test_packed_probes_survive_gate_switch_off(self, monkeypatch):
+        np = self._np()
+        from repro.simulator import _accel
+
+        tracker = self._tracker()
+        tracker.learn_known_array(0, np.array([21, 42], dtype=np.int64))
+        monkeypatch.setattr(_accel, "np", None)
+        # bisect probes work on the stored arrays regardless of the gate.
+        assert tracker.knows(0, 42)
+        assert 21 in tracker.known_ids_view(0)
+        assert tracker.known_ids(0) == {0, 1, 21, 42}
+
+
 class TestRoundMetrics:
     def test_charge_accumulates(self):
         metrics = RoundMetrics()
@@ -174,6 +254,20 @@ class TestSimulatorBasics:
         assert len(set(ids)) == 6
         for v in sim.nodes:
             assert sim.node_of_id(sim.id_of(v)) == v
+
+    def test_sparse_id_universe_is_capped_for_huge_graphs(self):
+        """n^3 overflows a C ssize_t past n ~ 2*10^6; the capped universe
+        keeps random.sample viable and every id inside int64 (packed
+        knowledge arrays), while staying bit-identical below the cap."""
+        from repro.simulator.network import _ID_UNIVERSE_CAP, _identifier_universe
+
+        assert _identifier_universe(6) == 6**3
+        assert _identifier_universe(1) == 8
+        assert _identifier_universe(10_000_000) == _ID_UNIVERSE_CAP
+        assert _ID_UNIVERSE_CAP < 2**63  # ssize_t and int64 safe
+        # The draw that used to raise OverflowError at n=10^7:
+        drawn = random.Random(0).sample(range(_identifier_universe(10_000_000)), 5)
+        assert len(set(drawn)) == 5
 
     def test_neighbors(self):
         sim = HybridSimulator(path_graph(5))
